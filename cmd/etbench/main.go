@@ -1,0 +1,218 @@
+// Command etbench regenerates every table and figure of the paper's
+// evaluation (§VI) and prints them in the same structure the paper
+// reports: Table II, Figure 4(a–c) with Tables 4(d,e), Figure 6(a–c)
+// with Tables 6(d,e), and Figures 7–10.
+//
+// Usage:
+//
+//	etbench [-experiment all|table2|fig4|fig6|fig7|fig8|fig9|fig10] [-scale full|bench]
+//
+// At -scale bench the Federal dataset is shrunk (the shrink factor
+// appears in the output) so a full run fits a laptop budget; -scale full
+// runs everything at paper size.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"github.com/etransform/etransform/internal/datagen"
+	"github.com/etransform/etransform/internal/experiments"
+	"github.com/etransform/etransform/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "etbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("etbench", flag.ContinueOnError)
+	experiment := fs.String("experiment", "all", "all | table2 | fig4 | fig6 | fig7 | fig8 | fig9 | fig10")
+	scaleName := fs.String("scale", "bench", `"bench" (laptop budget, Federal shrunk) or "full" (paper size)`)
+	dataset := fs.String("dataset", "", "restrict fig4/fig6 to one dataset: enterprise1 | florida | federal")
+	csvDir := fs.String("csv", "", "also write each experiment's data as CSV into this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	writeCSV := func(name string, headers []string, rows [][]string) error {
+		if *csvDir == "" {
+			return nil
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name))
+		if err != nil {
+			return err
+		}
+		if err := report.WriteCSV(f, headers, rows); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+
+	var sc experiments.Scale
+	switch *scaleName {
+	case "bench":
+		sc = experiments.BenchScale()
+	case "full":
+		sc = experiments.FullScale()
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+
+	run := func(name string, f func() error) error {
+		if *experiment != "all" && *experiment != name {
+			return nil
+		}
+		start := time.Now()
+		fmt.Printf("==== %s ====\n", name)
+		if err := f(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	caseStudies := func(fig string, dr bool) error {
+		cfgs := []datagen.CaseStudyConfig{datagen.Enterprise1(), datagen.Florida(), datagen.Federal()}
+		for _, cfg := range cfgs {
+			if *dataset != "" && cfg.Name != *dataset {
+				continue
+			}
+			res, err := experiments.CaseStudy(cfg, sc, dr)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Render())
+			fmt.Printf("solver: %d rows × %d cols, %d nodes, gap %.2g\n\n",
+				res.Stats.Rows, res.Stats.Cols, res.Stats.Nodes, res.Stats.Gap)
+			var rows [][]string
+			for _, algo := range experiments.AlgorithmNames {
+				b, ok := res.Breakdowns[algo]
+				if !ok {
+					continue
+				}
+				rows = append(rows, []string{
+					algo,
+					strconv.FormatFloat(res.Cost(algo), 'f', 2, 64),
+					strconv.FormatFloat(res.Reduction(algo)*100, 'f', 1, 64),
+					strconv.Itoa(b.LatencyViolations),
+					strconv.FormatFloat(b.Latency, 'f', 2, 64),
+				})
+			}
+			if err := writeCSV(fmt.Sprintf("%s_%s.csv", fig, cfg.Name),
+				[]string{"algorithm", "cost", "reduction_pct", "latency_violations", "penalty_paid"}, rows); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	steps := []struct {
+		name string
+		f    func() error
+	}{
+		{"table2", func() error {
+			rows := experiments.TableII(sc)
+			fmt.Print(experiments.RenderTableII(rows))
+			var crows [][]string
+			for _, r := range rows {
+				crows = append(crows, []string{r.Name, strconv.Itoa(r.CurrentDCs),
+					strconv.Itoa(r.TargetDCs), strconv.Itoa(r.Servers), strconv.Itoa(r.AppGroups)})
+			}
+			return writeCSV("table2.csv",
+				[]string{"dataset", "asis_dcs", "target_dcs", "servers", "app_groups"}, crows)
+		}},
+		{"fig4", func() error { return caseStudies("fig4", false) }},
+		{"fig6", func() error { return caseStudies("fig6", true) }},
+		{"fig7", func() error {
+			res, err := experiments.Figure7(sc)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Render())
+			panels := map[string]map[float64][]float64{
+				"fig7_total_cost.csv": res.TotalCost,
+				"fig7_space_cost.csv": res.SpaceCost,
+				"fig7_latency_ms.csv": res.MeanLatMs,
+			}
+			for name, data := range panels {
+				headers := []string{"penalty"}
+				for _, split := range experiments.Fig7Splits {
+					headers = append(headers, experiments.Fig7SplitName(split))
+				}
+				var crows [][]string
+				for k, pen := range res.Penalties {
+					row := []string{strconv.FormatFloat(pen, 'f', -1, 64)}
+					for _, split := range experiments.Fig7Splits {
+						row = append(row, strconv.FormatFloat(data[split][k], 'f', 4, 64))
+					}
+					crows = append(crows, row)
+				}
+				if err := writeCSV(name, headers, crows); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"fig8", func() error {
+			res, err := experiments.Figure8(sc)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Render())
+			var crows [][]string
+			for i := range res.DRServerCost {
+				crows = append(crows, []string{
+					strconv.FormatFloat(res.DRServerCost[i], 'f', -1, 64),
+					strconv.Itoa(res.DCsUsed[i]), strconv.Itoa(res.DRServers[i]),
+				})
+			}
+			return writeCSV("fig8.csv", []string{"dr_server_cost", "dcs_used", "dr_servers"}, crows)
+		}},
+		{"fig9", func() error {
+			res, err := experiments.Figure9()
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Render())
+			var crows [][]string
+			for d := range res.TotalCost {
+				crows = append(crows, []string{strconv.Itoa(d),
+					strconv.FormatFloat(res.SpaceCost[d], 'f', 2, 64),
+					strconv.FormatFloat(res.WANCost[d], 'f', 2, 64),
+					strconv.FormatFloat(res.TotalCost[d], 'f', 2, 64)})
+			}
+			return writeCSV("fig9.csv", []string{"location", "space_cost", "wan_cost", "total_cost"}, crows)
+		}},
+		{"fig10", func() error {
+			res, err := experiments.Figure10(sc)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Render())
+			var crows [][]string
+			for i := range res.GroupCounts {
+				crows = append(crows, []string{strconv.Itoa(res.GroupCounts[i]), strconv.Itoa(res.DCsUsed[i])})
+			}
+			return writeCSV("fig10.csv", []string{"app_groups", "dcs_used"}, crows)
+		}},
+	}
+	for _, s := range steps {
+		if err := run(s.name, s.f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

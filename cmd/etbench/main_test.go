@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunTable2WithCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-experiment", "table2", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table2.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("empty CSV")
+	}
+}
+
+func TestRunFig9WithCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-experiment", "fig9", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig9.csv")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperimentScale(t *testing.T) {
+	if err := run([]string{"-scale", "bogus"}); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}

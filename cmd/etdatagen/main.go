@@ -1,0 +1,94 @@
+// Command etdatagen emits the synthetic evaluation datasets of the paper
+// (§VI-A) as as-is state JSON for use with the etransform command.
+//
+// Usage:
+//
+//	etdatagen -dataset enterprise1|florida|federal|fig7|fig9 [-scale F] [-seed N] -o out.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/etransform/etransform/internal/datagen"
+	"github.com/etransform/etransform/internal/model"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "etdatagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("etdatagen", flag.ContinueOnError)
+	dataset := fs.String("dataset", "enterprise1", "enterprise1 | florida | federal | fig7 | fig9")
+	scale := fs.Float64("scale", 1, "shrink factor for the case-study datasets (0 < scale ≤ 1)")
+	seed := fs.Int64("seed", 0, "override the dataset's default random seed (0 keeps it)")
+	out := fs.String("o", "", "output path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		state *model.AsIsState
+		err   error
+	)
+	switch *dataset {
+	case "enterprise1", "florida", "federal":
+		var cfg datagen.CaseStudyConfig
+		switch *dataset {
+		case "enterprise1":
+			cfg = datagen.Enterprise1()
+		case "florida":
+			cfg = datagen.Florida()
+		case "federal":
+			cfg = datagen.Federal()
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		if *scale > 0 && *scale < 1 {
+			cfg = cfg.Scaled(*scale)
+		}
+		state, err = cfg.Generate()
+	case "fig7":
+		cfg := datagen.Fig7Config()
+		cfg.PenaltyPerUser = 100
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		state, err = cfg.Generate()
+	case "fig9":
+		cfg := datagen.Fig9Config()
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		state, err = cfg.Generate()
+	default:
+		return fmt.Errorf("unknown dataset %q", *dataset)
+	}
+	if err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := model.WriteState(w, state); err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s dataset (%d groups, %d target DCs) to %s\n",
+			state.Name, len(state.Groups), len(state.Target.DCs), *out)
+	}
+	return nil
+}

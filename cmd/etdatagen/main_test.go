@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/etransform/etransform/internal/model"
+)
+
+func TestRunDatasets(t *testing.T) {
+	for _, ds := range []string{"enterprise1", "fig7", "fig9"} {
+		t.Run(ds, func(t *testing.T) {
+			out := filepath.Join(t.TempDir(), ds+".json")
+			args := []string{"-dataset", ds, "-o", out}
+			if ds == "enterprise1" {
+				args = append(args, "-scale", "0.1")
+			}
+			if err := run(args); err != nil {
+				t.Fatal(err)
+			}
+			s, err := model.LoadState(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(s.Groups) == 0 {
+				t.Error("empty dataset")
+			}
+		})
+	}
+}
+
+func TestRunSeedOverride(t *testing.T) {
+	a := filepath.Join(t.TempDir(), "a.json")
+	b := filepath.Join(t.TempDir(), "b.json")
+	if err := run([]string{"-dataset", "enterprise1", "-scale", "0.1", "-seed", "5", "-o", a}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-dataset", "enterprise1", "-scale", "0.1", "-seed", "6", "-o", b}); err != nil {
+		t.Fatal(err)
+	}
+	da, _ := os.ReadFile(a)
+	db, _ := os.ReadFile(b)
+	if string(da) == string(db) {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestRunUnknownDataset(t *testing.T) {
+	if err := run([]string{"-dataset", "bogus"}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}

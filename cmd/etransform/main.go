@@ -1,0 +1,208 @@
+// Command etransform generates a transformation and consolidation plan
+// for an enterprise IT estate: it reads an "as-is" state (JSON), builds
+// the consolidation MILP — optionally with an integrated disaster
+// recovery plan — solves it, and emits the "to-be" plan and a cost
+// report.
+//
+// Usage:
+//
+//	etransform -state asis.json [flags]
+//
+// Typical invocations:
+//
+//	etransform -state asis.json -report
+//	etransform -state asis.json -dr -omega 0.4 -plan tobe.json
+//	etransform -state asis.json -lp model.lp        # export for CPLEX
+//	etransform -state asis.json -pin ag-0012=target-3 -forbid ag-0040=target-1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/etransform/etransform/internal/core"
+	"github.com/etransform/etransform/internal/milp"
+	"github.com/etransform/etransform/internal/model"
+	"github.com/etransform/etransform/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "etransform:", err)
+		os.Exit(1)
+	}
+}
+
+// multiFlag collects repeated -pin/-forbid flags of the form GROUP=DC.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("etransform", flag.ContinueOnError)
+	statePath := fs.String("state", "", "path to the as-is state JSON (required)")
+	dr := fs.Bool("dr", false, "plan disaster recovery (secondary sites + shared backup pool)")
+	dedicated := fs.Bool("dedicated", false, "with -dr: dedicated per-group backup servers (multi-failure planning) instead of the shared single-failure pool")
+	shadow := fs.Bool("shadow", false, "report capacity shadow prices (LP-relaxation duals per data center)")
+	omega := fs.Float64("omega", 0, "business-impact cap: max fraction of app groups per data center (0 disables)")
+	aggregate := fs.Bool("aggregate", true, "aggregate identical application groups (exact reformulation)")
+	candidates := fs.Int("candidates", 0, "restrict each group to its K cheapest candidate DCs (0 = all)")
+	formulation := fs.String("formulation", "pair", `DR formulation: "pair" (scalable) or "paper" (literal §IV-B)`)
+	gap := fs.Float64("gap", 1e-3, "MILP relative optimality gap")
+	nodes := fs.Int("nodes", 20000, "branch & bound node limit")
+	timeLimit := fs.Duration("timelimit", 5*time.Minute, "solve wall-clock limit")
+	lpOut := fs.String("lp", "", "write the MILP in CPLEX LP format to this file and exit")
+	mpsOut := fs.String("mps", "", "write the MILP in MPS format to this file and exit")
+	planOut := fs.String("plan", "", "write the to-be plan JSON to this file")
+	showReport := fs.Bool("report", true, "print the human-readable plan report")
+	var pins, forbids multiFlag
+	fs.Var(&pins, "pin", "pin GROUP=DC (repeatable): force a group's primary site")
+	fs.Var(&forbids, "forbid", "forbid GROUP=DC (repeatable): exclude a site for a group")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *statePath == "" {
+		fs.Usage()
+		return fmt.Errorf("-state is required")
+	}
+
+	state, err := model.LoadState(*statePath)
+	if err != nil {
+		return err
+	}
+	var form core.Formulation
+	switch *formulation {
+	case "pair":
+		form = core.FormulationPair
+	case "paper":
+		form = core.FormulationPaper
+	default:
+		return fmt.Errorf("unknown formulation %q", *formulation)
+	}
+
+	planner, err := core.New(state, core.Options{
+		DR:                  *dr,
+		DedicatedBackups:    *dedicated,
+		ComputeShadowPrices: *shadow,
+		Omega:               *omega,
+		Formulation:         form,
+		Aggregate:           *aggregate,
+		CandidateK:          *candidates,
+		Solver: milp.Options{
+			GapTol:    *gap,
+			MaxNodes:  *nodes,
+			TimeLimit: *timeLimit,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	for _, p := range pins {
+		g, dc, err := splitPair(p)
+		if err != nil {
+			return fmt.Errorf("-pin %q: %w", p, err)
+		}
+		if err := planner.Pin(g, dc); err != nil {
+			return err
+		}
+	}
+	for _, f := range forbids {
+		g, dc, err := splitPair(f)
+		if err != nil {
+			return fmt.Errorf("-forbid %q: %w", f, err)
+		}
+		if err := planner.Forbid(g, dc); err != nil {
+			return err
+		}
+	}
+
+	if *lpOut != "" || *mpsOut != "" {
+		m, err := planner.BuildModel()
+		if err != nil {
+			return err
+		}
+		write := func(path string, enc func(*os.File) error) error {
+			if path == "" {
+				return nil
+			}
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := enc(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote MILP to %s\n", path)
+			return nil
+		}
+		if err := write(*lpOut, func(f *os.File) error { return m.WriteLP(f) }); err != nil {
+			return err
+		}
+		return write(*mpsOut, func(f *os.File) error { return m.WriteMPS(f) })
+	}
+
+	asIs, err := model.EvaluateAsIs(state)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	plan, err := planner.Solve()
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	if *showReport {
+		fmt.Print(report.PlanReport(state, plan))
+		if len(plan.CapacityShadow) > 0 {
+			fmt.Println("capacity shadow prices (LP relaxation, $/server-slot/month):")
+			ids := make([]string, 0, len(plan.CapacityShadow))
+			for id := range plan.CapacityShadow {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			for _, id := range ids {
+				fmt.Printf("  %-12s %s\n", id, report.Money(plan.CapacityShadow[id]))
+			}
+		}
+		opBefore := asIs.OperationalCost()
+		opAfter := plan.Cost.OperationalCost() + plan.Cost.BackupCapital
+		fmt.Printf("\nas-is cost %s/month across %d data centers\n", report.Money(opBefore), asIs.DCsUsed)
+		if opBefore > 0 {
+			fmt.Printf("to-be cost %s (%s vs as-is), solved in %v\n",
+				report.Money(opAfter), report.Percent((opAfter-opBefore)/opBefore), elapsed.Round(time.Millisecond))
+		}
+	}
+	if *planOut != "" {
+		f, err := os.Create(*planOut)
+		if err != nil {
+			return err
+		}
+		if err := model.WritePlan(f, plan); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote plan to %s\n", *planOut)
+	}
+	return nil
+}
+
+func splitPair(s string) (group, dc string, err error) {
+	i := strings.IndexByte(s, '=')
+	if i <= 0 || i == len(s)-1 {
+		return "", "", fmt.Errorf("want GROUP=DC")
+	}
+	return s[:i], s[i+1:], nil
+}

@@ -1,0 +1,94 @@
+// Command lpsolve is a standalone solver for models in CPLEX LP or MPS
+// file format (selected by extension), built on the repository's simplex
+// and branch & bound engines — the "optimization engine" box of the
+// paper's architecture (Figure 5), usable independently of the planner.
+//
+// Usage:
+//
+//	lpsolve [-gap G] [-nodes N] [-timelimit D] model.lp|model.mps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/etransform/etransform/internal/lp"
+	"github.com/etransform/etransform/internal/milp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lpsolve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lpsolve", flag.ContinueOnError)
+	gap := fs.Float64("gap", 1e-6, "MILP relative optimality gap")
+	nodes := fs.Int("nodes", 200000, "branch & bound node limit")
+	timeLimit := fs.Duration("timelimit", 10*time.Minute, "wall-clock limit")
+	verbose := fs.Bool("v", false, "print every nonzero variable (default: first 50)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("want exactly one LP file argument")
+	}
+	path := fs.Arg(0)
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	var m *lp.Model
+	if strings.HasSuffix(strings.ToLower(path), ".mps") {
+		m, err = lp.ParseMPS(f)
+	} else {
+		m, err = lp.ParseLP(f)
+	}
+	f.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model: %s\n", m.Stats())
+
+	start := time.Now()
+	sol, err := milp.Solve(m, &milp.Options{GapTol: *gap, MaxNodes: *nodes, TimeLimit: *timeLimit})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("status: %v in %v (%d simplex iterations, %d nodes, gap %.3g)\n",
+		sol.Status, time.Since(start).Round(time.Millisecond), sol.Iterations, sol.Nodes, sol.Gap)
+	if !sol.Status.HasSolution() || sol.X == nil {
+		return nil
+	}
+	fmt.Printf("objective: %.8g\n", sol.Objective)
+	printed := 0
+	for j := 0; j < m.NumVars(); j++ {
+		v := sol.X[j]
+		if v == 0 {
+			continue
+		}
+		if !*verbose && printed >= 50 {
+			fmt.Printf("  … (%d more nonzero variables; use -v)\n", countNonzero(sol.X)-printed)
+			break
+		}
+		fmt.Printf("  %s = %g\n", m.Var(lp.VarID(j)).Name, v)
+		printed++
+	}
+	return nil
+}
+
+func countNonzero(x []float64) int {
+	n := 0
+	for _, v := range x {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunLPFile(t *testing.T) {
+	path := writeFile(t, "m.lp", `Minimize
+ obj: -1 x - 2 y
+Subject To
+ c: x + y <= 4
+Bounds
+ 0 <= x <= 3
+ 0 <= y <= 3
+End`)
+	if err := run([]string{path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMPSFile(t *testing.T) {
+	path := writeFile(t, "m.mps", `NAME test
+ROWS
+ N OBJ
+ L c
+COLUMNS
+ x OBJ -1
+ x c 1
+RHS
+ RHS c 4
+BOUNDS
+ UP BND x 10
+ENDATA`)
+	if err := run([]string{path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("no args accepted")
+	}
+	if err := run([]string{"/nonexistent.lp"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := writeFile(t, "bad.lp", "garbage ] [")
+	if err := run([]string{bad}); err == nil {
+		t.Error("garbage accepted")
+	}
+}

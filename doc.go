@@ -1,0 +1,28 @@
+// Package etransform is a from-scratch Go reproduction of "eTransform:
+// Transforming Enterprise Data Centers by Automated Consolidation"
+// (Singh, Shenoy, Ramakrishnan, Kelkar, Vin — ICDCS 2012): a planner
+// that consolidates a multi-data-center enterprise IT estate into fewer,
+// cheaper locations by solving a mixed-integer linear program over
+// space, power, labor, WAN and latency-penalty costs, with an integrated
+// single-failure disaster recovery plan.
+//
+// The implementation lives under internal/ and is exercised through the
+// commands in cmd/ and the runnable programs in examples/:
+//
+//   - internal/lp — MILP modeling, CPLEX LP-file writer/parser
+//   - internal/simplex — bounded-variable revised simplex
+//   - internal/milp — branch & bound with diving and warm starts
+//   - internal/stepwise — volume-discount curves, latency penalty steps
+//   - internal/geo — locations, distances, latency models
+//   - internal/model — the enterprise domain and shared cost evaluator
+//   - internal/core — the eTransform planner (the paper's contribution)
+//   - internal/baseline — the manual and greedy comparison heuristics
+//   - internal/datagen — the three case-study datasets and sweep topologies
+//   - internal/experiments — one harness per paper table and figure
+//   - internal/report — tables, ASCII charts, CSV output
+//
+// See README.md for a walkthrough, DESIGN.md for the system inventory,
+// and EXPERIMENTS.md for paper-versus-measured results. The benchmarks
+// in bench_test.go regenerate every table and figure of the paper's
+// evaluation.
+package etransform

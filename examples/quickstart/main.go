@@ -1,0 +1,103 @@
+// Quickstart: build a tiny enterprise estate in code, run the eTransform
+// planner, and print the to-be plan.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/etransform/etransform/internal/core"
+	"github.com/etransform/etransform/internal/geo"
+	"github.com/etransform/etransform/internal/model"
+	"github.com/etransform/etransform/internal/report"
+	"github.com/etransform/etransform/internal/stepwise"
+)
+
+func main() {
+	// A latency penalty of $100 per user applies when the average
+	// latency exceeds 10 ms (§VI-B's standard setting).
+	penalty, err := stepwise.SingleThreshold(10, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dc := func(id string, capacity int, space, power, labor, wan float64) model.DataCenter {
+		return model.DataCenter{
+			ID:              id,
+			Location:        geo.Location{ID: "loc-" + id, Region: geo.RegionNorthAmerica},
+			CapacityServers: capacity,
+			// Volume discounts: list price for the first 20 servers, 15%
+			// off per further tier of 20, floored at 60% of list.
+			SpaceCost:         mustCurve(space),
+			PowerCostPerKWh:   power,
+			LaborCostPerAdmin: labor,
+			WANCostPerMb:      wan,
+		}
+	}
+
+	state := &model.AsIsState{
+		Name: "quickstart",
+		Groups: []model.AppGroup{
+			{ID: "erp", Servers: 12, DataMbPerMonth: 4000, UsersByLocation: []int{200, 0}, LatencyPenalty: penalty, CurrentDC: "hq-basement"},
+			{ID: "payroll", Servers: 4, DataMbPerMonth: 500, UsersByLocation: []int{50, 20}, CurrentDC: "hq-basement"},
+			{ID: "ordering", Servers: 9, DataMbPerMonth: 6000, UsersByLocation: []int{0, 300}, LatencyPenalty: penalty, CurrentDC: "branch-room"},
+			{ID: "bi", Servers: 6, DataMbPerMonth: 1500, UsersByLocation: []int{30, 30}, CurrentDC: "branch-room"},
+		},
+		UserLocations: []geo.Location{
+			{ID: "east", Name: "east-coast offices"},
+			{ID: "west", Name: "west-coast offices"},
+		},
+		Current: model.Estate{
+			DCs: []model.DataCenter{
+				dc("hq-basement", 40, 240, 0.16, 9200, 0.06),
+				dc("branch-room", 40, 260, 0.17, 9400, 0.07),
+			},
+			LatencyMs: [][]float64{{8, 14}, {16, 9}},
+		},
+		Target: model.Estate{
+			DCs: []model.DataCenter{
+				dc("colo-east", 60, 70, 0.08, 5800, 0.015),
+				dc("colo-west", 60, 64, 0.07, 6800, 0.014),
+				dc("colo-central", 80, 58, 0.09, 5600, 0.013),
+			},
+			LatencyMs: [][]float64{
+				{5, 22, 10}, // east users
+				{22, 5, 10}, // west users
+			},
+		},
+		Params: model.DefaultParams(),
+	}
+
+	asIs, err := model.EvaluateAsIs(state)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("as-is: %s/month across %d server rooms, %d latency violations\n\n",
+		report.Money(asIs.OperationalCost()), asIs.DCsUsed, asIs.LatencyViolations)
+
+	planner, err := core.New(state, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := planner.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(report.PlanReport(state, plan))
+	saving := (asIs.OperationalCost() - plan.Cost.OperationalCost()) / asIs.OperationalCost()
+	fmt.Printf("\nconsolidation saves %s of the as-is operational cost\n", report.Percent(saving))
+	for _, a := range plan.Assignments {
+		fmt.Printf("  %-10s → %s\n", a.GroupID, a.PrimaryDC)
+	}
+}
+
+func mustCurve(base float64) stepwise.Curve {
+	c, err := stepwise.VolumeDiscount(base, 20, base*0.15, base*0.6, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return c
+}

@@ -1,0 +1,3 @@
+module github.com/etransform/etransform
+
+go 1.23

@@ -1,0 +1,81 @@
+package baseline
+
+import (
+	"fmt"
+
+	"github.com/etransform/etransform/internal/model"
+)
+
+// AsIsPlusDR prices the paper's DR reference point (§VI-C): keep the
+// as-is placement untouched and add disaster recovery by building a
+// single backup data center that acts as the backup of all other data
+// centers. Without eTransform's coordinated single-failure analysis, the
+// practice is to mirror the estate: every production server gets a
+// backup server at the new site. The site is newly built, so it is
+// priced at the cheapest target market's rates without a capacity limit;
+// its space, power, labor and purchase capital — plus the failover
+// latency penalties of every group evaluated there — are added to the
+// as-is cost.
+func AsIsPlusDR(s *model.AsIsState) (model.CostBreakdown, error) {
+	bd, err := model.EvaluateAsIs(s)
+	if err != nil {
+		return model.CostBreakdown{}, err
+	}
+
+	pool := 0
+	for i := range s.Groups {
+		pool += s.Groups[i].Servers
+	}
+	if pool == 0 {
+		return bd, nil
+	}
+
+	// Cheapest target market to build the mirror site in.
+	best := -1
+	bestCost := 0.0
+	p := &s.Params
+	for j := range s.Target.DCs {
+		dc := &s.Target.DCs[j]
+		c := dc.SpaceCost.MustEval(float64(pool)) +
+			float64(pool)*(model.ServerMonthlyCost(dc, p)+p.DRServerCost)
+		if best < 0 || c < bestCost {
+			best, bestCost = j, c
+		}
+	}
+	if best < 0 {
+		return model.CostBreakdown{}, fmt.Errorf("baseline: no target data center rates available for the as-is backup site")
+	}
+
+	dc := &s.Target.DCs[best]
+	space := dc.SpaceCost.MustEval(float64(pool))
+	power := p.ServerPowerKW * dc.PowerCostPerKWh * p.HoursPerMonth * float64(pool)
+	labor := dc.LaborCostPerAdmin / p.ServersPerAdmin * float64(pool)
+	capital := p.DRServerCost * float64(pool)
+	bd.Space += space
+	bd.Power += power
+	bd.Labor += labor
+	bd.BackupCapital += capital
+	bd.TotalBackupServers += pool
+
+	dcCost := bd.PerDC[dc.ID]
+	dcCost.BackupServers += pool
+	dcCost.Space += space
+	dcCost.Power += power
+	dcCost.Labor += labor
+	dcCost.BackupCapital += capital
+	bd.PerDC[dc.ID] = dcCost
+
+	// Failover latency: every group, if failed over to the mirror site.
+	w := p.SecondaryLatencyWeight
+	if w > 0 {
+		for i := range s.Groups {
+			g := &s.Groups[i]
+			pen := model.LatencyPenaltyAt(g, &s.Target, &s.Params, best) * w
+			if pen > 0 {
+				bd.Latency += pen
+				bd.LatencyViolations++
+			}
+		}
+	}
+	return bd, nil
+}

@@ -1,0 +1,215 @@
+// Package baseline implements the two comparison planners from the
+// paper's evaluation (§VI-B/§VI-C): the state-of-the-practice *manual*
+// consolidation heuristic and a *greedy* cost-based heuristic, each with
+// a disaster-recovery variant, plus the "as-is + single backup data
+// center" DR reference point. All plans are scored by the shared
+// evaluator in package model, so comparisons against the LP planner use
+// identical accounting.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/etransform/etransform/internal/model"
+)
+
+// ManualOptions tune the manual heuristic.
+type ManualOptions struct {
+	// NumDCs is the number of target data centers chosen a priori. When
+	// 0, the smallest count whose summed capacity covers the estate's
+	// servers (with 20% headroom) is used — the paper's "for instance,
+	// say only two data centers" generalized to estates too large for
+	// two.
+	NumDCs int
+	// DR adds the paired-backup-DC scheme of §VI-C.
+	DR bool
+}
+
+// Manual runs the state-of-the-practice heuristic: choose a fixed set of
+// target data centers up front by the cheapest-space rule of thumb, then
+// place each application group into the chosen DC "closest" to its
+// current location (measured by latency-profile similarity), spilling to
+// the next-closest on capacity exhaustion. Latency constraints are never
+// consulted — that is the point of the baseline.
+func Manual(s *model.AsIsState, opts ManualOptions) (*model.Plan, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	totalServers := 0
+	for i := range s.Groups {
+		totalServers += s.Groups[i].Servers
+	}
+
+	// Rank target DCs by flat space-cost rule of thumb (marginal price of
+	// the first server), as a spreadsheet exercise would.
+	rank := make([]int, len(s.Target.DCs))
+	for j := range rank {
+		rank[j] = j
+	}
+	sort.SliceStable(rank, func(a, b int) bool {
+		return s.Target.DCs[rank[a]].SpaceCost.UnitCostAt(0) < s.Target.DCs[rank[b]].SpaceCost.UnitCostAt(0)
+	})
+
+	need := float64(totalServers) * 1.2
+	if opts.DR {
+		// Primaries and their paired backup sites both come from the
+		// chosen prefix; backups replicate the largest primary DC load,
+		// so reserve room.
+		need = float64(totalServers) * 2.2
+	}
+	k := opts.NumDCs
+	if k <= 0 {
+		k = 2
+		if opts.DR {
+			k = 4
+		}
+		for cap := 0.0; k <= len(rank); k++ {
+			cap = 0
+			for _, j := range rank[:min(k, len(rank))] {
+				cap += float64(s.Target.DCs[j].CapacityServers)
+			}
+			if cap >= need {
+				break
+			}
+		}
+	}
+	if k > len(rank) {
+		k = len(rank)
+	}
+	// The capacity rule of thumb can still miss (paired backup sites must
+	// absorb whole primary loads); a practitioner would widen the DC set
+	// and redo the spreadsheet, so retry with larger k when allowed.
+	var lastErr error
+	for ; k <= len(rank); k++ {
+		plan, err := manualAttempt(s, opts, rank, k)
+		if err == nil {
+			return plan, nil
+		}
+		lastErr = err
+		if opts.NumDCs > 0 {
+			break // an explicit k is not widened
+		}
+	}
+	return nil, lastErr
+}
+
+func manualAttempt(s *model.AsIsState, opts ManualOptions, rank []int, k int) (*model.Plan, error) {
+	chosen := rank[:k]
+	var primaries, backups []int
+	if opts.DR {
+		if k < 2 {
+			return nil, fmt.Errorf("baseline: manual DR needs at least 2 chosen DCs")
+		}
+		// First half are primary sites, second half their paired backups.
+		half := (k + 1) / 2
+		primaries = chosen[:half]
+		backups = chosen[half:]
+	} else {
+		primaries = chosen
+	}
+
+	placement := make([]int, len(s.Groups))
+	free := make([]int, len(s.Target.DCs))
+	for j := range free {
+		free[j] = s.Target.DCs[j].CapacityServers
+	}
+	if opts.DR {
+		// Reserve backup capacity: backup DC b mirrors its paired
+		// primary, so hold back nothing up front; the pool is computed
+		// after placement and verified against capacity.
+		_ = backups
+	}
+	for i := range s.Groups {
+		g := &s.Groups[i]
+		cands := append([]int(nil), primaries...)
+		sort.SliceStable(cands, func(a, b int) bool {
+			return closeness(s, g, cands[a]) < closeness(s, g, cands[b])
+		})
+		placed := false
+		for _, j := range cands {
+			if free[j] >= g.Servers {
+				placement[i] = j
+				free[j] -= g.Servers
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("baseline: manual heuristic cannot fit group %q into its %d chosen data centers", g.ID, len(primaries))
+		}
+	}
+
+	plan := &model.Plan{Assignments: make([]model.Assignment, len(s.Groups))}
+	var secondary []int
+	var pool []int
+	if opts.DR {
+		// Pair primaries with backups round-robin.
+		pairOf := make(map[int]int, len(primaries))
+		for idx, a := range primaries {
+			pairOf[a] = backups[idx%len(backups)]
+		}
+		secondary = make([]int, len(s.Groups))
+		for i := range s.Groups {
+			secondary[i] = pairOf[placement[i]]
+		}
+		pool = model.RequiredBackups(s, len(s.Target.DCs), placement, secondary)
+		for j, n := range pool {
+			if n > 0 && n+usedAt(s, placement, j) > s.Target.DCs[j].CapacityServers {
+				return nil, fmt.Errorf("baseline: manual DR overflows backup DC %q", s.Target.DCs[j].ID)
+			}
+		}
+		plan.BackupServers = make(map[string]int)
+		for j, n := range pool {
+			if n > 0 {
+				plan.BackupServers[s.Target.DCs[j].ID] = n
+			}
+		}
+	}
+	for i := range s.Groups {
+		a := model.Assignment{GroupID: s.Groups[i].ID, PrimaryDC: s.Target.DCs[placement[i]].ID}
+		if opts.DR {
+			a.SecondaryDC = s.Target.DCs[secondary[i]].ID
+		}
+		plan.Assignments[i] = a
+	}
+	bd, err := model.Evaluate(s, &s.Target, placement, secondary, pool)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: manual plan fails evaluation: %w", err)
+	}
+	plan.Cost = bd
+	return plan, nil
+}
+
+func usedAt(s *model.AsIsState, placement []int, j int) int {
+	n := 0
+	for i, p := range placement {
+		if p == j {
+			n += s.Groups[i].Servers
+		}
+	}
+	return n
+}
+
+// closeness measures how similar target DC j's latency profile is to the
+// group's current DC — the manual rule "place into the new location
+// closest to the current one".
+func closeness(s *model.AsIsState, g *model.AppGroup, j int) float64 {
+	cur := s.Current.DCIndex(g.CurrentDC)
+	if cur < 0 {
+		return 0
+	}
+	d := 0.0
+	for r := range s.UserLocations {
+		d += math.Abs(s.Current.LatencyMs[r][cur] - s.Target.LatencyMs[r][j])
+	}
+	return d
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,125 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/etransform/etransform/internal/model"
+)
+
+// GreedyOptions tune the greedy heuristic.
+type GreedyOptions struct {
+	// DR places a dedicated backup copy of every group after the primary
+	// pass (§VI-C: backup applications are placed like regular ones, with
+	// the cost of buying their servers added — no pool sharing).
+	DR bool
+}
+
+// Greedy runs the paper's greedy comparison algorithm (§VI-B): visit
+// application groups in decreasing server count, compute the cost of
+// placing each group in every target data center — including the marginal
+// tiered space price at current occupancy and the latency penalty — and
+// take the cheapest feasible choice. Unlike the LP it never revisits a
+// decision, so tight capacities and conflicting latency demands degrade
+// it.
+func Greedy(s *model.AsIsState, opts GreedyOptions) (*model.Plan, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	order := make([]int, len(s.Groups))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return s.Groups[order[a]].Servers > s.Groups[order[b]].Servers
+	})
+
+	used := make([]int, len(s.Target.DCs))
+	placement := make([]int, len(s.Groups))
+	for _, i := range order {
+		g := &s.Groups[i]
+		best, bestCost := -1, 0.0
+		for j := range s.Target.DCs {
+			if used[j]+g.Servers > s.Target.DCs[j].CapacityServers {
+				continue
+			}
+			c := placementCost(s, g, j, used[j])
+			if best < 0 || c < bestCost {
+				best, bestCost = j, c
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("baseline: greedy cannot fit group %q anywhere", g.ID)
+		}
+		placement[i] = best
+		used[best] += g.Servers
+	}
+
+	var secondary []int
+	var pool []int
+	if opts.DR {
+		secondary = make([]int, len(s.Groups))
+		pool = make([]int, len(s.Target.DCs))
+		for _, i := range order {
+			g := &s.Groups[i]
+			best, bestCost := -1, 0.0
+			for j := range s.Target.DCs {
+				if j == placement[i] {
+					continue
+				}
+				if used[j]+g.Servers > s.Target.DCs[j].CapacityServers {
+					continue
+				}
+				// Dedicated backups: site cost for S_i extra servers plus
+				// the purchase price plus the failover latency penalty.
+				c := placementCost(s, g, j, used[j]) -
+					model.WANCostAt(g, &s.Target, &s.Params, j) + // backups carry no user WAN
+					s.Params.DRServerCost*float64(g.Servers)
+				if best < 0 || c < bestCost {
+					best, bestCost = j, c
+				}
+			}
+			if best < 0 {
+				return nil, fmt.Errorf("baseline: greedy DR cannot fit a backup of group %q", g.ID)
+			}
+			secondary[i] = best
+			used[best] += g.Servers
+			pool[best] += g.Servers
+		}
+	}
+
+	plan := &model.Plan{Assignments: make([]model.Assignment, len(s.Groups))}
+	for i := range s.Groups {
+		a := model.Assignment{GroupID: s.Groups[i].ID, PrimaryDC: s.Target.DCs[placement[i]].ID}
+		if opts.DR {
+			a.SecondaryDC = s.Target.DCs[secondary[i]].ID
+		}
+		plan.Assignments[i] = a
+	}
+	if opts.DR {
+		plan.BackupServers = make(map[string]int)
+		for j, n := range pool {
+			if n > 0 {
+				plan.BackupServers[s.Target.DCs[j].ID] = n
+			}
+		}
+	}
+	bd, err := model.Evaluate(s, &s.Target, placement, secondary, pool)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: greedy plan fails evaluation: %w", err)
+	}
+	plan.Cost = bd
+	return plan, nil
+}
+
+// placementCost is the greedy's estimate for putting group g at DC j with
+// `occupied` servers already there: marginal tiered space, power, labor,
+// WAN and latency penalty.
+func placementCost(s *model.AsIsState, g *model.AppGroup, j int, occupied int) float64 {
+	dc := &s.Target.DCs[j]
+	space := dc.SpaceCost.MustEval(float64(occupied+g.Servers)) - dc.SpaceCost.MustEval(float64(occupied))
+	c := space + float64(g.Servers)*model.ServerMonthlyCost(dc, &s.Params)
+	c += model.WANCostAt(g, &s.Target, &s.Params, j)
+	c += model.LatencyPenaltyAt(g, &s.Target, &s.Params, j)
+	return c
+}

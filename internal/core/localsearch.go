@@ -1,0 +1,96 @@
+package core
+
+import (
+	"github.com/etransform/etransform/internal/model"
+)
+
+// localImprove hill-climbs a feasible (placement, secondary) assignment
+// under the shared evaluator: for each group it tries every alternative
+// primary and secondary site, accepting the first cost-reducing feasible
+// move, for up to maxPasses sweeps. The DR MILP's LP bound is weak (see
+// warm.go), so polishing the warm candidates this way is what actually
+// closes most of the primal gap on latency-classed estates; branch &
+// bound then only sharpens the bound.
+//
+// placement and secondary are modified in place; secondary may be nil
+// (non-DR). Returns the final evaluated total cost.
+func (b *builder) localImprove(placement, secondary []int, maxPasses int) float64 {
+	s := b.s
+	n := len(s.Target.DCs)
+	cur := b.evalTotal(placement, secondary)
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for i := range s.Groups {
+			g := &s.Groups[i]
+			// Try moving the primary (only to sites whose placement
+			// columns exist — candidate pruning may have dropped some).
+			oldA := placement[i]
+			for a := 0; a < n; a++ {
+				if a == oldA || !b.feasiblePrimary(g, a) {
+					continue
+				}
+				if secondary != nil && secondary[i] == a {
+					continue
+				}
+				sec := -1
+				if secondary != nil {
+					sec = secondary[i]
+				}
+				if !b.hasColumn(i, a, sec) {
+					continue
+				}
+				placement[i] = a
+				if c := b.evalTotal(placement, secondary); c < cur-1e-9 {
+					cur = c
+					oldA = a
+					improved = true
+				} else {
+					placement[i] = oldA
+				}
+			}
+			if secondary == nil {
+				continue
+			}
+			// Try moving the secondary.
+			oldB := secondary[i]
+			for sb := 0; sb < n; sb++ {
+				if sb == oldB || sb == placement[i] || !b.feasibleSecondary(g, sb) {
+					continue
+				}
+				if !b.hasColumn(i, placement[i], sb) {
+					continue
+				}
+				secondary[i] = sb
+				if c := b.evalTotal(placement, secondary); c < cur-1e-9 {
+					cur = c
+					oldB = sb
+					improved = true
+				} else {
+					secondary[i] = oldB
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur
+}
+
+// evalTotal scores an assignment with the shared evaluator, returning
+// +Inf for infeasible (capacity-violating) assignments.
+func (b *builder) evalTotal(placement, secondary []int) float64 {
+	var backups []int
+	if secondary != nil {
+		backups = b.requiredBackups(placement, secondary)
+	}
+	bd, err := model.Evaluate(b.s, &b.s.Target, placement, secondary, backups)
+	if err != nil || bd.SharedRiskViolations > 0 {
+		// The MILP forbids shared-risk co-location, so warm candidates
+		// must too.
+		return inf()
+	}
+	return bd.Total()
+}
+
+func inf() float64 { return 1e308 }

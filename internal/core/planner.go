@@ -1,0 +1,256 @@
+// Package core implements the eTransform transformation and consolidation
+// planner — the paper's primary contribution (§III–§IV). It converts an
+// as-is enterprise state into a mixed-integer linear program whose
+// solution is the "to-be" plan:
+//
+//	minimize  Σ_ij X_ij ( S_i(Q_j + αE_j + T_j/β) + D_i W_j + L_ij )
+//	s.t.      Σ_j X_ij = 1          (every group placed)
+//	          Σ_i S_i X_ij ≤ O_j    (capacity)
+//	          X_ij ∈ {0,1}
+//
+// with extensions for volume-discount space pricing (Schoomer-style step
+// functions, §III-B), dedicated-VPN WAN pricing, and integrated disaster
+// recovery (§IV-B: secondary sites, a shared single-failure backup pool
+// G_b = max_a Σ_c J_abc S_c, and the business-impact cap ω).
+//
+// Two DR formulations are provided: the paper's literal (X, Y, J, G)
+// linearization, and an equivalent pair-assignment formulation
+// (Z_{i,(a,b)} with M + N + N² + N rows) that scales far better; a
+// property test proves they agree. Identical application groups can be
+// aggregated into integer-count variables — an exact reformulation that
+// collapses the paper's largest (Federal) dataset to a tractable size.
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/etransform/etransform/internal/lp"
+	"github.com/etransform/etransform/internal/milp"
+	"github.com/etransform/etransform/internal/model"
+)
+
+// Formulation selects how disaster recovery is linearized.
+type Formulation int
+
+// DR formulations.
+const (
+	// FormulationPair assigns each group one (primary, secondary) pair
+	// variable: M·N·(N−1) columns but only M + N + N² + N rows.
+	FormulationPair Formulation = iota + 1
+	// FormulationPaper is the paper's §IV-B encoding with X, Y binaries
+	// and continuous J_abc linking variables: M·N² linking rows.
+	FormulationPaper
+)
+
+// String implements fmt.Stringer.
+func (f Formulation) String() string {
+	switch f {
+	case FormulationPair:
+		return "pair"
+	case FormulationPaper:
+		return "paper"
+	default:
+		return fmt.Sprintf("Formulation(%d)", int(f))
+	}
+}
+
+// Options configure the planner.
+type Options struct {
+	// DR plans primary and secondary sites plus a shared single-failure
+	// backup pool (§IV).
+	DR bool
+	// Omega is the business-impact parameter ω: the maximum fraction of
+	// all application groups any single data center may host. Values ≤ 0
+	// or ≥ 1 disable the cap.
+	Omega float64
+	// Formulation selects the DR linearization; default FormulationPair.
+	Formulation Formulation
+	// DedicatedBackups sizes DR pools for multiple concurrent failures:
+	// every group gets its own backup servers (G_b = sum of demand routed
+	// to b) instead of the shared single-failure pool (§IV-A).
+	DedicatedBackups bool
+	// CandidateK, when positive, restricts each group to its K cheapest
+	// feasible data centers (for both primary and secondary roles). This
+	// prunes columns on very large estates; the solve statistics record
+	// it, and an infeasible pruned model is automatically retried
+	// unpruned.
+	CandidateK int
+	// Aggregate merges identical application groups into integer-count
+	// variables — an exact reformulation that shrinks synthetic datasets
+	// with repeated group templates (e.g. the Federal case study).
+	Aggregate bool
+	// ComputeShadowPrices re-solves the LP with the plan's integer
+	// decisions fixed and records each capacity row's dual value in
+	// Plan.CapacityShadow — the marginal worth of one more server slot
+	// per data center.
+	ComputeShadowPrices bool
+	// Solver passes through branch & bound options.
+	Solver milp.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.Formulation == 0 {
+		o.Formulation = FormulationPair
+	}
+	return o
+}
+
+// Planner plans the transformation of one as-is state.
+type Planner struct {
+	state *model.AsIsState
+	opts  Options
+}
+
+// New validates the state and returns a Planner.
+func New(state *model.AsIsState, opts Options) (*Planner, error) {
+	if err := state.Validate(); err != nil {
+		return nil, err
+	}
+	o := opts.withDefaults()
+	if o.Formulation != FormulationPair && o.Formulation != FormulationPaper {
+		return nil, fmt.Errorf("core: unknown formulation %d", int(o.Formulation))
+	}
+	if o.Formulation == FormulationPaper && o.Aggregate {
+		return nil, fmt.Errorf("core: the paper formulation does not support aggregation; use FormulationPair")
+	}
+	if o.Formulation == FormulationPaper && o.DedicatedBackups {
+		return nil, fmt.Errorf("core: the paper formulation implements only shared single-failure pools; use FormulationPair for dedicated backups")
+	}
+	if o.DR && len(state.Target.DCs) < 2 {
+		return nil, fmt.Errorf("core: DR planning needs at least 2 target data centers, have %d", len(state.Target.DCs))
+	}
+	return &Planner{state: state, opts: o}, nil
+}
+
+// Pin forces the group's primary placement (the admin iterative-
+// modification interface of Figure 5): call, then Solve again.
+func (p *Planner) Pin(groupID, dcID string) error {
+	g := p.findGroup(groupID)
+	if g == nil {
+		return fmt.Errorf("core: unknown group %q", groupID)
+	}
+	if p.state.Target.DCIndex(dcID) < 0 {
+		return fmt.Errorf("core: unknown target data center %q", dcID)
+	}
+	for _, f := range g.ForbiddenDCs {
+		if f == dcID {
+			return fmt.Errorf("core: group %q forbids data center %q", groupID, dcID)
+		}
+	}
+	g.PinnedDC = dcID
+	return nil
+}
+
+// Forbid excludes a target data center from a group's placements
+// (primary and secondary).
+func (p *Planner) Forbid(groupID, dcID string) error {
+	g := p.findGroup(groupID)
+	if g == nil {
+		return fmt.Errorf("core: unknown group %q", groupID)
+	}
+	if p.state.Target.DCIndex(dcID) < 0 {
+		return fmt.Errorf("core: unknown target data center %q", dcID)
+	}
+	if g.PinnedDC == dcID {
+		return fmt.Errorf("core: group %q is pinned to data center %q", groupID, dcID)
+	}
+	for _, f := range g.ForbiddenDCs {
+		if f == dcID {
+			return nil
+		}
+	}
+	g.ForbiddenDCs = append(g.ForbiddenDCs, dcID)
+	return nil
+}
+
+func (p *Planner) findGroup(id string) *model.AppGroup {
+	for i := range p.state.Groups {
+		if p.state.Groups[i].ID == id {
+			return &p.state.Groups[i]
+		}
+	}
+	return nil
+}
+
+// BuildModel constructs the MILP without solving it, for inspection or
+// export through WriteLP.
+func (p *Planner) BuildModel() (*lp.Model, error) {
+	b, err := p.build(p.opts.CandidateK)
+	if err != nil {
+		return nil, err
+	}
+	return b.m, nil
+}
+
+// WriteLP exports the MILP in CPLEX LP format — the same interchange the
+// paper's transformation module hands to its optimization engine.
+func (p *Planner) WriteLP(w io.Writer) error {
+	m, err := p.BuildModel()
+	if err != nil {
+		return err
+	}
+	return m.WriteLP(w)
+}
+
+// Solve builds the MILP, solves it, and decodes the to-be plan. The
+// plan's cost breakdown comes from the shared evaluator in package model;
+// a self-check verifies the LP objective agrees with it.
+func (p *Planner) Solve() (*model.Plan, error) {
+	plan, err := p.solveOnce(p.opts.CandidateK)
+	if err == nil || p.opts.CandidateK <= 0 {
+		return plan, err
+	}
+	if _, pruned := err.(*prunedInfeasibleError); pruned {
+		// Candidate pruning can cut off every feasible packing; retry
+		// with full candidate sets before declaring defeat.
+		return p.solveOnce(0)
+	}
+	return plan, err
+}
+
+// prunedInfeasibleError marks an infeasibility that may be an artifact of
+// candidate pruning.
+type prunedInfeasibleError struct{ inner error }
+
+func (e *prunedInfeasibleError) Error() string { return e.inner.Error() }
+func (e *prunedInfeasibleError) Unwrap() error { return e.inner }
+
+func (p *Planner) solveOnce(candidateK int) (*model.Plan, error) {
+	b, err := p.build(candidateK)
+	if err != nil {
+		return nil, err
+	}
+	solver := p.opts.Solver
+	solver.WarmStarts = b.warmStarts()
+	sol, err := milp.Solve(b.m, &solver)
+	if err != nil {
+		return nil, fmt.Errorf("core: solving %s: %w", b.m.Name, err)
+	}
+	switch sol.Status {
+	case lp.StatusInfeasible:
+		err := fmt.Errorf("core: no feasible plan: the application groups cannot be packed into the target data centers under the given constraints")
+		if candidateK > 0 {
+			return nil, &prunedInfeasibleError{inner: err}
+		}
+		return nil, err
+	case lp.StatusUnbounded:
+		return nil, fmt.Errorf("core: internal: consolidation MILP unbounded")
+	}
+	if sol.X == nil {
+		return nil, fmt.Errorf("core: solver stopped (%v) before finding any feasible plan; raise Solver.MaxNodes or TimeLimit", sol.Status)
+	}
+	return b.decode(sol)
+}
+
+// sortedIndices returns 0..n-1 ordered by the given cost function
+// (ascending), tie-broken by index for determinism.
+func sortedIndices(n int, cost func(int) float64) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return cost(idx[a]) < cost(idx[b]) })
+	return idx
+}

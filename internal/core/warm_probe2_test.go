@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/etransform/etransform/internal/datagen"
+)
+
+// TestFederalDRWarmStartProbe diagnoses warm-start generation on the
+// pruned federal-scale DR model.
+func TestFederalDRWarmStartProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	s, err := datagen.Federal().Scaled(0.25).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(s, Options{DR: true, Aggregate: true, CandidateK: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.build(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("model: %s, types=%d", b.m.Stats(), len(b.types))
+	warms := b.warmStarts()
+	t.Logf("warm candidates: %d", len(warms))
+	feasible := 0
+	best := 0.0
+	for _, w := range warms {
+		if err := b.m.CheckFeasible(w, 1e-5); err != nil {
+			t.Logf("infeasible warm: %v", err)
+			continue
+		}
+		feasible++
+		if obj := b.m.Objective(w); best == 0 || obj < best {
+			best = obj
+		}
+	}
+	t.Logf("feasible warm candidates: %d, best objective %.0f", feasible, best)
+	if feasible == 0 {
+		t.Error("no feasible warm candidates for federal DR")
+	}
+}

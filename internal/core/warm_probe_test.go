@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/etransform/etransform/internal/datagen"
+	"github.com/etransform/etransform/internal/milp"
+	"github.com/etransform/etransform/internal/model"
+)
+
+// TestWarmStartProbe is a diagnostic for enterprise1-DR solve quality.
+func TestWarmStartProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	s, err := datagen.Enterprise1().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(s, Options{DR: true, Aggregate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.build(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("model: %s, types=%d", b.m.Stats(), len(b.types))
+	warms := b.warmStarts()
+	t.Logf("warm candidates: %d", len(warms))
+	best := 0.0
+	for i, w := range warms {
+		obj := b.m.Objective(w)
+		if err := b.m.CheckFeasible(w, 1e-5); err != nil {
+			t.Logf("warm %d: INFEASIBLE: %v", i, err)
+			continue
+		}
+		if best == 0 || obj < best {
+			best = obj
+		}
+	}
+	t.Logf("best warm objective: %.0f", best)
+	asis, err := model.EvaluateAsIs(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("as-is op cost: %.0f", asis.OperationalCost())
+
+	p2, err := New(s, Options{DR: true, Aggregate: true,
+		Solver: milp.Options{GapTol: 2e-3, MaxNodes: 500, TimeLimit: 20 * time.Second}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := p2.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("solve: cost=%.0f gap=%.3f nodes=%d violations=%d backups=%d",
+		plan.Cost.Total(), plan.Stats.Gap, plan.Stats.Nodes, plan.Cost.LatencyViolations, plan.Cost.TotalBackupServers)
+	// The integrated DR plan must stay in the neighbourhood the paper
+	// describes: near-zero latency violations and a shared pool far below
+	// the estate's 1070 servers.
+	if plan.Cost.LatencyViolations > 20 {
+		t.Errorf("DR plan has %d latency violations", plan.Cost.LatencyViolations)
+	}
+	if plan.Cost.TotalBackupServers == 0 || plan.Cost.TotalBackupServers >= 1070 {
+		t.Errorf("shared pool = %d servers, want 0 < pool < 1070", plan.Cost.TotalBackupServers)
+	}
+}

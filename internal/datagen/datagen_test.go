@@ -1,0 +1,308 @@
+package datagen
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/etransform/etransform/internal/geo"
+	"github.com/etransform/etransform/internal/model"
+)
+
+func TestEnterprise1MatchesTableII(t *testing.T) {
+	s, err := Enterprise1().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Groups) != 190 {
+		t.Errorf("groups = %d, want 190", len(s.Groups))
+	}
+	if len(s.Current.DCs) != 67 {
+		t.Errorf("current DCs = %d, want 67", len(s.Current.DCs))
+	}
+	if len(s.Target.DCs) != 10 {
+		t.Errorf("target DCs = %d, want 10", len(s.Target.DCs))
+	}
+	total := 0
+	for i := range s.Groups {
+		total += s.Groups[i].Servers
+	}
+	if total != 1070 {
+		t.Errorf("servers = %d, want 1070", total)
+	}
+	if len(s.UserLocations) != geo.PaperUserLocations {
+		t.Errorf("user locations = %d, want %d", len(s.UserLocations), geo.PaperUserLocations)
+	}
+}
+
+func TestFloridaAndFederalScale(t *testing.T) {
+	fl, err := Florida().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i := range fl.Groups {
+		total += fl.Groups[i].Servers
+	}
+	if total != 3907 || len(fl.Groups) != 190 || len(fl.Current.DCs) != 43 {
+		t.Errorf("florida: %d servers, %d groups, %d current DCs", total, len(fl.Groups), len(fl.Current.DCs))
+	}
+
+	fedCfg := Federal()
+	if fedCfg.Groups != 1900 || fedCfg.Servers != 42800 || fedCfg.CurrentDCs != 2094 || fedCfg.TargetDCs != 100 {
+		t.Errorf("federal config %+v", fedCfg)
+	}
+	// Generating at 1/10 scale (a bench-sized instance) must succeed.
+	fed, err := fedCfg.Scaled(0.1).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fed.Groups) != 190 || len(fed.Target.DCs) != 10 {
+		t.Errorf("scaled federal: %d groups, %d targets", len(fed.Groups), len(fed.Target.DCs))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Enterprise1().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Enterprise1().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Groups) != len(b.Groups) {
+		t.Fatal("nondeterministic group count")
+	}
+	for i := range a.Groups {
+		if a.Groups[i].Servers != b.Groups[i].Servers || a.Groups[i].CurrentDC != b.Groups[i].CurrentDC {
+			t.Fatalf("group %d differs across runs", i)
+		}
+	}
+	for j := range a.Target.DCs {
+		if a.Target.DCs[j].CapacityServers != b.Target.DCs[j].CapacityServers {
+			t.Fatalf("target DC %d differs across runs", j)
+		}
+	}
+}
+
+func TestUserClasses(t *testing.T) {
+	s, err := Enterprise1().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Classes cycle i mod 5: groups 0–3 single-location, group 4 spread.
+	for i := 0; i < 4; i++ {
+		nonzero := 0
+		for _, c := range s.Groups[i].UsersByLocation {
+			if c > 0 {
+				nonzero++
+			}
+		}
+		if nonzero != 1 {
+			t.Errorf("group %d should have a single user location, has %d", i, nonzero)
+		}
+	}
+	nonzero := 0
+	for _, c := range s.Groups[4].UsersByLocation {
+		if c > 0 {
+			nonzero++
+		}
+	}
+	if nonzero != geo.PaperUserLocations {
+		t.Errorf("group 4 should be spread, has %d locations", nonzero)
+	}
+}
+
+func TestLatencySensitiveSplit(t *testing.T) {
+	s, err := Enterprise1().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sensitive := 0
+	for i := range s.Groups {
+		if !s.Groups[i].LatencyPenalty.IsZero() {
+			sensitive++
+		}
+	}
+	frac := float64(sensitive) / float64(len(s.Groups))
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("latency-sensitive fraction = %v, want ≈0.5", frac)
+	}
+}
+
+func TestTargetsCheaperThanLegacy(t *testing.T) {
+	s, err := Enterprise1().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The consolidation story requires target sites to undercut legacy
+	// rooms on average.
+	avgLegacy, avgTarget := 0.0, 0.0
+	for j := range s.Current.DCs {
+		avgLegacy += s.Current.DCs[j].SpaceCost.UnitCostAt(0)
+	}
+	avgLegacy /= float64(len(s.Current.DCs))
+	for j := range s.Target.DCs {
+		avgTarget += s.Target.DCs[j].SpaceCost.UnitCostAt(0)
+	}
+	avgTarget /= float64(len(s.Target.DCs))
+	if avgTarget >= avgLegacy {
+		t.Errorf("target space %v not cheaper than legacy %v", avgTarget, avgLegacy)
+	}
+}
+
+func TestAsIsEvaluates(t *testing.T) {
+	s, err := Enterprise1().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := model.EvaluateAsIs(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.OperationalCost() <= 0 {
+		t.Error("as-is cost must be positive")
+	}
+	if bd.DCsUsed == 0 {
+		t.Error("as-is uses no DCs?")
+	}
+}
+
+func TestLinearFig7Topology(t *testing.T) {
+	cfg := Fig7Config()
+	cfg.PenaltyPerUser = 100
+	s, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Target.DCs) != 10 || len(s.UserLocations) != 2 {
+		t.Fatalf("dims: %d DCs, %d user locs", len(s.Target.DCs), len(s.UserLocations))
+	}
+	// Space cost increases along the line.
+	for d := 1; d < 10; d++ {
+		a := s.Target.DCs[d-1].SpaceCost.UnitCostAt(0)
+		b := s.Target.DCs[d].SpaceCost.UnitCostAt(0)
+		if b <= a {
+			t.Errorf("space cost not increasing at %d: %v then %v", d, a, b)
+		}
+	}
+	// Latency from near users grows with distance; far users mirrored.
+	if s.Target.LatencyMs[0][0] >= s.Target.LatencyMs[0][9] {
+		t.Error("near-user latency should grow along the line")
+	}
+	if s.Target.LatencyMs[1][9] >= s.Target.LatencyMs[1][0] {
+		t.Error("far-user latency should shrink along the line")
+	}
+	// 50/50 user split.
+	g := s.Groups[0]
+	if g.UsersByLocation[0] != 9 || g.UsersByLocation[1] != 9 {
+		t.Errorf("user split = %v, want 9/9", g.UsersByLocation)
+	}
+}
+
+func TestLinearFig9VPN(t *testing.T) {
+	s, err := Fig9Config().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Target.VPNLinkMonthly) != 10 {
+		t.Fatal("VPN matrix missing")
+	}
+	// Links to the far users get cheaper along the line.
+	if s.Target.VPNLinkMonthly[0][1] <= s.Target.VPNLinkMonthly[9][1] {
+		t.Error("VPN cost to far users should decrease along the line")
+	}
+	for i := range s.Groups {
+		if s.Groups[i].Servers != 1 {
+			t.Fatalf("fig9 groups must be single-server, group %d has %d", i, s.Groups[i].Servers)
+		}
+	}
+}
+
+func TestLinearConfigValidation(t *testing.T) {
+	bad := Fig7Config()
+	bad.NumDCs = 1
+	if _, err := bad.Generate(); err == nil {
+		t.Error("NumDCs=1 accepted")
+	}
+	bad = Fig7Config()
+	bad.UserSplit = 1.5
+	if _, err := bad.Generate(); err == nil {
+		t.Error("UserSplit out of range accepted")
+	}
+}
+
+func TestCaseStudyConfigValidation(t *testing.T) {
+	bad := Enterprise1()
+	bad.Groups = 0
+	if _, err := bad.Generate(); err == nil {
+		t.Error("zero groups accepted")
+	}
+}
+
+func TestDrawGroupSizes(t *testing.T) {
+	sizes := drawGroupSizes(randNew(42), 100, 1000, 200)
+	total := 0
+	for _, v := range sizes {
+		if v < 1 || v > 200 {
+			t.Fatalf("size %d out of range", v)
+		}
+		total += v
+	}
+	if total != 1000 {
+		t.Errorf("total = %d, want 1000", total)
+	}
+}
+
+func randNew(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestGlobalEstate(t *testing.T) {
+	s, err := Global().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Groups) != 150 || len(s.Target.DCs) != 10 {
+		t.Fatalf("dims: %d groups, %d targets", len(s.Groups), len(s.Target.DCs))
+	}
+	// Latencies are geodesic: same-city placement is fast, transoceanic slow.
+	// User 0 is NYC; target 1 is Ashburn (close), some target is Singapore (far).
+	var near, far float64
+	for j := range s.Target.DCs {
+		switch s.Target.DCs[j].ID {
+		case "dc-iad":
+			near = s.Target.LatencyMs[0][j]
+		case "dc-sin":
+			far = s.Target.LatencyMs[0][j]
+		}
+	}
+	if near == 0 || far == 0 || near >= far {
+		t.Errorf("geodesic latencies wrong: nyc→iad %v, nyc→sin %v", near, far)
+	}
+	if far < 100 {
+		t.Errorf("transoceanic latency %v ms implausibly low", far)
+	}
+	// Some groups carry residency constraints, and each has an in-region
+	// candidate.
+	constrained := 0
+	for i := range s.Groups {
+		if len(s.Groups[i].AllowedRegions) > 0 {
+			constrained++
+		}
+	}
+	if constrained == 0 {
+		t.Error("no residency-constrained groups generated")
+	}
+}
+
+func TestGlobalValidation(t *testing.T) {
+	bad := Global()
+	bad.UserCities = []string{"atlantis"}
+	if _, err := bad.Generate(); err == nil {
+		t.Error("unknown city accepted")
+	}
+	bad = Global()
+	bad.Groups = 0
+	if _, err := bad.Generate(); err == nil {
+		t.Error("zero groups accepted")
+	}
+}

@@ -1,0 +1,300 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/etransform/etransform/internal/geo"
+	"github.com/etransform/etransform/internal/model"
+	"github.com/etransform/etransform/internal/stepwise"
+)
+
+// CaseStudyConfig describes one of the paper's three case-study datasets
+// (Table II). Generate is deterministic given Seed.
+type CaseStudyConfig struct {
+	Name string
+	Seed int64
+	// Groups is the number of application groups (Table II).
+	Groups int
+	// Servers is the estate's total physical server count; group sizes
+	// follow the Enterprise1 long-tailed distribution and sum to this.
+	Servers int
+	// CurrentDCs and TargetDCs are the as-is and candidate location
+	// counts.
+	CurrentDCs int
+	TargetDCs  int
+	// LatencySensitiveFraction of groups carry the §VI-B penalty
+	// ($PenaltyPerUser per user beyond ThresholdMs).
+	LatencySensitiveFraction float64
+	PenaltyPerUser           float64
+	ThresholdMs              float64
+	// UsersPerServer scales group populations (Enterprise1's Figure 2
+	// shows ≈18 users per server).
+	UsersPerServer float64
+	// DataMbPerUser scales monthly traffic.
+	DataMbPerUser float64
+}
+
+// Enterprise1 returns the multinational-corporation dataset of Figures
+// 2–3 and Table II: 67 current DCs, 10 targets, 1070 servers, 190 groups.
+func Enterprise1() CaseStudyConfig {
+	return CaseStudyConfig{
+		Name: "enterprise1", Seed: 1,
+		Groups: 190, Servers: 1070, CurrentDCs: 67, TargetDCs: 10,
+		LatencySensitiveFraction: 0.5, PenaltyPerUser: 100, ThresholdMs: 10,
+		UsersPerServer: 18, DataMbPerUser: 50,
+	}
+}
+
+// Florida returns the Florida state government dataset (Table II): the
+// published study gives 43 current DCs and 3907 servers; group structure
+// follows the Enterprise1 distribution, as in the paper.
+func Florida() CaseStudyConfig {
+	return CaseStudyConfig{
+		Name: "florida", Seed: 2,
+		Groups: 190, Servers: 3907, CurrentDCs: 43, TargetDCs: 10,
+		LatencySensitiveFraction: 0.5, PenaltyPerUser: 100, ThresholdMs: 10,
+		UsersPerServer: 18, DataMbPerUser: 50,
+	}
+}
+
+// Federal returns the US Federal dataset (Table II): 2094 current DCs
+// consolidating into 100 targets, 42800 servers, 1900 groups — ten times
+// the Enterprise1 group count with the same distribution, as the paper
+// assumes.
+func Federal() CaseStudyConfig {
+	return CaseStudyConfig{
+		Name: "federal", Seed: 3,
+		Groups: 1900, Servers: 42800, CurrentDCs: 2094, TargetDCs: 100,
+		LatencySensitiveFraction: 0.5, PenaltyPerUser: 100, ThresholdMs: 10,
+		UsersPerServer: 18, DataMbPerUser: 50,
+	}
+}
+
+// Scaled shrinks the dataset by factor f (0 < f ≤ 1), preserving its
+// proportions — used by the benchmark harness to keep large case studies
+// inside a laptop budget, always reported in the output.
+func (c CaseStudyConfig) Scaled(f float64) CaseStudyConfig {
+	scale := func(n int) int {
+		v := int(math.Round(float64(n) * f))
+		if v < 2 {
+			v = 2
+		}
+		return v
+	}
+	c.Name = fmt.Sprintf("%s-x%.2g", c.Name, f)
+	c.Groups = scale(c.Groups)
+	c.Servers = scale(c.Servers)
+	c.CurrentDCs = scale(c.CurrentDCs)
+	c.TargetDCs = scale(c.TargetDCs)
+	if c.TargetDCs < 5 {
+		c.TargetDCs = 5
+	}
+	return c
+}
+
+// Generate builds the dataset.
+func (c CaseStudyConfig) Generate() (*model.AsIsState, error) {
+	if c.Groups <= 0 || c.Servers < c.Groups || c.CurrentDCs <= 0 || c.TargetDCs <= 0 {
+		return nil, fmt.Errorf("datagen: invalid config %+v", c)
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	s := &model.AsIsState{Name: c.Name, Params: model.DefaultParams()}
+
+	// The §VI-B user geography: 4 client locations.
+	for u := 0; u < geo.PaperUserLocations; u++ {
+		s.UserLocations = append(s.UserLocations, geo.Location{
+			ID: fmt.Sprintf("users-%d", u), Name: fmt.Sprintf("client region %d", u),
+		})
+	}
+
+	// Current estate: many small legacy rooms at list-plus prices.
+	curLat := make([][]float64, geo.PaperUserLocations)
+	for u := range curLat {
+		curLat[u] = make([]float64, c.CurrentDCs)
+	}
+	for j := 0; j < c.CurrentDCs; j++ {
+		s.Current.DCs = append(s.Current.DCs, model.DataCenter{
+			ID:                fmt.Sprintf("legacy-%d", j),
+			Name:              fmt.Sprintf("legacy site %d", j),
+			Location:          geo.Location{ID: fmt.Sprintf("lloc-%d", j), Region: geo.RegionNorthAmerica},
+			CapacityServers:   0, // set after groups are assigned
+			SpaceCost:         stepwise.Flat(legacy.spaceMin + rng.Float64()*(legacy.spaceMax-legacy.spaceMin)),
+			PowerCostPerKWh:   legacy.powerMin + rng.Float64()*(legacy.powerMax-legacy.powerMin),
+			LaborCostPerAdmin: legacy.adminMin + rng.Float64()*(legacy.adminMax-legacy.adminMin),
+			WANCostPerMb:      legacy.wanMin + rng.Float64()*(legacy.wanMax-legacy.wanMin),
+		})
+		for u := 0; u < geo.PaperUserLocations; u++ {
+			curLat[u][j] = 5 + rng.Float64()*20 // legacy sites: 5–25 ms
+		}
+	}
+	s.Current.LatencyMs = curLat
+
+	// Target estate: TargetDCs sites in the five §VI-B latency classes
+	// (near each client location, plus central), drawing prices from the
+	// market table with volume discounts.
+	classes := make([]geo.DCClass, c.TargetDCs)
+	for j := range classes {
+		classes[j] = geo.DCClass(j % (geo.PaperUserLocations + 1))
+	}
+	mtx, err := geo.PaperClassMatrix(classes)
+	if err != nil {
+		return nil, fmt.Errorf("datagen: %w", err)
+	}
+	tgtLat := make([][]float64, geo.PaperUserLocations)
+	for u := range tgtLat {
+		row := make([]float64, c.TargetDCs)
+		for j := range row {
+			row[j] = mtx.LatencyMs(u, j)
+		}
+		tgtLat[u] = row
+	}
+	s.Target.LatencyMs = tgtLat
+
+	// Capacities 100–1000 (§VI-B), re-drawn until the estate fits with DR
+	// headroom (total ≥ 2.2× servers, largest failure coverable).
+	caps := drawCapacities(rng, c.TargetDCs, c.Servers)
+	for j := 0; j < c.TargetDCs; j++ {
+		mkt := markets[rng.Intn(len(markets))]
+		s.Target.DCs = append(s.Target.DCs, model.DataCenter{
+			ID:                fmt.Sprintf("target-%d", j),
+			Name:              fmt.Sprintf("%s #%d (%v)", mkt.name, j, classes[j]),
+			Location:          geo.Location{ID: fmt.Sprintf("tloc-%d", j), Name: mkt.name, Region: geo.RegionNorthAmerica},
+			CapacityServers:   caps[j],
+			SpaceCost:         targetSpaceCurve(jitter(rng, mkt.spaceBase, 0.10)),
+			PowerCostPerKWh:   jitter(rng, mkt.powerKWh, 0.05),
+			LaborCostPerAdmin: jitter(rng, mkt.adminMonth, 0.05),
+			WANCostPerMb:      jitter(rng, mkt.wanPerMb, 0.10),
+		})
+	}
+
+	// Application groups: long-tailed sizes summing to c.Servers, §VI-B
+	// user-distribution classes, half latency-sensitive.
+	sizes := drawGroupSizes(rng, c.Groups, c.Servers, maxInt(caps)*4/5)
+	pen, err := stepwise.SingleThreshold(c.ThresholdMs, c.PenaltyPerUser)
+	if err != nil {
+		return nil, fmt.Errorf("datagen: %w", err)
+	}
+	curLoad := make([]int, c.CurrentDCs)
+	for i := 0; i < c.Groups; i++ {
+		users := int(math.Max(1, math.Round(float64(sizes[i])*c.UsersPerServer*jitter(rng, 1, 0.3))))
+		g := model.AppGroup{
+			ID:              fmt.Sprintf("ag-%04d", i),
+			Name:            fmt.Sprintf("app group %d", i),
+			Servers:         sizes[i],
+			UsersByLocation: userClass(i, users),
+			DataMbPerMonth:  float64(users) * c.DataMbPerUser,
+		}
+		if float64(i%100)/100 < c.LatencySensitiveFraction {
+			g.LatencyPenalty = pen
+		}
+		cur := rng.Intn(c.CurrentDCs)
+		g.CurrentDC = s.Current.DCs[cur].ID
+		curLoad[cur] += g.Servers
+		s.Groups = append(s.Groups, g)
+	}
+	for j := range s.Current.DCs {
+		s.Current.DCs[j].CapacityServers = curLoad[j] + 10
+	}
+
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("datagen: generated state invalid: %w", err)
+	}
+	return s, nil
+}
+
+// userClass implements the §VI-B population classes: group i mod 5 ∈
+// {0..3} puts all users in that client location; class 4 spreads them
+// equally across all four.
+func userClass(i, users int) []int {
+	out := make([]int, geo.PaperUserLocations)
+	class := i % (geo.PaperUserLocations + 1)
+	if class < geo.PaperUserLocations {
+		out[class] = users
+		return out
+	}
+	base := users / geo.PaperUserLocations
+	rem := users % geo.PaperUserLocations
+	for u := range out {
+		out[u] = base
+		if u < rem {
+			out[u]++
+		}
+	}
+	return out
+}
+
+// drawGroupSizes samples a long-tailed (log-normal) size distribution,
+// clamps to [1, maxSize], and adjusts to sum exactly to total.
+func drawGroupSizes(rng *rand.Rand, n, total, maxSize int) []int {
+	if maxSize < 1 {
+		maxSize = 1
+	}
+	w := make([]float64, n)
+	sum := 0.0
+	for i := range w {
+		w[i] = math.Exp(rng.NormFloat64() * 0.9)
+		sum += w[i]
+	}
+	sizes := make([]int, n)
+	assigned := 0
+	for i := range sizes {
+		v := int(math.Round(w[i] / sum * float64(total)))
+		if v < 1 {
+			v = 1
+		}
+		if v > maxSize {
+			v = maxSize
+		}
+		sizes[i] = v
+		assigned += v
+	}
+	// Repair rounding drift deterministically.
+	for assigned != total {
+		for i := range sizes {
+			if assigned < total && sizes[i] < maxSize {
+				sizes[i]++
+				assigned++
+			} else if assigned > total && sizes[i] > 1 {
+				sizes[i]--
+				assigned--
+			}
+			if assigned == total {
+				break
+			}
+		}
+	}
+	return sizes
+}
+
+// drawCapacities draws target capacities uniform in [100, 1000] and
+// scales the draw up if the estate would not fit with DR headroom.
+func drawCapacities(rng *rand.Rand, n, servers int) []int {
+	caps := make([]int, n)
+	total := 0
+	for i := range caps {
+		caps[i] = 100 + rng.Intn(901)
+		total += caps[i]
+	}
+	need := servers*22/10 + 1
+	if total < need {
+		f := float64(need) / float64(total)
+		total = 0
+		for i := range caps {
+			caps[i] = int(math.Ceil(float64(caps[i]) * f))
+			total += caps[i]
+		}
+	}
+	return caps
+}
+
+func maxInt(v []int) int {
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

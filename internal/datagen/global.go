@@ -1,0 +1,205 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/etransform/etransform/internal/geo"
+	"github.com/etransform/etransform/internal/model"
+	"github.com/etransform/etransform/internal/stepwise"
+)
+
+// GlobalConfig builds a multinational estate on real geography (the
+// embedded city gazetteer): user populations in world metros, candidate
+// data centers in a chosen subset, and latencies from the geodesic model
+// — the Figure 2 world-spanning enterprise, with realistic inputs
+// instead of the §VI-B synthetic class matrix. Useful for exercising
+// region (data-residency) constraints.
+type GlobalConfig struct {
+	Name string
+	Seed int64
+	// Groups and Servers as in CaseStudyConfig.
+	Groups  int
+	Servers int
+	// UserCities and TargetCities are gazetteer IDs; empty selects a
+	// default world-spanning set.
+	UserCities   []string
+	TargetCities []string
+	// CurrentDCs legacy sites are spread round-robin across user cities.
+	CurrentDCs int
+	// LatencySensitiveFraction, PenaltyPerUser, ThresholdMs as in §VI-B;
+	// the threshold applies to geodesic latencies, so continental users
+	// are satisfiable and transoceanic ones are not.
+	LatencySensitiveFraction float64
+	PenaltyPerUser           float64
+	ThresholdMs              float64
+	UsersPerServer           float64
+	DataMbPerUser            float64
+	// ResidencyFraction of groups are pinned to their majority users'
+	// region (AllowedRegions), modeling data-residency law.
+	ResidencyFraction float64
+}
+
+// Global returns a default world-spanning configuration.
+func Global() GlobalConfig {
+	return GlobalConfig{
+		Name: "global", Seed: 11,
+		Groups: 150, Servers: 900, CurrentDCs: 24,
+		UserCities:               []string{"nyc", "sjc", "lhr", "fra", "sin", "nrt", "gru", "syd"},
+		TargetCities:             []string{"dfw", "iad", "sea", "yyz", "lhr", "ams", "mad", "sin", "icn", "gru"},
+		LatencySensitiveFraction: 0.5, PenaltyPerUser: 100, ThresholdMs: 40,
+		UsersPerServer: 18, DataMbPerUser: 50,
+		ResidencyFraction: 0.3,
+	}
+}
+
+// Generate builds the estate.
+func (c GlobalConfig) Generate() (*model.AsIsState, error) {
+	if c.Groups <= 0 || c.Servers < c.Groups || c.CurrentDCs <= 0 {
+		return nil, fmt.Errorf("datagen: invalid global config %+v", c)
+	}
+	if len(c.UserCities) == 0 || len(c.TargetCities) == 0 {
+		return nil, fmt.Errorf("datagen: global config needs user and target cities")
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	s := &model.AsIsState{Name: c.Name, Params: model.DefaultParams()}
+
+	users := make([]geo.Location, len(c.UserCities))
+	for i, id := range c.UserCities {
+		city, ok := geo.CityByID(id)
+		if !ok {
+			return nil, fmt.Errorf("datagen: unknown user city %q", id)
+		}
+		users[i] = city
+	}
+	s.UserLocations = users
+
+	targets := make([]geo.Location, len(c.TargetCities))
+	for i, id := range c.TargetCities {
+		city, ok := geo.CityByID(id)
+		if !ok {
+			return nil, fmt.Errorf("datagen: unknown target city %q", id)
+		}
+		targets[i] = city
+	}
+
+	// Current estate: legacy rooms co-located with user metros.
+	currents := make([]geo.Location, c.CurrentDCs)
+	for j := range currents {
+		base := users[j%len(users)]
+		base.ID = fmt.Sprintf("legacy-%d-%s", j, base.ID)
+		currents[j] = base
+	}
+	curModel, err := geo.NewGeodesic(users, currents)
+	if err != nil {
+		return nil, fmt.Errorf("datagen: %w", err)
+	}
+	tgtModel, err := geo.NewGeodesic(users, targets)
+	if err != nil {
+		return nil, fmt.Errorf("datagen: %w", err)
+	}
+	toMatrix := func(m geo.LatencyModel) [][]float64 {
+		rows := make([][]float64, m.NumUserLocations())
+		for u := range rows {
+			row := make([]float64, m.NumDataCenters())
+			for d := range row {
+				row[d] = m.LatencyMs(u, d)
+			}
+			rows[u] = row
+		}
+		return rows
+	}
+
+	for j, loc := range currents {
+		s.Current.DCs = append(s.Current.DCs, model.DataCenter{
+			ID: loc.ID, Name: "legacy room near " + loc.Name, Location: loc,
+			CapacityServers:   0, // set after assignment
+			SpaceCost:         stepwise.Flat(legacy.spaceMin + rng.Float64()*(legacy.spaceMax-legacy.spaceMin)),
+			PowerCostPerKWh:   legacy.powerMin + rng.Float64()*(legacy.powerMax-legacy.powerMin),
+			LaborCostPerAdmin: legacy.adminMin + rng.Float64()*(legacy.adminMax-legacy.adminMin),
+			WANCostPerMb:      legacy.wanMin + rng.Float64()*(legacy.wanMax-legacy.wanMin),
+		})
+		_ = j
+	}
+	s.Current.LatencyMs = toMatrix(curModel)
+
+	caps := drawCapacities(rng, len(targets), c.Servers)
+	for j, loc := range targets {
+		mkt := markets[rng.Intn(len(markets))]
+		s.Target.DCs = append(s.Target.DCs, model.DataCenter{
+			ID: "dc-" + loc.ID, Name: loc.Name, Location: loc,
+			CapacityServers:   caps[j],
+			SpaceCost:         targetSpaceCurve(jitter(rng, mkt.spaceBase, 0.10)),
+			PowerCostPerKWh:   jitter(rng, mkt.powerKWh, 0.05),
+			LaborCostPerAdmin: jitter(rng, mkt.adminMonth, 0.05),
+			WANCostPerMb:      jitter(rng, mkt.wanPerMb, 0.10),
+		})
+	}
+	s.Target.LatencyMs = toMatrix(tgtModel)
+
+	pen, err := stepwise.SingleThreshold(c.ThresholdMs, c.PenaltyPerUser)
+	if err != nil {
+		return nil, fmt.Errorf("datagen: %w", err)
+	}
+	sizes := drawGroupSizes(rng, c.Groups, c.Servers, maxInt(caps)*4/5)
+	curLoad := make([]int, c.CurrentDCs)
+	for i := 0; i < c.Groups; i++ {
+		nUsers := int(math.Max(1, math.Round(float64(sizes[i])*c.UsersPerServer*jitter(rng, 1, 0.3))))
+		// Users concentrated around one home metro with a diaspora tail.
+		home := rng.Intn(len(users))
+		byLoc := make([]int, len(users))
+		byLoc[home] = nUsers * 7 / 10
+		rest := nUsers - byLoc[home]
+		for rest > 0 {
+			u := rng.Intn(len(users))
+			byLoc[u]++
+			rest--
+		}
+		g := model.AppGroup{
+			ID:              fmt.Sprintf("gg-%04d", i),
+			Name:            fmt.Sprintf("global group %d (home %s)", i, users[home].ID),
+			Servers:         sizes[i],
+			UsersByLocation: byLoc,
+			DataMbPerMonth:  float64(nUsers) * c.DataMbPerUser,
+		}
+		if rng.Float64() < c.LatencySensitiveFraction {
+			g.LatencyPenalty = pen
+		}
+		if rng.Float64() < c.ResidencyFraction {
+			g.AllowedRegions = []geo.Region{users[home].Region}
+		}
+		cur := rng.Intn(c.CurrentDCs)
+		g.CurrentDC = s.Current.DCs[cur].ID
+		curLoad[cur] += g.Servers
+		s.Groups = append(s.Groups, g)
+	}
+	for j := range s.Current.DCs {
+		s.Current.DCs[j].CapacityServers = curLoad[j] + 10
+	}
+
+	// Region-pinned groups need in-region capacity; verify reachability.
+	for i := range s.Groups {
+		g := &s.Groups[i]
+		if len(g.AllowedRegions) == 0 {
+			continue
+		}
+		ok := false
+		for j := range s.Target.DCs {
+			if s.Target.DCs[j].Location.Region == g.AllowedRegions[0] && s.Target.DCs[j].CapacityServers >= g.Servers {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			// No in-region candidate: drop the residency constraint
+			// rather than emit an infeasible estate.
+			g.AllowedRegions = nil
+		}
+	}
+
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("datagen: generated global state invalid: %w", err)
+	}
+	return s, nil
+}

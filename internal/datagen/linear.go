@@ -1,0 +1,212 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/etransform/etransform/internal/geo"
+	"github.com/etransform/etransform/internal/model"
+	"github.com/etransform/etransform/internal/stepwise"
+)
+
+// LinearConfig builds the §VI-D–F sensitivity topology: NumDCs data
+// centers on a line (location 0 … NumDCs−1) with latency and space cost
+// both increasing along the line, users anchored at the two ends, and all
+// other costs identical — the setting of Figures 7, 8, 9 and 10.
+type LinearConfig struct {
+	Name string
+	Seed int64
+	// NumDCs is the number of target locations (the paper uses 10).
+	NumDCs int
+	// Groups is the number of application groups.
+	Groups int
+	// Servers is the total server count; ignored when SingleServer is
+	// set (then every group has exactly one server, as in the Figure
+	// 9/10 packing experiments).
+	Servers      int
+	SingleServer bool
+	// CapacityPerDC caps every location (2000 in Figure 7/8 so cost
+	// drives placement; 100 in Figure 9/10 so packing forces spreading).
+	CapacityPerDC int
+	// SpaceBase and SpaceSlope set the per-server space cost at location
+	// d to SpaceBase + SpaceSlope·d (location 0 cheapest). When
+	// SpaceGrowth > 1 the schedule is geometric instead:
+	// SpaceBase·SpaceGrowth^d — metro space near the user concentration
+	// commands multiplicative premiums (§VI-F's deep space/WAN tradeoff).
+	SpaceBase, SpaceSlope float64
+	SpaceGrowth           float64
+	// LatencyBaseMs and LatencyPerHopMs set latency between a user anchor
+	// and location d to base + perHop·|anchor − d|.
+	LatencyBaseMs, LatencyPerHopMs float64
+	// PenaltyPerUser and ThresholdMs define the uniform latency penalty.
+	PenaltyPerUser, ThresholdMs float64
+	// UserSplit is the fraction of each group's users at location 0; the
+	// remainder sit at the far end (§VI-D varies this across curves).
+	UserSplit float64
+	// UsersPerGroup is each group's population.
+	UsersPerGroup int
+	// VPN switches WAN pricing to dedicated links costing
+	// VPNLinkBase + VPNPerHop·|anchor − d| per link-month (§VI-F). When
+	// VPNGrowth > 1 the lease is geometric instead:
+	// VPNLinkBase·VPNGrowth^hops — long-haul links cross more provider
+	// segments and price multiplicatively.
+	VPN                    bool
+	VPNLinkBase, VPNPerHop float64
+	VPNGrowth              float64
+	// VPNLinkCapacityMb is γ. DataPerGroup is D_i.
+	VPNLinkCapacityMb float64
+	DataPerGroup      float64
+}
+
+// Fig7Config returns the Figure 7 baseline: 190 enterprise1-like groups,
+// 10 roomy locations, users split between the ends.
+func Fig7Config() LinearConfig {
+	return LinearConfig{
+		Name: "linear-fig7", Seed: 7,
+		NumDCs: 10, Groups: 190, Servers: 1070,
+		CapacityPerDC: 2000,
+		SpaceBase:     10, SpaceSlope: 5,
+		LatencyBaseMs: 2, LatencyPerHopMs: 16,
+		PenaltyPerUser: 0, ThresholdMs: 10,
+		UserSplit: 0.5, UsersPerGroup: 18,
+	}
+}
+
+// Fig9Config returns the Figure 9/10 packing setup: single-server groups,
+// tight 100-server locations, dedicated VPN links to users at the far
+// end.
+func Fig9Config() LinearConfig {
+	return LinearConfig{
+		Name: "linear-fig9", Seed: 9,
+		NumDCs: 10, Groups: 190, SingleServer: true,
+		CapacityPerDC: 100,
+		SpaceBase:     4, SpaceGrowth: 1.9,
+		LatencyBaseMs: 2, LatencyPerHopMs: 16,
+		PenaltyPerUser: 0, ThresholdMs: 10,
+		UserSplit: 0, UsersPerGroup: 10,
+		VPN: true, VPNLinkBase: 0.5, VPNGrowth: 2.1,
+		VPNLinkCapacityMb: 100, DataPerGroup: 400,
+	}
+}
+
+// Generate builds the linear-topology state.
+func (c LinearConfig) Generate() (*model.AsIsState, error) {
+	if c.NumDCs < 2 || c.Groups <= 0 || c.CapacityPerDC <= 0 {
+		return nil, fmt.Errorf("datagen: invalid linear config %+v", c)
+	}
+	if c.UserSplit < 0 || c.UserSplit > 1 {
+		return nil, fmt.Errorf("datagen: UserSplit %v outside [0,1]", c.UserSplit)
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	s := &model.AsIsState{Name: c.Name, Params: model.DefaultParams()}
+	s.Params.VPNLinkCapacityMb = c.VPNLinkCapacityMb
+	if !c.VPN {
+		s.Params.VPNLinkCapacityMb = 1e6
+	}
+
+	far := c.NumDCs - 1
+	s.UserLocations = []geo.Location{
+		{ID: "users-near", Name: "users at location 0"},
+		{ID: "users-far", Name: fmt.Sprintf("users at location %d", far)},
+	}
+
+	mtx, err := geo.LinearTopologyMatrix([]int{0, far}, c.NumDCs, c.LatencyBaseMs, c.LatencyPerHopMs)
+	if err != nil {
+		return nil, fmt.Errorf("datagen: %w", err)
+	}
+	lat := make([][]float64, 2)
+	for u := range lat {
+		row := make([]float64, c.NumDCs)
+		for d := range row {
+			row[d] = mtx.LatencyMs(u, d)
+		}
+		lat[u] = row
+	}
+	s.Target.LatencyMs = lat
+
+	spaceUnit := func(d int) float64 {
+		if c.SpaceGrowth > 1 {
+			return c.SpaceBase * math.Pow(c.SpaceGrowth, float64(d))
+		}
+		return c.SpaceBase + c.SpaceSlope*float64(d)
+	}
+	for d := 0; d < c.NumDCs; d++ {
+		s.Target.DCs = append(s.Target.DCs, model.DataCenter{
+			ID:              fmt.Sprintf("loc-%d", d),
+			Name:            fmt.Sprintf("location %d", d),
+			Location:        geo.Location{ID: fmt.Sprintf("linloc-%d", d), Region: geo.RegionNorthAmerica},
+			CapacityServers: c.CapacityPerDC,
+			SpaceCost:       stepwise.Flat(spaceUnit(d)),
+			// "All other costs are the same for all data centers": zero
+			// keeps Figure 7's cost axis dominated by space + penalty,
+			// matching the paper's magnitudes.
+			PowerCostPerKWh:   0,
+			LaborCostPerAdmin: 0,
+			WANCostPerMb:      0,
+		})
+	}
+	if c.VPN {
+		linkCost := func(hops int) float64 {
+			if c.VPNGrowth > 1 {
+				return c.VPNLinkBase * math.Pow(c.VPNGrowth, float64(hops))
+			}
+			return c.VPNLinkBase + c.VPNPerHop*float64(hops)
+		}
+		vpn := make([][]float64, c.NumDCs)
+		for d := range vpn {
+			vpn[d] = []float64{
+				linkCost(d),       // link to users at location 0
+				linkCost(far - d), // link to users at the far end
+			}
+		}
+		s.Target.VPNLinkMonthly = vpn
+	}
+
+	// One legacy site so as-is accounting works.
+	s.Current = model.Estate{
+		DCs: []model.DataCenter{{
+			ID: "legacy-0", Name: "legacy site",
+			Location:        geo.Location{ID: "legacy-loc"},
+			CapacityServers: 1 << 20,
+			SpaceCost:       stepwise.Flat(legacy.spaceMax),
+			PowerCostPerKWh: legacy.powerMax, LaborCostPerAdmin: legacy.adminMax,
+			WANCostPerMb: legacy.wanMax,
+		}},
+		LatencyMs: [][]float64{{15}, {15}},
+	}
+
+	var pen stepwise.LatencyPenalty
+	if c.PenaltyPerUser > 0 {
+		pen, err = stepwise.SingleThreshold(c.ThresholdMs, c.PenaltyPerUser)
+		if err != nil {
+			return nil, fmt.Errorf("datagen: %w", err)
+		}
+	}
+	var sizes []int
+	if c.SingleServer {
+		sizes = make([]int, c.Groups)
+		for i := range sizes {
+			sizes[i] = 1
+		}
+	} else {
+		sizes = drawGroupSizes(rng, c.Groups, c.Servers, c.CapacityPerDC*4/5)
+	}
+	nearUsers := int(math.Round(float64(c.UsersPerGroup) * c.UserSplit))
+	farUsers := c.UsersPerGroup - nearUsers
+	for i := 0; i < c.Groups; i++ {
+		g := model.AppGroup{
+			ID:              fmt.Sprintf("lg-%04d", i),
+			Servers:         sizes[i],
+			UsersByLocation: []int{nearUsers, farUsers},
+			DataMbPerMonth:  c.DataPerGroup,
+			CurrentDC:       "legacy-0",
+			LatencyPenalty:  pen,
+		}
+		s.Groups = append(s.Groups, g)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("datagen: generated linear state invalid: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/etransform/etransform/internal/baseline"
+	"github.com/etransform/etransform/internal/core"
+	"github.com/etransform/etransform/internal/geo"
+	"github.com/etransform/etransform/internal/milp"
+	"github.com/etransform/etransform/internal/model"
+	"github.com/etransform/etransform/internal/stepwise"
+)
+
+// randomEstate builds a random small estate with tiered pricing and
+// mixed latency sensitivity.
+func randomEstate(rng *rand.Rand) *model.AsIsState {
+	users := 2 + rng.Intn(2)
+	s := &model.AsIsState{Name: "ord", Params: model.DefaultParams()}
+	for u := 0; u < users; u++ {
+		s.UserLocations = append(s.UserLocations, geo.Location{ID: fmt.Sprintf("u%d", u)})
+	}
+	mk := func(id string, capacity int, space stepwise.Curve, power, labor, wan float64) model.DataCenter {
+		return model.DataCenter{
+			ID: id, Location: geo.Location{ID: "l" + id},
+			CapacityServers: capacity, SpaceCost: space,
+			PowerCostPerKWh: power, LaborCostPerAdmin: labor, WANCostPerMb: wan,
+		}
+	}
+	s.Current.DCs = []model.DataCenter{mk("old", 10000, stepwise.Flat(250), 0.15, 9000, 0.06)}
+	s.Current.LatencyMs = make([][]float64, users)
+	for u := range s.Current.LatencyMs {
+		s.Current.LatencyMs[u] = []float64{12}
+	}
+	dcs := 3 + rng.Intn(3)
+	for j := 0; j < dcs; j++ {
+		var curve stepwise.Curve
+		base := float64(40 + rng.Intn(120))
+		if rng.Intn(2) == 0 {
+			c, err := stepwise.VolumeDiscount(base, float64(10+rng.Intn(30)), base*0.15, base*0.5, 3)
+			if err != nil {
+				panic(err)
+			}
+			curve = c
+		} else {
+			curve = stepwise.Flat(base)
+		}
+		s.Target.DCs = append(s.Target.DCs, mk(fmt.Sprintf("t%d", j), 60+rng.Intn(120), curve,
+			0.04+rng.Float64()*0.1, float64(4000+rng.Intn(4000)), 0.01+rng.Float64()*0.03))
+	}
+	s.Target.LatencyMs = make([][]float64, users)
+	for u := range s.Target.LatencyMs {
+		row := make([]float64, dcs)
+		for j := range row {
+			row[j] = float64(3 + rng.Intn(25))
+		}
+		s.Target.LatencyMs[u] = row
+	}
+	groups := 5 + rng.Intn(8)
+	for i := 0; i < groups; i++ {
+		g := model.AppGroup{
+			ID:              fmt.Sprintf("g%d", i),
+			Servers:         1 + rng.Intn(15),
+			DataMbPerMonth:  float64(rng.Intn(2000)),
+			UsersByLocation: make([]int, users),
+			CurrentDC:       "old",
+		}
+		for u := range g.UsersByLocation {
+			g.UsersByLocation[u] = rng.Intn(50)
+		}
+		if rng.Intn(2) == 0 {
+			pen, err := stepwise.SingleThreshold(10, float64(20+rng.Intn(180)))
+			if err != nil {
+				panic(err)
+			}
+			g.LatencyPenalty = pen
+		}
+		s.Groups = append(s.Groups, g)
+	}
+	return s
+}
+
+// TestETransformNeverLosesToBaselines is the central ordering invariant
+// of the paper's comparison: on any instance where the baselines find a
+// plan at all, the exact LP planner's total (cost + penalties) is no
+// worse. A violation means either the MILP encoding or the evaluator is
+// broken.
+func TestETransformNeverLosesToBaselines(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	trials := 40
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		s := randomEstate(rng)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		planner, err := core.New(s, core.Options{
+			Solver: milp.Options{GapTol: 1e-6, MaxNodes: 5000, TimeLimit: 15 * time.Second},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := planner.Solve()
+		if err != nil {
+			// Random instances can be genuinely infeasible (capacity);
+			// then the baselines must fail too.
+			if _, gerr := baseline.Greedy(s, baseline.GreedyOptions{}); gerr == nil {
+				t.Fatalf("trial %d: planner failed (%v) but greedy found a plan", trial, err)
+			}
+			continue
+		}
+		if plan.Stats.Gap > 1e-6 {
+			continue // not proven optimal within limits; ordering not guaranteed
+		}
+		et := plan.Cost.Total()
+		if gp, err := baseline.Greedy(s, baseline.GreedyOptions{}); err == nil {
+			if et > gp.Cost.Total()*(1+1e-6)+1e-6 {
+				t.Fatalf("trial %d: eTransform %v worse than greedy %v", trial, et, gp.Cost.Total())
+			}
+		}
+		if mp, err := baseline.Manual(s, baseline.ManualOptions{}); err == nil {
+			if et > mp.Cost.Total()*(1+1e-6)+1e-6 {
+				t.Fatalf("trial %d: eTransform %v worse than manual %v", trial, et, mp.Cost.Total())
+			}
+		}
+	}
+}
+
+// TestETransformDRNeverLosesToGreedyDR checks the DR ordering with exact
+// solves on small instances.
+func TestETransformDRNeverLosesToGreedyDR(t *testing.T) {
+	rng := rand.New(rand.NewSource(4048))
+	trials := 15
+	if testing.Short() {
+		trials = 4
+	}
+	for trial := 0; trial < trials; trial++ {
+		s := randomEstate(rng)
+		// DR needs headroom: widen capacities.
+		for j := range s.Target.DCs {
+			s.Target.DCs[j].CapacityServers *= 3
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		planner, err := core.New(s, core.Options{
+			DR:     true,
+			Solver: milp.Options{GapTol: 1e-6, MaxNodes: 3000, TimeLimit: 15 * time.Second},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := planner.Solve()
+		if err != nil {
+			continue
+		}
+		if plan.Stats.Gap > 1e-6 {
+			continue
+		}
+		if gp, err := baseline.Greedy(s, baseline.GreedyOptions{DR: true}); err == nil {
+			if plan.Cost.Total() > gp.Cost.Total()*(1+1e-6)+1e-6 {
+				t.Fatalf("trial %d: eTransform DR %v worse than greedy DR %v",
+					trial, plan.Cost.Total(), gp.Cost.Total())
+			}
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package geo
+
+// Cities is a small embedded gazetteer of metros commonly hosting
+// enterprise data centers, for building realistic estates whose latencies
+// come from the Geodesic model instead of synthetic class matrices.
+var Cities = []Location{
+	{ID: "nyc", Name: "New York", LatDeg: 40.7128, LonDeg: -74.0060, Region: RegionNorthAmerica},
+	{ID: "chi", Name: "Chicago", LatDeg: 41.8781, LonDeg: -87.6298, Region: RegionNorthAmerica},
+	{ID: "dfw", Name: "Dallas", LatDeg: 32.7767, LonDeg: -96.7970, Region: RegionNorthAmerica},
+	{ID: "iad", Name: "Ashburn", LatDeg: 39.0438, LonDeg: -77.4874, Region: RegionNorthAmerica},
+	{ID: "sjc", Name: "San Jose", LatDeg: 37.3382, LonDeg: -121.8863, Region: RegionNorthAmerica},
+	{ID: "sea", Name: "Seattle", LatDeg: 47.6062, LonDeg: -122.3321, Region: RegionNorthAmerica},
+	{ID: "atl", Name: "Atlanta", LatDeg: 33.7490, LonDeg: -84.3880, Region: RegionNorthAmerica},
+	{ID: "yyz", Name: "Toronto", LatDeg: 43.6532, LonDeg: -79.3832, Region: RegionNorthAmerica},
+	{ID: "gru", Name: "São Paulo", LatDeg: -23.5505, LonDeg: -46.6333, Region: RegionSouthAmerica},
+	{ID: "scl", Name: "Santiago", LatDeg: -33.4489, LonDeg: -70.6693, Region: RegionSouthAmerica},
+	{ID: "lhr", Name: "London", LatDeg: 51.5074, LonDeg: -0.1278, Region: RegionEurope},
+	{ID: "fra", Name: "Frankfurt", LatDeg: 50.1109, LonDeg: 8.6821, Region: RegionEurope},
+	{ID: "ams", Name: "Amsterdam", LatDeg: 52.3676, LonDeg: 4.9041, Region: RegionEurope},
+	{ID: "cdg", Name: "Paris", LatDeg: 48.8566, LonDeg: 2.3522, Region: RegionEurope},
+	{ID: "dub", Name: "Dublin", LatDeg: 53.3498, LonDeg: -6.2603, Region: RegionEurope},
+	{ID: "mad", Name: "Madrid", LatDeg: 40.4168, LonDeg: -3.7038, Region: RegionEurope},
+	{ID: "sin", Name: "Singapore", LatDeg: 1.3521, LonDeg: 103.8198, Region: RegionAsia},
+	{ID: "hkg", Name: "Hong Kong", LatDeg: 22.3193, LonDeg: 114.1694, Region: RegionAsia},
+	{ID: "nrt", Name: "Tokyo", LatDeg: 35.6762, LonDeg: 139.6503, Region: RegionAsia},
+	{ID: "bom", Name: "Mumbai", LatDeg: 19.0760, LonDeg: 72.8777, Region: RegionAsia},
+	{ID: "pnq", Name: "Pune", LatDeg: 18.5204, LonDeg: 73.8567, Region: RegionAsia},
+	{ID: "icn", Name: "Seoul", LatDeg: 37.5665, LonDeg: 126.9780, Region: RegionAsia},
+	{ID: "syd", Name: "Sydney", LatDeg: -33.8688, LonDeg: 151.2093, Region: RegionOceania},
+	{ID: "akl", Name: "Auckland", LatDeg: -36.8509, LonDeg: 174.7645, Region: RegionOceania},
+}
+
+// CityByID returns the city with the given ID, or false.
+func CityByID(id string) (Location, bool) {
+	for _, c := range Cities {
+		if c.ID == id {
+			return c, true
+		}
+	}
+	return Location{}, false
+}
+
+// CitiesInRegion returns the gazetteer's cities within a region.
+func CitiesInRegion(r Region) []Location {
+	var out []Location
+	for _, c := range Cities {
+		if c.Region == r {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+// Package geo provides the geographic substrate for eTransform: named
+// locations, great-circle distances, and latency models that estimate the
+// round-trip latency between user locations and candidate data centers.
+//
+// The planner consumes latency through the LatencyModel interface so that
+// synthetic matrices (as used in the paper's evaluation, §VI-B) and
+// distance-derived estimates are interchangeable.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// EarthRadiusKm is the mean Earth radius used for great-circle distances.
+const EarthRadiusKm = 6371.0
+
+// Region identifies a coarse geographic / jurisdictional area. Placement
+// constraints such as "must stay within the EU" are expressed in terms of
+// regions.
+type Region string
+
+// Common regions used by the synthetic datasets. The set is open: any
+// string is a valid Region.
+const (
+	RegionNorthAmerica Region = "north-america"
+	RegionSouthAmerica Region = "south-america"
+	RegionEurope       Region = "europe"
+	RegionAsia         Region = "asia"
+	RegionOceania      Region = "oceania"
+)
+
+// Location is a point on the globe where users reside or where a data
+// center can be built.
+type Location struct {
+	// ID is a stable identifier unique within a dataset.
+	ID string `json:"id"`
+	// Name is a human-readable label, e.g. "Dallas, TX".
+	Name string `json:"name"`
+	// LatDeg and LonDeg are WGS84 coordinates in degrees.
+	LatDeg float64 `json:"lat_deg"`
+	LonDeg float64 `json:"lon_deg"`
+	// Region is the coarse area the location belongs to.
+	Region Region `json:"region"`
+}
+
+// String implements fmt.Stringer.
+func (l Location) String() string {
+	if l.Name != "" {
+		return fmt.Sprintf("%s (%s)", l.Name, l.ID)
+	}
+	return l.ID
+}
+
+// DistanceKm returns the great-circle distance between a and b using the
+// haversine formula.
+func DistanceKm(a, b Location) float64 {
+	const degToRad = math.Pi / 180
+	lat1 := a.LatDeg * degToRad
+	lat2 := b.LatDeg * degToRad
+	dLat := (b.LatDeg - a.LatDeg) * degToRad
+	dLon := (b.LonDeg - a.LonDeg) * degToRad
+
+	sinLat := math.Sin(dLat / 2)
+	sinLon := math.Sin(dLon / 2)
+	h := sinLat*sinLat + math.Cos(lat1)*math.Cos(lat2)*sinLon*sinLon
+	// Clamp to guard against floating-point drift pushing h past 1.
+	if h > 1 {
+		h = 1
+	}
+	return 2 * EarthRadiusKm * math.Asin(math.Sqrt(h))
+}
+
+// LatencyModel estimates round-trip latency in milliseconds between a user
+// location (by index) and a data center location (by index). Index spaces
+// are defined by the dataset that constructed the model.
+type LatencyModel interface {
+	// LatencyMs returns the round-trip latency between user location u
+	// and data center d in milliseconds.
+	LatencyMs(u, d int) float64
+	// NumUserLocations and NumDataCenters report the model's dimensions.
+	NumUserLocations() int
+	NumDataCenters() int
+}
+
+// Matrix is a LatencyModel backed by an explicit user×DC latency matrix.
+// The zero value is unusable; construct with NewMatrix.
+type Matrix struct {
+	ms    []float64
+	users int
+	dcs   int
+}
+
+var _ LatencyModel = (*Matrix)(nil)
+
+// NewMatrix builds a Matrix from row-major latencies[u][d] data. It
+// returns an error if rows are ragged, empty, or contain negative or
+// non-finite values.
+func NewMatrix(latencies [][]float64) (*Matrix, error) {
+	if len(latencies) == 0 || len(latencies[0]) == 0 {
+		return nil, fmt.Errorf("geo: latency matrix must be non-empty")
+	}
+	dcs := len(latencies[0])
+	m := &Matrix{users: len(latencies), dcs: dcs, ms: make([]float64, 0, len(latencies)*dcs)}
+	for u, row := range latencies {
+		if len(row) != dcs {
+			return nil, fmt.Errorf("geo: ragged latency matrix: row %d has %d entries, want %d", u, len(row), dcs)
+		}
+		for d, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return nil, fmt.Errorf("geo: invalid latency %v at [%d][%d]", v, u, d)
+			}
+			m.ms = append(m.ms, v)
+		}
+	}
+	return m, nil
+}
+
+// LatencyMs implements LatencyModel.
+func (m *Matrix) LatencyMs(u, d int) float64 { return m.ms[u*m.dcs+d] }
+
+// NumUserLocations implements LatencyModel.
+func (m *Matrix) NumUserLocations() int { return m.users }
+
+// NumDataCenters implements LatencyModel.
+func (m *Matrix) NumDataCenters() int { return m.dcs }
+
+// Geodesic estimates latency from great-circle distance. Round-trip
+// latency is modeled as a fixed access overhead plus distance divided by
+// the effective signal speed in fiber (~2/3 c), doubled for the return
+// path, times a route-inflation factor accounting for non-geodesic fiber
+// paths.
+type Geodesic struct {
+	users []Location
+	dcs   []Location
+
+	// AccessOverheadMs is added to every path (last-mile, serialization).
+	AccessOverheadMs float64
+	// RouteInflation scales geodesic distance to fiber-route distance.
+	RouteInflation float64
+}
+
+var _ LatencyModel = (*Geodesic)(nil)
+
+// Speed of light in fiber, km per millisecond (2e5 km/s ≈ 0.2e3 km/ms × …).
+const fiberKmPerMs = 200.0
+
+// NewGeodesic builds a Geodesic model over the given user and data center
+// locations with conventional defaults (5 ms access overhead, 1.4 route
+// inflation).
+func NewGeodesic(users, dcs []Location) (*Geodesic, error) {
+	if len(users) == 0 || len(dcs) == 0 {
+		return nil, fmt.Errorf("geo: geodesic model needs at least one user location and one data center")
+	}
+	u := make([]Location, len(users))
+	copy(u, users)
+	d := make([]Location, len(dcs))
+	copy(d, dcs)
+	return &Geodesic{
+		users:            u,
+		dcs:              d,
+		AccessOverheadMs: 5,
+		RouteInflation:   1.4,
+	}, nil
+}
+
+// LatencyMs implements LatencyModel.
+func (g *Geodesic) LatencyMs(u, d int) float64 {
+	dist := DistanceKm(g.users[u], g.dcs[d]) * g.RouteInflation
+	return g.AccessOverheadMs + 2*dist/fiberKmPerMs
+}
+
+// NumUserLocations implements LatencyModel.
+func (g *Geodesic) NumUserLocations() int { return len(g.users) }
+
+// NumDataCenters implements LatencyModel.
+func (g *Geodesic) NumDataCenters() int { return len(g.dcs) }
+
+// UserDC returns the user and data center locations of the model, for
+// callers that need distances (e.g. VPN link pricing).
+func (g *Geodesic) UserDC() (users, dcs []Location) { return g.users, g.dcs }

@@ -1,0 +1,209 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceKmKnownPairs(t *testing.T) {
+	nyc := Location{ID: "nyc", LatDeg: 40.7128, LonDeg: -74.0060}
+	london := Location{ID: "lon", LatDeg: 51.5074, LonDeg: -0.1278}
+	sf := Location{ID: "sfo", LatDeg: 37.7749, LonDeg: -122.4194}
+
+	tests := []struct {
+		name    string
+		a, b    Location
+		wantKm  float64
+		tolFrac float64
+	}{
+		{"nyc-london", nyc, london, 5570, 0.01},
+		{"nyc-sf", nyc, sf, 4130, 0.01},
+		{"same-point", nyc, nyc, 0, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := DistanceKm(tt.a, tt.b)
+			if tt.wantKm == 0 {
+				if got != 0 {
+					t.Fatalf("DistanceKm = %v, want 0", got)
+				}
+				return
+			}
+			if diff := math.Abs(got-tt.wantKm) / tt.wantKm; diff > tt.tolFrac {
+				t.Fatalf("DistanceKm = %v, want %v ± %v%%", got, tt.wantKm, tt.tolFrac*100)
+			}
+		})
+	}
+}
+
+func TestDistanceKmProperties(t *testing.T) {
+	// Symmetry and non-negativity over random coordinates.
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := Location{LatDeg: math.Mod(lat1, 90), LonDeg: math.Mod(lon1, 180)}
+		b := Location{LatDeg: math.Mod(lat2, 90), LonDeg: math.Mod(lon2, 180)}
+		d1 := DistanceKm(a, b)
+		d2 := DistanceKm(b, a)
+		return d1 >= 0 && math.Abs(d1-d2) < 1e-9 && d1 <= math.Pi*EarthRadiusKm+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewMatrixValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		in   [][]float64
+		ok   bool
+	}{
+		{"valid", [][]float64{{1, 2}, {3, 4}}, true},
+		{"empty", nil, false},
+		{"empty-row", [][]float64{{}}, false},
+		{"ragged", [][]float64{{1, 2}, {3}}, false},
+		{"negative", [][]float64{{-1}}, false},
+		{"nan", [][]float64{{math.NaN()}}, false},
+		{"inf", [][]float64{{math.Inf(1)}}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m, err := NewMatrix(tt.in)
+			if tt.ok && err != nil {
+				t.Fatalf("NewMatrix error: %v", err)
+			}
+			if !tt.ok {
+				if err == nil {
+					t.Fatal("NewMatrix succeeded, want error")
+				}
+				return
+			}
+			if m.NumUserLocations() != len(tt.in) || m.NumDataCenters() != len(tt.in[0]) {
+				t.Fatalf("dims = %d×%d, want %d×%d", m.NumUserLocations(), m.NumDataCenters(), len(tt.in), len(tt.in[0]))
+			}
+			for u, row := range tt.in {
+				for d, v := range row {
+					if m.LatencyMs(u, d) != v {
+						t.Fatalf("LatencyMs(%d,%d) = %v, want %v", u, d, m.LatencyMs(u, d), v)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestGeodesicLatency(t *testing.T) {
+	nyc := Location{ID: "nyc", LatDeg: 40.7128, LonDeg: -74.0060}
+	sf := Location{ID: "sfo", LatDeg: 37.7749, LonDeg: -122.4194}
+	g, err := NewGeodesic([]Location{nyc}, []Location{sf, nyc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-country RTT should be tens of ms; co-located should be just
+	// the access overhead.
+	cross := g.LatencyMs(0, 0)
+	local := g.LatencyMs(0, 1)
+	if cross < 30 || cross > 120 {
+		t.Errorf("cross-country latency = %v ms, want within [30,120]", cross)
+	}
+	if local != g.AccessOverheadMs {
+		t.Errorf("co-located latency = %v, want access overhead %v", local, g.AccessOverheadMs)
+	}
+	if g.NumUserLocations() != 1 || g.NumDataCenters() != 2 {
+		t.Errorf("dims = %d×%d, want 1×2", g.NumUserLocations(), g.NumDataCenters())
+	}
+}
+
+func TestNewGeodesicEmpty(t *testing.T) {
+	if _, err := NewGeodesic(nil, []Location{{}}); err == nil {
+		t.Error("NewGeodesic with no users succeeded, want error")
+	}
+	if _, err := NewGeodesic([]Location{{}}, nil); err == nil {
+		t.Error("NewGeodesic with no DCs succeeded, want error")
+	}
+}
+
+func TestPaperClassMatrix(t *testing.T) {
+	classes := []DCClass{0, 1, 2, 3, PaperDCClassCentral}
+	m, err := PaperClassMatrix(classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumUserLocations() != PaperUserLocations || m.NumDataCenters() != len(classes) {
+		t.Fatalf("dims = %d×%d", m.NumUserLocations(), m.NumDataCenters())
+	}
+	for u := 0; u < PaperUserLocations; u++ {
+		for j, c := range classes {
+			got := m.LatencyMs(u, j)
+			var want float64
+			switch {
+			case c == PaperDCClassCentral:
+				want = PaperCentralLatencyMs
+			case int(c) == u:
+				want = PaperNearLatencyMs
+			default:
+				want = PaperFarLatencyMs
+			}
+			if got != want {
+				t.Errorf("LatencyMs(%d,%d) = %v, want %v (class %v)", u, j, got, want, c)
+			}
+		}
+	}
+}
+
+func TestPaperClassMatrixInvalid(t *testing.T) {
+	if _, err := PaperClassMatrix(nil); err == nil {
+		t.Error("empty classes succeeded, want error")
+	}
+	if _, err := PaperClassMatrix([]DCClass{DCClass(9)}); err == nil {
+		t.Error("invalid class succeeded, want error")
+	}
+}
+
+func TestDCClassString(t *testing.T) {
+	if got := PaperDCClassCentral.String(); got != "central" {
+		t.Errorf("central class String = %q", got)
+	}
+	if got := DCClass(2).String(); got != "near-loc2" {
+		t.Errorf("class 2 String = %q", got)
+	}
+}
+
+func TestLinearTopologyMatrix(t *testing.T) {
+	m, err := LinearTopologyMatrix([]int{0, 9}, 10, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumUserLocations() != 2 || m.NumDataCenters() != 10 {
+		t.Fatalf("dims = %d×%d, want 2×10", m.NumUserLocations(), m.NumDataCenters())
+	}
+	// User anchored at 0: latency to DC d is 2 + 3d.
+	for d := 0; d < 10; d++ {
+		if got, want := m.LatencyMs(0, d), 2+3*float64(d); got != want {
+			t.Errorf("LatencyMs(0,%d) = %v, want %v", d, got, want)
+		}
+		if got, want := m.LatencyMs(1, d), 2+3*float64(9-d); got != want {
+			t.Errorf("LatencyMs(1,%d) = %v, want %v", d, got, want)
+		}
+	}
+}
+
+func TestLinearTopologyMatrixValidation(t *testing.T) {
+	if _, err := LinearTopologyMatrix([]int{0}, 0, 1, 1); err == nil {
+		t.Error("zero DCs succeeded, want error")
+	}
+	if _, err := LinearTopologyMatrix([]int{5}, 3, 1, 1); err == nil {
+		t.Error("out-of-range anchor succeeded, want error")
+	}
+	if _, err := LinearTopologyMatrix([]int{0}, 3, -1, 1); err == nil {
+		t.Error("negative base succeeded, want error")
+	}
+}
+
+func TestLocationString(t *testing.T) {
+	if got := (Location{ID: "x", Name: "Dallas"}).String(); got != "Dallas (x)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Location{ID: "x"}).String(); got != "x" {
+		t.Errorf("String = %q", got)
+	}
+}

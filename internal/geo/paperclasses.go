@@ -1,0 +1,97 @@
+package geo
+
+import "fmt"
+
+// The paper's §VI-B evaluation uses a synthetic latency structure: clients
+// sit in 4 locations; data centers fall into 5 classes — one class per
+// client location ("close": 5 ms to that location, 20 ms to the other
+// three) plus a "central" class at 10 ms from all four. This file encodes
+// that structure so the case-study experiments reproduce it exactly.
+
+// Paper §VI-B latency constants, in milliseconds.
+const (
+	PaperNearLatencyMs    = 5
+	PaperCentralLatencyMs = 10
+	PaperFarLatencyMs     = 20
+	// PaperUserLocations is the number of client locations in §VI-B.
+	PaperUserLocations = 4
+)
+
+// DCClass describes which §VI-B class a data center belongs to.
+// Classes 0..3 are "close to client location k"; PaperDCClassCentral is
+// equidistant from all client locations.
+type DCClass int
+
+// PaperDCClassCentral marks the equidistant data center class.
+const PaperDCClassCentral DCClass = PaperUserLocations
+
+// Valid reports whether c is one of the five §VI-B classes.
+func (c DCClass) Valid() bool { return c >= 0 && c <= PaperDCClassCentral }
+
+// String implements fmt.Stringer.
+func (c DCClass) String() string {
+	if c == PaperDCClassCentral {
+		return "central"
+	}
+	return fmt.Sprintf("near-loc%d", int(c))
+}
+
+// PaperClassMatrix builds the §VI-B latency matrix for data centers with
+// the given classes. Data center j in class k<4 has latency 5 ms from
+// client location k and 20 ms from the others; a central data center has
+// latency 10 ms from every client location.
+func PaperClassMatrix(classes []DCClass) (*Matrix, error) {
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("geo: need at least one data center class")
+	}
+	rows := make([][]float64, PaperUserLocations)
+	for u := range rows {
+		row := make([]float64, len(classes))
+		for j, c := range classes {
+			if !c.Valid() {
+				return nil, fmt.Errorf("geo: invalid data center class %d at index %d", int(c), j)
+			}
+			switch {
+			case c == PaperDCClassCentral:
+				row[j] = PaperCentralLatencyMs
+			case int(c) == u:
+				row[j] = PaperNearLatencyMs
+			default:
+				row[j] = PaperFarLatencyMs
+			}
+		}
+		rows[u] = row
+	}
+	return NewMatrix(rows)
+}
+
+// LinearTopologyMatrix builds the latency matrix for the §VI-D–F
+// sensitivity experiments: n data center locations 0..n-1 on a line with
+// latency increasing with the index distance between a user anchor and the
+// data center. Users sit at anchor locations (a subset of 0..n-1); the
+// latency between user anchor u and data center d is
+// base + perHop*|anchor(u)-d|.
+func LinearTopologyMatrix(anchors []int, numDCs int, baseMs, perHopMs float64) (*Matrix, error) {
+	if numDCs <= 0 {
+		return nil, fmt.Errorf("geo: numDCs must be positive, got %d", numDCs)
+	}
+	if baseMs < 0 || perHopMs < 0 {
+		return nil, fmt.Errorf("geo: latencies must be non-negative (base %v, perHop %v)", baseMs, perHopMs)
+	}
+	rows := make([][]float64, len(anchors))
+	for u, a := range anchors {
+		if a < 0 || a >= numDCs {
+			return nil, fmt.Errorf("geo: user anchor %d out of range [0,%d)", a, numDCs)
+		}
+		row := make([]float64, numDCs)
+		for d := 0; d < numDCs; d++ {
+			hops := a - d
+			if hops < 0 {
+				hops = -hops
+			}
+			row[d] = baseMs + perHopMs*float64(hops)
+		}
+		rows[u] = row
+	}
+	return NewMatrix(rows)
+}

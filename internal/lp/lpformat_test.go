@@ -1,0 +1,308 @@
+package lp
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestWriteLPSmall(t *testing.T) {
+	m, _, _, _ := buildSmallModel(t)
+	var buf bytes.Buffer
+	if err := m.WriteLP(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Minimize", "Subject To", "Bounds", "Binary", "End",
+		"3 x", "- 2 y", "100 b",
+		"cap: x + 2 y <= 8",
+		"link: y - 4 b >= -1",
+		"fix: x = 2",
+		"0 <= x <= 10",
+		"y >= -5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("LP output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteLPFreeAndUpperOnly(t *testing.T) {
+	m := NewModel("bounds")
+	m.AddContinuous("f", math.Inf(-1), math.Inf(1), 1)
+	m.AddContinuous("u", math.Inf(-1), 9, 1)
+	var buf bytes.Buffer
+	if err := m.WriteLP(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "f free") {
+		t.Errorf("missing free bound:\n%s", out)
+	}
+	if !strings.Contains(out, "u <= 9") {
+		t.Errorf("missing upper-only bound:\n%s", out)
+	}
+}
+
+func TestWriteLPDuplicateNames(t *testing.T) {
+	m := NewModel("dup")
+	m.AddContinuous("same", 0, 1, 1)
+	m.AddContinuous("same", 0, 1, 1)
+	if err := m.WriteLP(&bytes.Buffer{}); err == nil {
+		t.Error("duplicate names accepted, want error")
+	}
+}
+
+func TestSanitizeLPName(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"x[1,2]", "x_1_2_"},
+		{"9lives", "_9lives"},
+		{"e123", "_e123"},
+		{"ok_name.0", "ok_name.0"},
+		{"", "_"},
+		{"a b", "a_b"},
+	}
+	for _, tt := range tests {
+		if got := sanitizeLPName(tt.in); got != tt.want {
+			t.Errorf("sanitizeLPName(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParseLPBasic(t *testing.T) {
+	src := `\ Problem: demo
+Minimize
+ obj: 3 x + 2 y - z
+Subject To
+ c1: x + y <= 10
+ c2: 2 x - 3 y + z >= -4
+ c3: x = 1
+Bounds
+ 0 <= x <= 5
+ y free
+ z <= 7
+Binary
+End`
+	m, err := ParseLP(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumVars() != 3 || m.NumRows() != 3 {
+		t.Fatalf("parsed dims = %d vars, %d rows", m.NumVars(), m.NumRows())
+	}
+	byName := map[string]Variable{}
+	for i := 0; i < m.NumVars(); i++ {
+		v := m.Var(VarID(i))
+		byName[v.Name] = v
+	}
+	if byName["x"].Cost != 3 || byName["y"].Cost != 2 || byName["z"].Cost != -1 {
+		t.Errorf("costs = %v/%v/%v", byName["x"].Cost, byName["y"].Cost, byName["z"].Cost)
+	}
+	if byName["x"].Lower != 0 || byName["x"].Upper != 5 {
+		t.Errorf("x bounds = [%v,%v]", byName["x"].Lower, byName["x"].Upper)
+	}
+	if !math.IsInf(byName["y"].Lower, -1) || !math.IsInf(byName["y"].Upper, 1) {
+		t.Errorf("y bounds = [%v,%v], want free", byName["y"].Lower, byName["y"].Upper)
+	}
+	if byName["z"].Upper != 7 || byName["z"].Lower != 0 {
+		t.Errorf("z bounds = [%v,%v]", byName["z"].Lower, byName["z"].Upper)
+	}
+	r := m.Row(1)
+	if r.Sense != GE || r.RHS != -4 || len(r.Terms) != 3 {
+		t.Errorf("c2 = %+v", r)
+	}
+}
+
+func TestParseLPMaximizeNegatesCosts(t *testing.T) {
+	src := `Maximize
+ obj: 5 x
+Subject To
+ c: x <= 3
+End`
+	m, err := ParseLP(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Var(0).Cost; got != -5 {
+		t.Errorf("cost after maximize conversion = %v, want -5", got)
+	}
+}
+
+func TestParseLPBinaryAndGeneral(t *testing.T) {
+	src := `Minimize
+ obj: x + b + g
+Subject To
+ c: x + b + g >= 1
+Bounds
+ 0 <= g <= 10
+Binary
+ b
+General
+ g
+End`
+	m, err := ParseLP(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bin, gen Variable
+	for i := 0; i < m.NumVars(); i++ {
+		v := m.Var(VarID(i))
+		switch v.Name {
+		case "b":
+			bin = v
+		case "g":
+			gen = v
+		}
+	}
+	if bin.Type != Binary || bin.Lower != 0 || bin.Upper != 1 {
+		t.Errorf("b = %+v", bin)
+	}
+	if gen.Type != Integer || gen.Upper != 10 {
+		t.Errorf("g = %+v", gen)
+	}
+}
+
+func TestParseLPErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"no-sense", "hello\n"},
+		{"missing-subject", "Minimize\n obj: x\nBounds\n"},
+		{"bad-rhs", "Minimize\n x\nSubject To\n c: x <= foo\nEnd"},
+		{"bad-bound", "Minimize\n x\nSubject To\n c: x <= 1\nBounds\n <= x\nEnd"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseLP(strings.NewReader(tt.src)); err == nil {
+				t.Error("parse succeeded, want error")
+			}
+		})
+	}
+}
+
+// randomModel builds a random bounded model for round-trip testing.
+func randomModel(rng *rand.Rand) *Model {
+	m := NewModel("rand")
+	nv := 1 + rng.Intn(8)
+	for i := 0; i < nv; i++ {
+		lo := float64(rng.Intn(5))
+		hi := lo + float64(1+rng.Intn(10))
+		cost := math.Round(rng.NormFloat64()*10*4) / 4 // quarter-integer costs
+		switch rng.Intn(3) {
+		case 0:
+			m.AddBinary(varName(i), cost)
+		case 1:
+			m.AddVar(Variable{Name: varName(i), Lower: lo, Upper: hi, Cost: cost, Type: Integer})
+		default:
+			m.AddContinuous(varName(i), lo, hi, cost)
+		}
+	}
+	nr := 1 + rng.Intn(6)
+	for r := 0; r < nr; r++ {
+		var terms []Term
+		for i := 0; i < nv; i++ {
+			if rng.Intn(2) == 0 {
+				c := math.Round(rng.NormFloat64()*8*4) / 4
+				if c != 0 {
+					terms = append(terms, Term{Var: VarID(i), Coef: c})
+				}
+			}
+		}
+		sense := []Sense{LE, GE, EQ}[rng.Intn(3)]
+		rhs := math.Round(rng.NormFloat64()*20*4) / 4
+		m.AddRow(rowName(r), terms, sense, rhs)
+	}
+	return m
+}
+
+func varName(i int) string { return "v" + string(rune('a'+i)) }
+func rowName(i int) string { return "r" + string(rune('a'+i)) }
+
+// TestLPRoundTrip writes random models and parses them back, checking
+// that objective coefficients, bounds, types, and rows survive.
+func TestLPRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		m := randomModel(rng)
+		var buf bytes.Buffer
+		if err := m.WriteLP(&buf); err != nil {
+			t.Fatalf("trial %d: write: %v", trial, err)
+		}
+		got, err := ParseLP(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: parse: %v\n%s", trial, err, buf.String())
+		}
+		if err := modelsEquivalent(m, got); err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, buf.String())
+		}
+	}
+}
+
+// modelsEquivalent compares two models by variable name, tolerating
+// different variable ordering.
+func modelsEquivalent(a, b *Model) error {
+	if a.NumRows() != b.NumRows() {
+		return errf("rows %d vs %d", a.NumRows(), b.NumRows())
+	}
+	av := varsByName(a)
+	bv := varsByName(b)
+	for name, v := range av {
+		w, ok := bv[name]
+		if !ok {
+			// Variables that appear nowhere (no cost, no rows, default
+			// bounds) may legitimately be absent — but our writer emits
+			// bounds for all non-binary vars, so only binaries with no
+			// appearances could drop. Treat as error to be strict.
+			return errf("variable %q missing after round-trip", name)
+		}
+		if v.Cost != w.Cost {
+			return errf("%q cost %v vs %v", name, v.Cost, w.Cost)
+		}
+		if v.Type != w.Type {
+			return errf("%q type %v vs %v", name, v.Type, w.Type)
+		}
+		if v.Lower != w.Lower || v.Upper != w.Upper {
+			return errf("%q bounds [%v,%v] vs [%v,%v]", name, v.Lower, v.Upper, w.Lower, w.Upper)
+		}
+	}
+	for r := 0; r < a.NumRows(); r++ {
+		ra, rb := a.Row(RowID(r)), b.Row(RowID(r))
+		if ra.Sense != rb.Sense || ra.RHS != rb.RHS {
+			return errf("row %d meta %v %v vs %v %v", r, ra.Sense, ra.RHS, rb.Sense, rb.RHS)
+		}
+		ta := termsByName(a, ra)
+		tb := termsByName(b, rb)
+		if len(ta) != len(tb) {
+			return errf("row %d terms %d vs %d", r, len(ta), len(tb))
+		}
+		for n, c := range ta {
+			if tb[n] != c {
+				return errf("row %d term %q %v vs %v", r, n, c, tb[n])
+			}
+		}
+	}
+	return nil
+}
+
+func varsByName(m *Model) map[string]Variable {
+	out := make(map[string]Variable, m.NumVars())
+	for i := 0; i < m.NumVars(); i++ {
+		v := m.Var(VarID(i))
+		out[v.Name] = v
+	}
+	return out
+}
+
+func termsByName(m *Model, r Row) map[string]float64 {
+	out := make(map[string]float64, len(r.Terms))
+	for _, t := range r.Terms {
+		out[m.Var(t.Var).Name] = t.Coef
+	}
+	return out
+}
+
+func errf(format string, args ...any) error {
+	return fmt.Errorf("round-trip mismatch: "+format, args...)
+}

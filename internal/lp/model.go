@@ -1,0 +1,323 @@
+// Package lp provides the mixed-integer linear-programming modeling
+// substrate for eTransform: a sparse model builder, solution types shared
+// by the solvers, and a CPLEX LP-file writer/parser so models can be
+// inspected or handed to an external solver, mirroring the paper's
+// architecture (Figure 5: the planner emits an LP file and invokes an
+// optimization engine).
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// VarType is the domain of a decision variable.
+type VarType int
+
+// Variable domains.
+const (
+	// Continuous variables range over their bounds.
+	Continuous VarType = iota + 1
+	// Binary variables take value 0 or 1.
+	Binary
+	// Integer variables take integral values within their bounds.
+	Integer
+)
+
+// String implements fmt.Stringer.
+func (t VarType) String() string {
+	switch t {
+	case Continuous:
+		return "continuous"
+	case Binary:
+		return "binary"
+	case Integer:
+		return "integer"
+	default:
+		return fmt.Sprintf("VarType(%d)", int(t))
+	}
+}
+
+// Sense is the relational sense of a constraint row.
+type Sense int
+
+// Constraint senses.
+const (
+	// LE is "≤ rhs".
+	LE Sense = iota + 1
+	// GE is "≥ rhs".
+	GE
+	// EQ is "= rhs".
+	EQ
+)
+
+// String implements fmt.Stringer.
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Sense(%d)", int(s))
+	}
+}
+
+// VarID identifies a variable within its Model.
+type VarID int
+
+// RowID identifies a constraint row within its Model.
+type RowID int
+
+// Term is one entry of a sparse constraint row: Coef × the variable Var.
+type Term struct {
+	Var  VarID
+	Coef float64
+}
+
+// Variable holds the attributes of one decision variable.
+type Variable struct {
+	Name  string
+	Lower float64
+	Upper float64
+	// Cost is the objective coefficient.
+	Cost float64
+	Type VarType
+}
+
+// Row holds one constraint: Terms (sense) RHS.
+type Row struct {
+	Name  string
+	Terms []Term
+	Sense Sense
+	RHS   float64
+}
+
+// Model is a mixed-integer linear program being built. The objective is
+// always minimization; negate costs to maximize. The zero value is an
+// empty minimization model ready for use.
+type Model struct {
+	// Name labels the model in LP output.
+	Name string
+
+	vars     []Variable
+	rows     []Row
+	nonzeros int
+}
+
+// NewModel returns an empty minimization model with the given name.
+func NewModel(name string) *Model { return &Model{Name: name} }
+
+// AddVar adds a variable and returns its ID. It panics on NaN attributes
+// or inverted bounds: those are programming errors in the model builder,
+// not runtime conditions.
+func (m *Model) AddVar(v Variable) VarID {
+	if math.IsNaN(v.Lower) || math.IsNaN(v.Upper) || math.IsNaN(v.Cost) {
+		panic(fmt.Sprintf("lp: NaN attribute in variable %q", v.Name))
+	}
+	if v.Lower > v.Upper {
+		panic(fmt.Sprintf("lp: inverted bounds [%v, %v] on variable %q", v.Lower, v.Upper, v.Name))
+	}
+	if v.Type == 0 {
+		v.Type = Continuous
+	}
+	if v.Type == Binary {
+		if v.Lower < 0 {
+			v.Lower = 0
+		}
+		if v.Upper > 1 {
+			v.Upper = 1
+		}
+	}
+	m.vars = append(m.vars, v)
+	return VarID(len(m.vars) - 1)
+}
+
+// AddContinuous adds a continuous variable with the given bounds and
+// objective cost.
+func (m *Model) AddContinuous(name string, lower, upper, cost float64) VarID {
+	return m.AddVar(Variable{Name: name, Lower: lower, Upper: upper, Cost: cost, Type: Continuous})
+}
+
+// AddBinary adds a 0/1 variable with the given objective cost.
+func (m *Model) AddBinary(name string, cost float64) VarID {
+	return m.AddVar(Variable{Name: name, Lower: 0, Upper: 1, Cost: cost, Type: Binary})
+}
+
+// AddRow adds a constraint and returns its ID. Duplicate variables within
+// a row are merged by summing coefficients; zero coefficients are dropped.
+// It panics on out-of-range variable IDs or non-finite data — programming
+// errors in the builder.
+func (m *Model) AddRow(name string, terms []Term, sense Sense, rhs float64) RowID {
+	if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
+		panic(fmt.Sprintf("lp: invalid RHS %v in row %q", rhs, name))
+	}
+	if sense != LE && sense != GE && sense != EQ {
+		panic(fmt.Sprintf("lp: invalid sense %d in row %q", int(sense), name))
+	}
+	merged := make(map[VarID]float64, len(terms))
+	order := make([]VarID, 0, len(terms))
+	for _, t := range terms {
+		if t.Var < 0 || int(t.Var) >= len(m.vars) {
+			panic(fmt.Sprintf("lp: unknown variable id %d in row %q", int(t.Var), name))
+		}
+		if math.IsNaN(t.Coef) || math.IsInf(t.Coef, 0) {
+			panic(fmt.Sprintf("lp: invalid coefficient %v in row %q", t.Coef, name))
+		}
+		if _, seen := merged[t.Var]; !seen {
+			order = append(order, t.Var)
+		}
+		merged[t.Var] += t.Coef
+	}
+	clean := make([]Term, 0, len(order))
+	for _, v := range order {
+		if c := merged[v]; c != 0 {
+			clean = append(clean, Term{Var: v, Coef: c})
+		}
+	}
+	m.rows = append(m.rows, Row{Name: name, Terms: clean, Sense: sense, RHS: rhs})
+	m.nonzeros += len(clean)
+	return RowID(len(m.rows) - 1)
+}
+
+// SetCost overwrites the objective coefficient of v.
+func (m *Model) SetCost(v VarID, cost float64) {
+	if math.IsNaN(cost) || math.IsInf(cost, 0) {
+		panic(fmt.Sprintf("lp: invalid cost %v", cost))
+	}
+	m.vars[v].Cost = cost
+}
+
+// SetBounds overwrites the bounds of v.
+func (m *Model) SetBounds(v VarID, lower, upper float64) {
+	if math.IsNaN(lower) || math.IsNaN(upper) || lower > upper {
+		panic(fmt.Sprintf("lp: invalid bounds [%v, %v]", lower, upper))
+	}
+	m.vars[v].Lower = lower
+	m.vars[v].Upper = upper
+}
+
+// NumVars returns the number of variables.
+func (m *Model) NumVars() int { return len(m.vars) }
+
+// NumRows returns the number of constraint rows.
+func (m *Model) NumRows() int { return len(m.rows) }
+
+// NumNonzeros returns the number of nonzero constraint coefficients.
+func (m *Model) NumNonzeros() int { return m.nonzeros }
+
+// NumIntegral returns the number of binary and general-integer variables.
+func (m *Model) NumIntegral() int {
+	n := 0
+	for _, v := range m.vars {
+		if v.Type != Continuous {
+			n++
+		}
+	}
+	return n
+}
+
+// Var returns a copy of the variable's attributes.
+func (m *Model) Var(id VarID) Variable { return m.vars[id] }
+
+// Row returns the constraint row. The returned Row shares its Terms slice
+// with the model; callers must not mutate it.
+func (m *Model) Row(id RowID) Row { return m.rows[id] }
+
+// Objective evaluates the objective at the given point (len must equal
+// NumVars).
+func (m *Model) Objective(x []float64) float64 {
+	if len(x) != len(m.vars) {
+		panic(fmt.Sprintf("lp: point has %d entries, model has %d variables", len(x), len(m.vars)))
+	}
+	obj := 0.0
+	for i, v := range m.vars {
+		obj += v.Cost * x[i]
+	}
+	return obj
+}
+
+// RowActivity evaluates row r's left-hand side at point x.
+func (m *Model) RowActivity(r RowID, x []float64) float64 {
+	a := 0.0
+	for _, t := range m.rows[r].Terms {
+		a += t.Coef * x[t.Var]
+	}
+	return a
+}
+
+// FeasTol is the default feasibility tolerance used across the solvers.
+const FeasTol = 1e-6
+
+// IntTol is the default integrality tolerance used across the solvers.
+const IntTol = 1e-6
+
+// CheckFeasible verifies x against all rows, bounds and integrality
+// within tol (absolute, scaled by max(1,|rhs|) for rows). It returns nil
+// if feasible, or an error naming the first violated requirement.
+func (m *Model) CheckFeasible(x []float64, tol float64) error {
+	if len(x) != len(m.vars) {
+		return fmt.Errorf("lp: point has %d entries, model has %d variables", len(x), len(m.vars))
+	}
+	for i, v := range m.vars {
+		if x[i] < v.Lower-tol || x[i] > v.Upper+tol {
+			return fmt.Errorf("lp: variable %q = %v outside bounds [%v, %v]", v.Name, x[i], v.Lower, v.Upper)
+		}
+		if v.Type != Continuous {
+			if frac := math.Abs(x[i] - math.Round(x[i])); frac > tol {
+				return fmt.Errorf("lp: variable %q = %v not integral", v.Name, x[i])
+			}
+		}
+	}
+	for r, row := range m.rows {
+		a := m.RowActivity(RowID(r), x)
+		scale := math.Max(1, math.Abs(row.RHS))
+		switch row.Sense {
+		case LE:
+			if a > row.RHS+tol*scale {
+				return fmt.Errorf("lp: row %q violated: %v > %v", row.Name, a, row.RHS)
+			}
+		case GE:
+			if a < row.RHS-tol*scale {
+				return fmt.Errorf("lp: row %q violated: %v < %v", row.Name, a, row.RHS)
+			}
+		case EQ:
+			if math.Abs(a-row.RHS) > tol*scale {
+				return fmt.Errorf("lp: row %q violated: %v != %v", row.Name, a, row.RHS)
+			}
+		}
+	}
+	return nil
+}
+
+// Relax returns a copy of the model with every integral variable relaxed
+// to continuous. The copy shares no mutable state with m.
+func (m *Model) Relax() *Model {
+	c := m.Clone()
+	for i := range c.vars {
+		c.vars[i].Type = Continuous
+	}
+	return c
+}
+
+// Clone returns a deep copy of the model.
+func (m *Model) Clone() *Model {
+	c := &Model{Name: m.Name, nonzeros: m.nonzeros}
+	c.vars = make([]Variable, len(m.vars))
+	copy(c.vars, m.vars)
+	c.rows = make([]Row, len(m.rows))
+	for i, r := range m.rows {
+		terms := make([]Term, len(r.Terms))
+		copy(terms, r.Terms)
+		c.rows[i] = Row{Name: r.Name, Terms: terms, Sense: r.Sense, RHS: r.RHS}
+	}
+	return c
+}
+
+// Stats returns a one-line summary suitable for logs.
+func (m *Model) Stats() string {
+	return fmt.Sprintf("%s: %d rows, %d cols (%d integral), %d nonzeros",
+		m.Name, len(m.rows), len(m.vars), m.NumIntegral(), m.nonzeros)
+}

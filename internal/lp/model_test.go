@@ -1,0 +1,172 @@
+package lp
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func buildSmallModel(t *testing.T) (*Model, VarID, VarID, VarID) {
+	t.Helper()
+	m := NewModel("small")
+	x := m.AddContinuous("x", 0, 10, 3)
+	y := m.AddContinuous("y", -5, math.Inf(1), -2)
+	b := m.AddBinary("b", 100)
+	m.AddRow("cap", []Term{{x, 1}, {y, 2}}, LE, 8)
+	m.AddRow("link", []Term{{y, 1}, {b, -4}}, GE, -1)
+	m.AddRow("fix", []Term{{x, 1}}, EQ, 2)
+	return m, x, y, b
+}
+
+func TestModelBasics(t *testing.T) {
+	m, x, y, b := buildSmallModel(t)
+	if m.NumVars() != 3 || m.NumRows() != 3 {
+		t.Fatalf("dims = %d vars, %d rows", m.NumVars(), m.NumRows())
+	}
+	if m.NumNonzeros() != 5 {
+		t.Errorf("nonzeros = %d, want 5", m.NumNonzeros())
+	}
+	if m.NumIntegral() != 1 {
+		t.Errorf("integral = %d, want 1", m.NumIntegral())
+	}
+	if got := m.Var(x).Cost; got != 3 {
+		t.Errorf("x cost = %v", got)
+	}
+	if got := m.Var(b).Type; got != Binary {
+		t.Errorf("b type = %v", got)
+	}
+	pt := []float64{2, 3, 1}
+	if got, want := m.Objective(pt), 3*2.0-2*3.0+100*1.0; got != want {
+		t.Errorf("Objective = %v, want %v", got, want)
+	}
+	if got := m.RowActivity(0, pt); got != 8 {
+		t.Errorf("RowActivity(cap) = %v, want 8", got)
+	}
+	_ = y
+}
+
+func TestModelMergesDuplicateTerms(t *testing.T) {
+	m := NewModel("dup")
+	x := m.AddContinuous("x", 0, 1, 0)
+	r := m.AddRow("r", []Term{{x, 2}, {x, 3}, {x, -5}}, LE, 1)
+	if got := len(m.Row(r).Terms); got != 0 {
+		t.Errorf("terms after merge = %d, want 0 (coefficients cancel)", got)
+	}
+	r2 := m.AddRow("r2", []Term{{x, 2}, {x, 3}}, LE, 1)
+	row := m.Row(r2)
+	if len(row.Terms) != 1 || row.Terms[0].Coef != 5 {
+		t.Errorf("merged terms = %+v, want single coef 5", row.Terms)
+	}
+}
+
+func TestModelPanics(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	m := NewModel("p")
+	x := m.AddContinuous("x", 0, 1, 0)
+	assertPanics("inverted-bounds", func() { m.AddContinuous("bad", 5, 1, 0) })
+	assertPanics("nan-cost", func() { m.AddVar(Variable{Name: "n", Lower: 0, Upper: 1, Cost: math.NaN()}) })
+	assertPanics("unknown-var", func() { m.AddRow("r", []Term{{VarID(99), 1}}, LE, 1) })
+	assertPanics("inf-coef", func() { m.AddRow("r", []Term{{x, math.Inf(1)}}, LE, 1) })
+	assertPanics("bad-sense", func() { m.AddRow("r", []Term{{x, 1}}, Sense(0), 1) })
+	assertPanics("nan-rhs", func() { m.AddRow("r", []Term{{x, 1}}, LE, math.NaN()) })
+	assertPanics("bad-setbounds", func() { m.SetBounds(x, 3, 1) })
+	assertPanics("inf-setcost", func() { m.SetCost(x, math.Inf(1)) })
+}
+
+func TestBinaryBoundsClamped(t *testing.T) {
+	m := NewModel("clamp")
+	b := m.AddVar(Variable{Name: "b", Lower: -3, Upper: 7, Type: Binary})
+	v := m.Var(b)
+	if v.Lower != 0 || v.Upper != 1 {
+		t.Errorf("binary bounds = [%v,%v], want [0,1]", v.Lower, v.Upper)
+	}
+}
+
+func TestCheckFeasible(t *testing.T) {
+	m, _, _, _ := buildSmallModel(t)
+	// x=2 (fix), y=3 → cap: 2+6=8 ≤ 8 ok; link: 3-4b ≥ -1 → b=1 ok.
+	good := []float64{2, 3, 1}
+	if err := m.CheckFeasible(good, FeasTol); err != nil {
+		t.Errorf("feasible point rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		pt   []float64
+	}{
+		{"wrong-len", []float64{1, 2}},
+		{"bound-violation", []float64{11, 3, 1}},
+		{"row-violation", []float64{2, 4, 1}},
+		{"eq-violation", []float64{3, 2, 1}},
+		{"fractional-binary", []float64{2, 3, 0.5}},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := m.CheckFeasible(tt.pt, FeasTol); err == nil {
+				t.Error("infeasible point accepted")
+			}
+		})
+	}
+}
+
+func TestRelaxAndClone(t *testing.T) {
+	m, _, _, b := buildSmallModel(t)
+	r := m.Relax()
+	if r.NumIntegral() != 0 {
+		t.Errorf("relaxed model has %d integral vars", r.NumIntegral())
+	}
+	if m.Var(b).Type != Binary {
+		t.Error("Relax mutated the original")
+	}
+	c := m.Clone()
+	c.SetCost(b, 1)
+	c.AddRow("extra", []Term{{b, 1}}, LE, 1)
+	if m.Var(b).Cost != 100 || m.NumRows() != 3 {
+		t.Error("Clone shares state with original")
+	}
+}
+
+func TestStatsAndStrings(t *testing.T) {
+	m, _, _, _ := buildSmallModel(t)
+	s := m.Stats()
+	for _, want := range []string{"small", "3 rows", "3 cols", "1 integral", "5 nonzeros"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Stats %q missing %q", s, want)
+		}
+	}
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Error("Sense strings wrong")
+	}
+	if Continuous.String() != "continuous" || Binary.String() != "binary" || Integer.String() != "integer" {
+		t.Error("VarType strings wrong")
+	}
+}
+
+func TestSolutionValue(t *testing.T) {
+	s := &Solution{Status: StatusOptimal, X: []float64{1.5, 2.5}}
+	if s.Value(1) != 2.5 {
+		t.Errorf("Value(1) = %v", s.Value(1))
+	}
+	if s.Value(9) != 0 {
+		t.Errorf("Value(out-of-range) = %v, want 0", s.Value(9))
+	}
+	empty := &Solution{Status: StatusInfeasible}
+	if empty.Value(0) != 0 {
+		t.Error("Value on nil X should be 0")
+	}
+	if !StatusOptimal.HasSolution() || StatusInfeasible.HasSolution() || StatusUnbounded.HasSolution() {
+		t.Error("HasSolution misclassifies")
+	}
+	for _, st := range []Status{StatusOptimal, StatusInfeasible, StatusUnbounded, StatusIterLimit, StatusNodeLimit, StatusFeasible} {
+		if strings.HasPrefix(st.String(), "Status(") {
+			t.Errorf("missing String for %d", int(st))
+		}
+	}
+}

@@ -1,0 +1,319 @@
+package lp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WriteMPS writes the model in free-format MPS, the other interchange
+// format major solvers accept. The objective row is named OBJ; integer
+// variables are bracketed by INTORG/INTEND markers; binaries get BV
+// bounds.
+func (m *Model) WriteMPS(w io.Writer) error {
+	names, err := m.lpNames()
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	name := m.Name
+	if name == "" {
+		name = "MODEL"
+	}
+	fmt.Fprintf(bw, "NAME %s\n", sanitizeLPName(name))
+
+	// ROWS: objective plus constraints.
+	fmt.Fprintln(bw, "ROWS")
+	fmt.Fprintln(bw, " N OBJ")
+	rowNames := make([]string, m.NumRows())
+	seen := map[string]bool{"OBJ": true}
+	for r := 0; r < m.NumRows(); r++ {
+		row := m.Row(RowID(r))
+		rn := fmt.Sprintf("c%d", r)
+		if row.Name != "" {
+			rn = sanitizeLPName(row.Name)
+		}
+		if seen[rn] {
+			rn = fmt.Sprintf("%s_r%d", rn, r)
+		}
+		seen[rn] = true
+		rowNames[r] = rn
+		sense := "L"
+		switch row.Sense {
+		case GE:
+			sense = "G"
+		case EQ:
+			sense = "E"
+		}
+		fmt.Fprintf(bw, " %s %s\n", sense, rn)
+	}
+
+	// COLUMNS, column-major: build per-variable entries.
+	type entry struct {
+		row  string
+		coef float64
+	}
+	cols := make([][]entry, m.NumVars())
+	for j := 0; j < m.NumVars(); j++ {
+		if c := m.Var(VarID(j)).Cost; c != 0 {
+			cols[j] = append(cols[j], entry{"OBJ", c})
+		}
+	}
+	for r := 0; r < m.NumRows(); r++ {
+		for _, t := range m.Row(RowID(r)).Terms {
+			cols[t.Var] = append(cols[t.Var], entry{rowNames[r], t.Coef})
+		}
+	}
+	fmt.Fprintln(bw, "COLUMNS")
+	inInt := false
+	markers := 0
+	for j := 0; j < m.NumVars(); j++ {
+		isInt := m.Var(VarID(j)).Type != Continuous
+		if isInt && !inInt {
+			fmt.Fprintf(bw, " MARKER%d 'MARKER' 'INTORG'\n", markers)
+			markers++
+			inInt = true
+		} else if !isInt && inInt {
+			fmt.Fprintf(bw, " MARKER%d 'MARKER' 'INTEND'\n", markers)
+			markers++
+			inInt = false
+		}
+		for _, e := range cols[j] {
+			fmt.Fprintf(bw, " %s %s %s\n", names[j], e.row, fmtLPNum(e.coef))
+		}
+		if len(cols[j]) == 0 {
+			// Variables absent from COLUMNS would vanish for most
+			// readers; anchor with an explicit zero objective entry.
+			fmt.Fprintf(bw, " %s OBJ 0\n", names[j])
+		}
+	}
+	if inInt {
+		fmt.Fprintf(bw, " MARKER%d 'MARKER' 'INTEND'\n", markers)
+	}
+
+	fmt.Fprintln(bw, "RHS")
+	for r := 0; r < m.NumRows(); r++ {
+		if rhs := m.Row(RowID(r)).RHS; rhs != 0 {
+			fmt.Fprintf(bw, " RHS %s %s\n", rowNames[r], fmtLPNum(rhs))
+		}
+	}
+
+	fmt.Fprintln(bw, "BOUNDS")
+	for j := 0; j < m.NumVars(); j++ {
+		v := m.Var(VarID(j))
+		lo, hi := v.Lower, v.Upper
+		n := names[j]
+		switch {
+		case v.Type == Binary && lo == 0 && hi == 1:
+			fmt.Fprintf(bw, " BV BND %s\n", n)
+		case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+			fmt.Fprintf(bw, " FR BND %s\n", n)
+		case math.IsInf(hi, 1):
+			fmt.Fprintf(bw, " LO BND %s %s\n", n, fmtLPNum(lo))
+		case math.IsInf(lo, -1):
+			fmt.Fprintf(bw, " MI BND %s\n", n)
+			fmt.Fprintf(bw, " UP BND %s %s\n", n, fmtLPNum(hi))
+		case lo == hi:
+			fmt.Fprintf(bw, " FX BND %s %s\n", n, fmtLPNum(lo))
+		default:
+			fmt.Fprintf(bw, " LO BND %s %s\n", n, fmtLPNum(lo))
+			fmt.Fprintf(bw, " UP BND %s %s\n", n, fmtLPNum(hi))
+		}
+	}
+	fmt.Fprintln(bw, "ENDATA")
+	return bw.Flush()
+}
+
+// ParseMPS reads a model in (free-format) MPS as produced by WriteMPS and
+// common solvers: NAME/ROWS/COLUMNS/RHS/RANGES-free/BOUNDS/ENDATA with
+// INTORG/INTEND markers and N/L/G/E rows. Exactly one N row becomes the
+// objective.
+func ParseMPS(r io.Reader) (*Model, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
+	m := NewModel("")
+	section := ""
+	rowSense := map[string]Sense{}
+	rowTerms := map[string][]Term{}
+	rowRHS := map[string]float64{}
+	var rowOrder []string
+	objRow := ""
+	varID := map[string]VarID{}
+	inInt := false
+	line := 0
+
+	getVar := func(name string, integer bool) VarID {
+		if id, ok := varID[name]; ok {
+			return id
+		}
+		vt := Continuous
+		if integer {
+			vt = Integer
+		}
+		id := m.AddVar(Variable{Name: name, Lower: 0, Upper: math.Inf(1), Type: vt})
+		varID[name] = id
+		return id
+	}
+
+	for sc.Scan() {
+		line++
+		raw := sc.Text()
+		if i := strings.IndexByte(raw, '*'); i == 0 {
+			continue // comment line
+		}
+		fields := strings.Fields(raw)
+		if len(fields) == 0 {
+			continue
+		}
+		// Section headers start in column 0; data lines are indented.
+		// (The RHS vector is conventionally itself named "RHS", so
+		// indentation is the only reliable discriminator.)
+		if raw[0] != ' ' && raw[0] != '\t' {
+			upper := strings.ToUpper(fields[0])
+			switch upper {
+			case "NAME":
+				if len(fields) > 1 {
+					m.Name = fields[1]
+				}
+				continue
+			case "ROWS", "COLUMNS", "RHS", "RANGES", "BOUNDS", "ENDATA", "OBJSENSE":
+				section = upper
+				if section == "ENDATA" {
+					goto done
+				}
+				continue
+			default:
+				return nil, fmt.Errorf("lp: MPS line %d: unknown section %q", line, fields[0])
+			}
+		}
+		switch section {
+		case "OBJSENSE":
+			if strings.EqualFold(fields[0], "MAX") || strings.EqualFold(fields[0], "MAXIMIZE") {
+				return nil, fmt.Errorf("lp: MPS line %d: maximization not supported; negate the objective", line)
+			}
+		case "ROWS":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("lp: MPS line %d: malformed row", line)
+			}
+			sense := strings.ToUpper(fields[0])
+			name := fields[1]
+			switch sense {
+			case "N":
+				if objRow == "" {
+					objRow = name
+				}
+			case "L":
+				rowSense[name] = LE
+				rowOrder = append(rowOrder, name)
+			case "G":
+				rowSense[name] = GE
+				rowOrder = append(rowOrder, name)
+			case "E":
+				rowSense[name] = EQ
+				rowOrder = append(rowOrder, name)
+			default:
+				return nil, fmt.Errorf("lp: MPS line %d: unknown row sense %q", line, sense)
+			}
+		case "COLUMNS":
+			if len(fields) >= 3 && strings.Contains(raw, "'MARKER'") {
+				if strings.Contains(raw, "'INTORG'") {
+					inInt = true
+				} else if strings.Contains(raw, "'INTEND'") {
+					inInt = false
+				}
+				continue
+			}
+			// col row val [row val]
+			if len(fields) < 3 || len(fields)%2 == 0 {
+				return nil, fmt.Errorf("lp: MPS line %d: malformed column entry", line)
+			}
+			id := getVar(fields[0], inInt)
+			for k := 1; k+1 < len(fields); k += 2 {
+				rn := fields[k]
+				val, err := strconv.ParseFloat(fields[k+1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("lp: MPS line %d: bad coefficient %q", line, fields[k+1])
+				}
+				if rn == objRow {
+					m.SetCost(id, m.Var(id).Cost+val)
+					continue
+				}
+				if _, ok := rowSense[rn]; !ok {
+					return nil, fmt.Errorf("lp: MPS line %d: unknown row %q", line, rn)
+				}
+				rowTerms[rn] = append(rowTerms[rn], Term{Var: id, Coef: val})
+			}
+		case "RHS":
+			// rhsname row val [row val]
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("lp: MPS line %d: malformed RHS", line)
+			}
+			for k := 1; k+1 < len(fields); k += 2 {
+				rn := fields[k]
+				val, err := strconv.ParseFloat(fields[k+1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("lp: MPS line %d: bad RHS %q", line, fields[k+1])
+				}
+				rowRHS[rn] = val
+			}
+		case "RANGES":
+			return nil, fmt.Errorf("lp: MPS line %d: RANGES not supported", line)
+		case "BOUNDS":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("lp: MPS line %d: malformed bound", line)
+			}
+			kind := strings.ToUpper(fields[0])
+			vn := fields[2]
+			id, ok := varID[vn]
+			if !ok {
+				id = getVar(vn, false)
+			}
+			v := m.Var(id)
+			lo, hi := v.Lower, v.Upper
+			var val float64
+			if len(fields) >= 4 {
+				parsed, err := strconv.ParseFloat(fields[3], 64)
+				if err != nil {
+					return nil, fmt.Errorf("lp: MPS line %d: bad bound %q", line, fields[3])
+				}
+				val = parsed
+			}
+			switch kind {
+			case "LO":
+				lo = val
+			case "UP":
+				hi = val
+			case "FX":
+				lo, hi = val, val
+			case "FR":
+				lo, hi = math.Inf(-1), math.Inf(1)
+			case "MI":
+				lo = math.Inf(-1)
+			case "PL":
+				hi = math.Inf(1)
+			case "BV":
+				lo, hi = 0, 1
+				m.vars[id].Type = Binary
+			default:
+				return nil, fmt.Errorf("lp: MPS line %d: unsupported bound kind %q", line, kind)
+			}
+			if lo > hi {
+				return nil, fmt.Errorf("lp: MPS line %d: inverted bounds for %q", line, vn)
+			}
+			m.SetBounds(id, lo, hi)
+		case "":
+			return nil, fmt.Errorf("lp: MPS line %d: data before any section header", line)
+		}
+	}
+done:
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("lp: reading MPS: %w", err)
+	}
+	for _, rn := range rowOrder {
+		m.AddRow(rn, rowTerms[rn], rowSense[rn], rowRHS[rn])
+	}
+	return m, nil
+}

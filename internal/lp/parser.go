@@ -1,0 +1,471 @@
+package lp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParseLP reads a model in CPLEX LP file format. It accepts the grammar
+// produced by WriteLP plus the common variants (Maximize objectives,
+// "st"/"s.t." headers, multi-line expressions, comments). Maximization
+// objectives are converted to minimization by negating costs, so a parsed
+// model always minimizes.
+func ParseLP(r io.Reader) (*Model, error) {
+	toks, err := lexLP(r)
+	if err != nil {
+		return nil, err
+	}
+	p := &lpParser{toks: toks, m: NewModel(""), varIDs: make(map[string]VarID)}
+	if err := p.parse(); err != nil {
+		return nil, err
+	}
+	return p.m, nil
+}
+
+type lpTok struct {
+	kind lpTokKind
+	text string
+	num  float64
+	line int
+}
+
+type lpTokKind int
+
+const (
+	tokName lpTokKind = iota + 1
+	tokNum
+	tokPlus
+	tokMinus
+	tokColon
+	tokSense // <=, >=, =, <, >
+)
+
+func lexLP(r io.Reader) ([]lpTok, error) {
+	var toks []lpTok
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '\\'); i >= 0 {
+			text = text[:i]
+		}
+		i := 0
+		for i < len(text) {
+			c := text[i]
+			switch {
+			case c == ' ' || c == '\t' || c == '\r':
+				i++
+			case c == '+':
+				toks = append(toks, lpTok{kind: tokPlus, line: line})
+				i++
+			case c == '-':
+				toks = append(toks, lpTok{kind: tokMinus, line: line})
+				i++
+			case c == ':':
+				toks = append(toks, lpTok{kind: tokColon, line: line})
+				i++
+			case c == '<' || c == '>' || c == '=':
+				j := i + 1
+				if j < len(text) && text[j] == '=' {
+					j++
+				}
+				s := text[i:j]
+				if s == "<" || s == "<=" || s == "=<" {
+					s = "<="
+				} else if s == ">" || s == ">=" || s == "=>" {
+					s = ">="
+				} else {
+					s = "="
+				}
+				toks = append(toks, lpTok{kind: tokSense, text: s, line: line})
+				i = j
+			case c >= '0' && c <= '9' || c == '.':
+				j := i
+				for j < len(text) && (text[j] >= '0' && text[j] <= '9' || text[j] == '.') {
+					j++
+				}
+				// Exponent suffix.
+				if j < len(text) && (text[j] == 'e' || text[j] == 'E') {
+					k := j + 1
+					if k < len(text) && (text[k] == '+' || text[k] == '-') {
+						k++
+					}
+					start := k
+					for k < len(text) && text[k] >= '0' && text[k] <= '9' {
+						k++
+					}
+					if k > start {
+						j = k
+					}
+				}
+				v, err := strconv.ParseFloat(text[i:j], 64)
+				if err != nil {
+					return nil, fmt.Errorf("lp: line %d: bad number %q: %v", line, text[i:j], err)
+				}
+				toks = append(toks, lpTok{kind: tokNum, num: v, line: line})
+				i = j
+			default:
+				j := i
+				for j < len(text) && !strings.ContainsRune(" \t\r+-:<>=", rune(text[j])) {
+					j++
+				}
+				if j == i {
+					return nil, fmt.Errorf("lp: line %d: unexpected character %q", line, c)
+				}
+				toks = append(toks, lpTok{kind: tokName, text: text[i:j], line: line})
+				i = j
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("lp: reading input: %w", err)
+	}
+	return toks, nil
+}
+
+type lpParser struct {
+	toks   []lpTok
+	pos    int
+	m      *Model
+	varIDs map[string]VarID
+	// boundSet tracks variables whose bounds came from the Bounds
+	// section, so later binary/general markers don't clobber them.
+	boundSet map[string]bool
+}
+
+func (p *lpParser) peek() (lpTok, bool) {
+	if p.pos >= len(p.toks) {
+		return lpTok{}, false
+	}
+	return p.toks[p.pos], true
+}
+
+func (p *lpParser) next() (lpTok, bool) {
+	t, ok := p.peek()
+	if ok {
+		p.pos++
+	}
+	return t, ok
+}
+
+// keywordAt reports whether the upcoming tokens spell the given keyword
+// (case-insensitive; multi-word keywords like "subject to" span tokens)
+// and consumes them if so.
+func (p *lpParser) keyword(words ...string) bool {
+	save := p.pos
+	for _, w := range words {
+		t, ok := p.next()
+		if !ok || t.kind != tokName || !strings.EqualFold(t.text, w) {
+			p.pos = save
+			return false
+		}
+	}
+	return true
+}
+
+func (p *lpParser) getVar(name string) VarID {
+	if id, ok := p.varIDs[name]; ok {
+		return id
+	}
+	id := p.m.AddContinuous(name, 0, math.Inf(1), 0)
+	p.varIDs[name] = id
+	return id
+}
+
+func (p *lpParser) parse() error {
+	p.boundSet = make(map[string]bool)
+	maximize := false
+	switch {
+	case p.keyword("minimize"), p.keyword("min"), p.keyword("minimum"):
+	case p.keyword("maximize"), p.keyword("max"), p.keyword("maximum"):
+		maximize = true
+	default:
+		return fmt.Errorf("lp: expected objective sense at start of file")
+	}
+
+	costs, _, err := p.parseExpr(true)
+	if err != nil {
+		return fmt.Errorf("lp: objective: %w", err)
+	}
+	for id, c := range costs {
+		if maximize {
+			c = -c
+		}
+		p.m.SetCost(id, p.m.Var(id).Cost+c)
+	}
+
+	if !p.keyword("subject", "to") && !p.keyword("st") && !p.keyword("s.t.") && !p.keyword("such", "that") {
+		return fmt.Errorf("lp: expected 'Subject To' after objective")
+	}
+
+	for {
+		if p.atSectionBoundary() {
+			break
+		}
+		if err := p.parseConstraint(); err != nil {
+			return err
+		}
+	}
+
+	for {
+		switch {
+		case p.keyword("bounds"), p.keyword("bound"):
+			if err := p.parseBounds(); err != nil {
+				return err
+			}
+		case p.keyword("binary"), p.keyword("binaries"), p.keyword("bin"):
+			p.parseVarList(Binary)
+		case p.keyword("general"), p.keyword("generals"), p.keyword("gen"), p.keyword("integer"), p.keyword("integers"):
+			p.parseVarList(Integer)
+		case p.keyword("end"):
+			return nil
+		default:
+			if _, ok := p.peek(); !ok {
+				return nil // tolerate missing End
+			}
+			t, _ := p.peek()
+			return fmt.Errorf("lp: line %d: unexpected token %q", t.line, t.text)
+		}
+	}
+}
+
+// sectionKeywords are names that terminate an expression/constraint block.
+var sectionKeywords = map[string]bool{
+	"subject": true, "st": true, "s.t.": true, "such": true,
+	"bounds": true, "bound": true,
+	"binary": true, "binaries": true, "bin": true,
+	"general": true, "generals": true, "gen": true, "integer": true, "integers": true,
+	"end": true,
+}
+
+func (p *lpParser) atSectionBoundary() bool {
+	t, ok := p.peek()
+	if !ok {
+		return true
+	}
+	return t.kind == tokName && sectionKeywords[strings.ToLower(t.text)]
+}
+
+// parseExpr parses a linear expression, optionally preceded by "label:".
+// It stops at a sense token, a section keyword, or EOF. Returned map
+// accumulates coefficients per variable; constant returns any bare
+// numeric constant encountered (added, with sign).
+func (p *lpParser) parseExpr(allowLabel bool) (map[VarID]float64, float64, error) {
+	coefs := make(map[VarID]float64)
+	constant := 0.0
+
+	if allowLabel {
+		// "name :" prefix.
+		if t, ok := p.peek(); ok && t.kind == tokName && p.pos+1 < len(p.toks) && p.toks[p.pos+1].kind == tokColon {
+			if !sectionKeywords[strings.ToLower(t.text)] {
+				p.pos += 2
+			}
+		}
+	}
+
+	sign := 1.0
+	havePending := false
+	pendingCoef := 1.0
+	for {
+		t, ok := p.peek()
+		if !ok {
+			break
+		}
+		if t.kind == tokSense {
+			break
+		}
+		if t.kind == tokName && sectionKeywords[strings.ToLower(t.text)] {
+			break
+		}
+		// A "name :" ahead means a new constraint label; stop.
+		if t.kind == tokName && p.pos+1 < len(p.toks) && p.toks[p.pos+1].kind == tokColon {
+			break
+		}
+		p.pos++
+		switch t.kind {
+		case tokPlus:
+			if havePending {
+				constant += sign * pendingCoef
+				havePending = false
+			}
+			sign, pendingCoef = 1, 1
+		case tokMinus:
+			if havePending {
+				constant += sign * pendingCoef
+				havePending = false
+			}
+			sign, pendingCoef = -1, 1
+		case tokNum:
+			if havePending {
+				// Two numbers in a row: treat prior as constant.
+				constant += sign * pendingCoef
+			}
+			pendingCoef = t.num
+			havePending = true
+		case tokName:
+			id := p.getVar(t.text)
+			coefs[id] += sign * pendingCoef
+			sign, pendingCoef, havePending = 1, 1, false
+		default:
+			return nil, 0, fmt.Errorf("line %d: unexpected token in expression", t.line)
+		}
+	}
+	if havePending {
+		constant += sign * pendingCoef
+	}
+	return coefs, constant, nil
+}
+
+func (p *lpParser) parseConstraint() error {
+	var name string
+	if t, ok := p.peek(); ok && t.kind == tokName && p.pos+1 < len(p.toks) && p.toks[p.pos+1].kind == tokColon {
+		name = t.text
+		p.pos += 2
+	}
+	coefs, lhsConst, err := p.parseExpr(false)
+	if err != nil {
+		return fmt.Errorf("lp: constraint %q: %w", name, err)
+	}
+	st, ok := p.next()
+	if !ok || st.kind != tokSense {
+		return fmt.Errorf("lp: constraint %q: expected sense", name)
+	}
+	// RHS: signed number.
+	rsign := 1.0
+	t, ok := p.next()
+	for ok && (t.kind == tokPlus || t.kind == tokMinus) {
+		if t.kind == tokMinus {
+			rsign = -rsign
+		}
+		t, ok = p.next()
+	}
+	if !ok || t.kind != tokNum {
+		return fmt.Errorf("lp: constraint %q: expected numeric RHS", name)
+	}
+	rhs := rsign*t.num - lhsConst
+
+	var sense Sense
+	switch st.text {
+	case "<=":
+		sense = LE
+	case ">=":
+		sense = GE
+	default:
+		sense = EQ
+	}
+	terms := make([]Term, 0, len(coefs))
+	// Deterministic order: by variable ID.
+	for id := VarID(0); int(id) < p.m.NumVars(); id++ {
+		if c, ok := coefs[id]; ok && c != 0 {
+			terms = append(terms, Term{Var: id, Coef: c})
+		}
+	}
+	p.m.AddRow(name, terms, sense, rhs)
+	return nil
+}
+
+func (p *lpParser) parseBounds() error {
+	for {
+		if p.atSectionBoundary() {
+			return nil
+		}
+		// Forms:
+		//   lo <= x <= hi | x <= hi | x >= lo | x = v | x free
+		//   -inf <= x <= hi etc. (inf spelled inf/infinity, signed)
+		lo := math.Inf(-1)
+		hasLo := false
+		if v, ok := p.tryBoundNum(); ok {
+			lo = v
+			hasLo = true
+			if t, ok2 := p.next(); !ok2 || t.kind != tokSense || t.text != "<=" {
+				return fmt.Errorf("lp: bounds: expected <= after lower bound")
+			}
+		}
+		t, ok := p.next()
+		if !ok || t.kind != tokName {
+			return fmt.Errorf("lp: bounds: expected variable name")
+		}
+		id := p.getVar(t.text)
+		v := p.m.Var(id)
+		newLo, newHi := v.Lower, v.Upper
+		if hasLo {
+			newLo = lo
+		}
+
+		if nt, ok2 := p.peek(); ok2 && nt.kind == tokName && strings.EqualFold(nt.text, "free") {
+			p.pos++
+			newLo, newHi = math.Inf(-1), math.Inf(1)
+		} else if nt, ok2 := p.peek(); ok2 && nt.kind == tokSense {
+			p.pos++
+			val, ok3 := p.tryBoundNum()
+			if !ok3 {
+				return fmt.Errorf("lp: bounds: expected number after %s", nt.text)
+			}
+			switch nt.text {
+			case "<=":
+				newHi = val
+			case ">=":
+				newLo = val
+			default:
+				newLo, newHi = val, val
+			}
+		} else if !hasLo {
+			return fmt.Errorf("lp: bounds: malformed bound for %q", t.text)
+		}
+		if !hasLo && newLo == 0 && math.IsInf(newHi, -1) {
+			return fmt.Errorf("lp: bounds: malformed bound for %q", t.text)
+		}
+		p.m.SetBounds(id, newLo, newHi)
+		p.boundSet[t.text] = true
+	}
+}
+
+// tryBoundNum consumes an optionally-signed number or infinity token if
+// present.
+func (p *lpParser) tryBoundNum() (float64, bool) {
+	save := p.pos
+	sign := 1.0
+	t, ok := p.next()
+	for ok && (t.kind == tokPlus || t.kind == tokMinus) {
+		if t.kind == tokMinus {
+			sign = -sign
+		}
+		t, ok = p.next()
+	}
+	if !ok {
+		p.pos = save
+		return 0, false
+	}
+	if t.kind == tokNum {
+		return sign * t.num, true
+	}
+	if t.kind == tokName && (strings.EqualFold(t.text, "inf") || strings.EqualFold(t.text, "infinity")) {
+		return sign * math.Inf(1), true
+	}
+	p.pos = save
+	return 0, false
+}
+
+func (p *lpParser) parseVarList(vt VarType) {
+	for {
+		t, ok := p.peek()
+		if !ok || t.kind != tokName || sectionKeywords[strings.ToLower(t.text)] {
+			return
+		}
+		p.pos++
+		id := p.getVar(t.text)
+		v := p.m.Var(id)
+		lo, hi := v.Lower, v.Upper
+		if vt == Binary && !p.boundSet[t.text] {
+			lo, hi = 0, 1
+		}
+		p.m.vars[id].Type = vt
+		p.m.SetBounds(id, lo, hi)
+	}
+}

@@ -1,0 +1,77 @@
+package lp
+
+import "fmt"
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	// StatusOptimal means an optimal solution was found (for MILP, within
+	// the configured gap tolerance).
+	StatusOptimal Status = iota + 1
+	// StatusInfeasible means the model has no feasible point.
+	StatusInfeasible
+	// StatusUnbounded means the objective can decrease without bound.
+	StatusUnbounded
+	// StatusIterLimit means the solver hit its iteration limit before
+	// proving optimality.
+	StatusIterLimit
+	// StatusNodeLimit means branch & bound hit its node limit; the
+	// incumbent (if any) is the best known solution.
+	StatusNodeLimit
+	// StatusFeasible means a feasible but not provably optimal solution
+	// was returned (e.g. heuristic incumbent at a limit).
+	StatusFeasible
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusIterLimit:
+		return "iteration-limit"
+	case StatusNodeLimit:
+		return "node-limit"
+	case StatusFeasible:
+		return "feasible"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// HasSolution reports whether the status carries a usable primal point.
+func (s Status) HasSolution() bool {
+	return s == StatusOptimal || s == StatusFeasible || s == StatusNodeLimit || s == StatusIterLimit
+}
+
+// Solution is the result of solving a model.
+type Solution struct {
+	Status    Status
+	Objective float64
+	// X holds one value per model variable; nil when no solution exists.
+	X []float64
+	// Iterations counts simplex pivots (summed over B&B nodes for MILP).
+	Iterations int
+	// Nodes counts branch & bound nodes explored (0 for pure LP).
+	Nodes int
+	// Gap is the relative MILP optimality gap at termination
+	// ((incumbent − bound)/max(1,|incumbent|)); 0 for pure LP.
+	Gap float64
+	// DualValues holds one simplex multiplier per row for pure-LP solves;
+	// nil for MILP.
+	DualValues []float64
+}
+
+// Value returns the solution value of v, or 0 if no solution is present.
+func (s *Solution) Value(v VarID) float64 {
+	if s.X == nil || int(v) >= len(s.X) {
+		return 0
+	}
+	return s.X[v]
+}

@@ -1,0 +1,193 @@
+package lp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WriteLP writes the model in CPLEX LP file format. The output can be
+// loaded by CPLEX, Gurobi, GLPK, or this package's ParseLP, so a model
+// built by the planner can be inspected or solved externally — the same
+// interchange point the paper's architecture uses between its
+// transformation module and optimization engine.
+func (m *Model) WriteLP(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	names, err := m.lpNames()
+	if err != nil {
+		return err
+	}
+
+	if m.Name != "" {
+		fmt.Fprintf(bw, "\\ Problem: %s\n", m.Name)
+	}
+	fmt.Fprintln(bw, "Minimize")
+	fmt.Fprint(bw, " obj:")
+	col := 5
+	wroteAny := false
+	for i, v := range m.vars {
+		if v.Cost == 0 {
+			continue
+		}
+		col = writeTerm(bw, col, v.Cost, names[i], !wroteAny)
+		wroteAny = true
+	}
+	if !wroteAny {
+		// An empty objective row is invalid in some readers; emit 0 times
+		// the first variable if one exists.
+		if len(m.vars) > 0 {
+			fmt.Fprintf(bw, " 0 %s", names[0])
+		}
+	}
+	fmt.Fprintln(bw)
+
+	fmt.Fprintln(bw, "Subject To")
+	for r, row := range m.rows {
+		rn := fmt.Sprintf("c%d", r)
+		if row.Name != "" {
+			rn = sanitizeLPName(row.Name)
+		}
+		fmt.Fprintf(bw, " %s:", rn)
+		col = len(rn) + 2
+		if len(row.Terms) == 0 {
+			// Constant row: emit "0 firstVar" so the line stays parseable.
+			if len(m.vars) > 0 {
+				fmt.Fprintf(bw, " 0 %s", names[0])
+			}
+		}
+		for k, t := range row.Terms {
+			col = writeTerm(bw, col, t.Coef, names[t.Var], k == 0)
+		}
+		fmt.Fprintf(bw, " %s %s\n", row.Sense, fmtLPNum(row.RHS))
+	}
+
+	fmt.Fprintln(bw, "Bounds")
+	for i, v := range m.vars {
+		if v.Type == Binary {
+			continue // implied [0,1] via the Binary section
+		}
+		lo, hi := v.Lower, v.Upper
+		switch {
+		case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+			fmt.Fprintf(bw, " %s free\n", names[i])
+		case math.IsInf(hi, 1):
+			fmt.Fprintf(bw, " %s >= %s\n", names[i], fmtLPNum(lo))
+		case math.IsInf(lo, -1):
+			fmt.Fprintf(bw, " %s <= %s\n", names[i], fmtLPNum(hi))
+		default:
+			fmt.Fprintf(bw, " %s <= %s <= %s\n", fmtLPNum(lo), names[i], fmtLPNum(hi))
+		}
+	}
+
+	var bins, gens []string
+	for i, v := range m.vars {
+		switch v.Type {
+		case Binary:
+			bins = append(bins, names[i])
+		case Integer:
+			gens = append(gens, names[i])
+		}
+	}
+	writeNameSection(bw, "Binary", bins)
+	writeNameSection(bw, "General", gens)
+
+	fmt.Fprintln(bw, "End")
+	return bw.Flush()
+}
+
+func writeNameSection(w io.Writer, header string, names []string) {
+	if len(names) == 0 {
+		return
+	}
+	fmt.Fprintln(w, header)
+	const perLine = 8
+	for i := 0; i < len(names); i += perLine {
+		end := i + perLine
+		if end > len(names) {
+			end = len(names)
+		}
+		fmt.Fprintf(w, " %s\n", strings.Join(names[i:end], " "))
+	}
+}
+
+// writeTerm appends "± coef name" to the current line, wrapping at ~70
+// columns, and returns the new column position.
+func writeTerm(w io.Writer, col int, coef float64, name string, first bool) int {
+	var sb strings.Builder
+	if coef < 0 {
+		sb.WriteString(" - ")
+	} else if first {
+		sb.WriteString(" ")
+	} else {
+		sb.WriteString(" + ")
+	}
+	if a := math.Abs(coef); a != 1 {
+		sb.WriteString(fmtLPNum(a))
+		sb.WriteString(" ")
+	}
+	sb.WriteString(name)
+	s := sb.String()
+	if col+len(s) > 70 {
+		fmt.Fprint(w, "\n   ")
+		col = 3
+	}
+	fmt.Fprint(w, s)
+	return col + len(s)
+}
+
+// fmtLPNum renders a float compactly without losing precision.
+func fmtLPNum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// lpNames produces sanitized, unique LP-format names for every variable.
+func (m *Model) lpNames() ([]string, error) {
+	names := make([]string, len(m.vars))
+	seen := make(map[string]int, len(m.vars))
+	for i, v := range m.vars {
+		n := v.Name
+		if n == "" {
+			n = fmt.Sprintf("x%d", i)
+		}
+		n = sanitizeLPName(n)
+		if prev, dup := seen[n]; dup {
+			return nil, fmt.Errorf("lp: variables %d and %d share LP name %q", prev, i, n)
+		}
+		seen[n] = i
+		names[i] = n
+	}
+	return names, nil
+}
+
+// sanitizeLPName maps an arbitrary identifier to a legal LP-format name:
+// allowed characters are letters, digits and !"#$%&()/,.;?@_'`{}|~ — we
+// restrict further to [A-Za-z0-9_.()] and a safe first character.
+func sanitizeLPName(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '_', r == '.', r == '(', r == ')':
+			sb.WriteRune(r)
+		default:
+			sb.WriteRune('_')
+		}
+	}
+	out := sb.String()
+	if out == "" {
+		return "_"
+	}
+	c := out[0]
+	if (c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' {
+		// LP names may not start with a digit or period; a leading e/E
+		// followed by digits can be misread as a number by some parsers.
+		out = "_" + out
+	}
+	return out
+}

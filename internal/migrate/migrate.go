@@ -1,0 +1,166 @@
+// Package migrate turns a consolidation plan into an executable migration
+// schedule: ordered waves of application-group moves from the as-is
+// estate into the to-be placement, never overfilling a target data center
+// mid-transformation.
+//
+// The paper produces the end-state plan (§III); carrying an enterprise
+// there is itself constrained — a target site can only absorb groups as
+// fast as capacity frees up, and groups already at their target must not
+// move. The scheduler packs each wave greedily (largest movable groups
+// first) subject to the target's free capacity at that point in time,
+// optionally capped by a per-wave move budget.
+package migrate
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/etransform/etransform/internal/model"
+)
+
+// Move is one group relocation.
+type Move struct {
+	GroupID string `json:"group_id"`
+	// From is the current site (a current-estate DC ID, or a target DC ID
+	// for later waves of multi-step plans).
+	From string `json:"from"`
+	// To is the destination target DC ID.
+	To string `json:"to"`
+	// Servers is the group's size, for capacity accounting.
+	Servers int `json:"servers"`
+}
+
+// Wave is one batch of moves that can execute concurrently.
+type Wave struct {
+	Number int    `json:"number"`
+	Moves  []Move `json:"moves"`
+}
+
+// Servers returns the total servers moved in the wave.
+func (w *Wave) Servers() int {
+	n := 0
+	for _, m := range w.Moves {
+		n += m.Servers
+	}
+	return n
+}
+
+// Options tune the scheduler.
+type Options struct {
+	// MaxMovesPerWave caps the number of group moves per wave
+	// (0 = unlimited).
+	MaxMovesPerWave int
+	// MaxServersPerWave caps the servers moved per wave (0 = unlimited).
+	MaxServersPerWave int
+	// ReserveBackupCapacity holds back each target's backup pool space
+	// (Plan.BackupServers) from wave one, so DR provisioning can proceed
+	// in parallel with the migration.
+	ReserveBackupCapacity bool
+}
+
+// Schedule computes the migration waves for a plan. Groups whose current
+// site already equals their target (same DC ID across estates) are
+// skipped. It returns an error if the plan is unschedulable — i.e. some
+// group can never fit because the plan itself overfills a target.
+func Schedule(s *model.AsIsState, plan *model.Plan, opts Options) ([]Wave, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	// Free capacity at each target right now: capacity minus servers of
+	// groups already sitting there (same DC ID in both estates) minus any
+	// reserved backup pool.
+	free := make(map[string]int, len(s.Target.DCs))
+	for j := range s.Target.DCs {
+		free[s.Target.DCs[j].ID] = s.Target.DCs[j].CapacityServers
+	}
+	if opts.ReserveBackupCapacity {
+		for id, n := range plan.BackupServers {
+			if _, ok := free[id]; !ok {
+				return nil, fmt.Errorf("migrate: plan has backup pool at unknown DC %q", id)
+			}
+			free[id] -= n
+		}
+	}
+
+	type pending struct {
+		group  *model.AppGroup
+		target string
+	}
+	var todo []pending
+	for i := range s.Groups {
+		g := &s.Groups[i]
+		a := plan.AssignmentFor(g.ID)
+		if a == nil {
+			return nil, fmt.Errorf("migrate: plan misses group %q", g.ID)
+		}
+		if _, ok := free[a.PrimaryDC]; !ok {
+			return nil, fmt.Errorf("migrate: plan places %q at unknown DC %q", g.ID, a.PrimaryDC)
+		}
+		if g.CurrentDC == a.PrimaryDC {
+			// Already home: it occupies its target from the start.
+			free[a.PrimaryDC] -= g.Servers
+			continue
+		}
+		todo = append(todo, pending{group: g, target: a.PrimaryDC})
+	}
+	for id, f := range free {
+		if f < 0 {
+			return nil, fmt.Errorf("migrate: target %q oversubscribed before any move (%d over)", id, -f)
+		}
+	}
+
+	// Largest groups first within each wave: they are the hardest to
+	// place, and early placement frees their legacy rooms soonest.
+	sort.SliceStable(todo, func(a, b int) bool {
+		if todo[a].group.Servers != todo[b].group.Servers {
+			return todo[a].group.Servers > todo[b].group.Servers
+		}
+		return todo[a].group.ID < todo[b].group.ID
+	})
+
+	var waves []Wave
+	for len(todo) > 0 {
+		wave := Wave{Number: len(waves) + 1}
+		var rest []pending
+		moved := 0
+		servers := 0
+		for _, p := range todo {
+			overMoveCap := opts.MaxMovesPerWave > 0 && moved >= opts.MaxMovesPerWave
+			overSrvCap := opts.MaxServersPerWave > 0 && servers+p.group.Servers > opts.MaxServersPerWave
+			if overMoveCap || overSrvCap || free[p.target] < p.group.Servers {
+				rest = append(rest, p)
+				continue
+			}
+			wave.Moves = append(wave.Moves, Move{
+				GroupID: p.group.ID,
+				From:    p.group.CurrentDC,
+				To:      p.target,
+				Servers: p.group.Servers,
+			})
+			free[p.target] -= p.group.Servers
+			moved++
+			servers += p.group.Servers
+		}
+		if len(wave.Moves) == 0 {
+			// No move fit: with capacity-only constraints (moves free
+			// legacy space, never target space) this cannot resolve later.
+			return nil, fmt.Errorf("migrate: stuck with %d groups unplaced — the plan overfills its targets (first stuck group %q needs %d free at %q, have %d)",
+				len(todo), todo[0].group.ID, todo[0].group.Servers, todo[0].target, free[todo[0].target])
+		}
+		waves = append(waves, wave)
+		todo = rest
+	}
+	return waves, nil
+}
+
+// Render formats a schedule for humans.
+func Render(waves []Wave) string {
+	out := fmt.Sprintf("migration schedule: %d waves\n", len(waves))
+	for _, w := range waves {
+		out += fmt.Sprintf("  wave %d: %d groups, %d servers\n", w.Number, len(w.Moves), w.Servers())
+		for _, m := range w.Moves {
+			out += fmt.Sprintf("    %-10s %s → %s (%d servers)\n", m.GroupID, m.From, m.To, m.Servers)
+		}
+	}
+	return out
+}

@@ -1,0 +1,292 @@
+package migrate
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/etransform/etransform/internal/geo"
+	"github.com/etransform/etransform/internal/model"
+	"github.com/etransform/etransform/internal/stepwise"
+)
+
+func mkDC(id string, capacity int) model.DataCenter {
+	return model.DataCenter{
+		ID: id, Location: geo.Location{ID: "l-" + id},
+		CapacityServers: capacity, SpaceCost: stepwise.Flat(50),
+	}
+}
+
+func mkState(groups []model.AppGroup, currentCaps, targetCaps map[string]int) *model.AsIsState {
+	s := &model.AsIsState{Name: "mig", Params: model.DefaultParams()}
+	s.UserLocations = []geo.Location{{ID: "u0"}}
+	for id, c := range currentCaps {
+		s.Current.DCs = append(s.Current.DCs, mkDC(id, c))
+	}
+	for id, c := range targetCaps {
+		s.Target.DCs = append(s.Target.DCs, mkDC(id, c))
+	}
+	// Deterministic order.
+	sortDCs(s.Current.DCs)
+	sortDCs(s.Target.DCs)
+	s.Current.LatencyMs = [][]float64{make([]float64, len(s.Current.DCs))}
+	s.Target.LatencyMs = [][]float64{make([]float64, len(s.Target.DCs))}
+	for i := range s.Current.LatencyMs[0] {
+		s.Current.LatencyMs[0][i] = 10
+	}
+	for i := range s.Target.LatencyMs[0] {
+		s.Target.LatencyMs[0][i] = 10
+	}
+	s.Groups = groups
+	return s
+}
+
+func sortDCs(dcs []model.DataCenter) {
+	for i := 1; i < len(dcs); i++ {
+		for j := i; j > 0 && dcs[j].ID < dcs[j-1].ID; j-- {
+			dcs[j], dcs[j-1] = dcs[j-1], dcs[j]
+		}
+	}
+}
+
+func planFor(assignments map[string]string, backups map[string]int) *model.Plan {
+	p := &model.Plan{BackupServers: backups}
+	ids := make([]string, 0, len(assignments))
+	for id := range assignments {
+		ids = append(ids, id)
+	}
+	// Deterministic.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	for _, id := range ids {
+		p.Assignments = append(p.Assignments, model.Assignment{GroupID: id, PrimaryDC: assignments[id]})
+	}
+	return p
+}
+
+func TestScheduleSingleWave(t *testing.T) {
+	groups := []model.AppGroup{
+		{ID: "a", Servers: 10, UsersByLocation: []int{1}, CurrentDC: "old1"},
+		{ID: "b", Servers: 5, UsersByLocation: []int{1}, CurrentDC: "old1"},
+	}
+	s := mkState(groups, map[string]int{"old1": 20}, map[string]int{"t1": 40})
+	waves, err := Schedule(s, planFor(map[string]string{"a": "t1", "b": "t1"}, nil), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(waves) != 1 || len(waves[0].Moves) != 2 {
+		t.Fatalf("waves = %+v", waves)
+	}
+	if waves[0].Servers() != 15 {
+		t.Errorf("wave servers = %d", waves[0].Servers())
+	}
+	// Largest group moves first in the listing.
+	if waves[0].Moves[0].GroupID != "a" {
+		t.Errorf("first move = %q, want a (largest)", waves[0].Moves[0].GroupID)
+	}
+}
+
+func TestScheduleSkipsGroupsAlreadyHome(t *testing.T) {
+	groups := []model.AppGroup{
+		{ID: "a", Servers: 10, UsersByLocation: []int{1}, CurrentDC: "t1"},
+		{ID: "b", Servers: 5, UsersByLocation: []int{1}, CurrentDC: "old1"},
+	}
+	s := mkState(groups, map[string]int{"old1": 10, "t1": 15}, map[string]int{"t1": 16})
+	waves, err := Schedule(s, planFor(map[string]string{"a": "t1", "b": "t1"}, nil), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(waves) != 1 || len(waves[0].Moves) != 1 || waves[0].Moves[0].GroupID != "b" {
+		t.Fatalf("waves = %+v", waves)
+	}
+}
+
+func TestScheduleMoveBudgetCreatesWaves(t *testing.T) {
+	var groups []model.AppGroup
+	assignments := map[string]string{}
+	for i := 0; i < 7; i++ {
+		id := fmt.Sprintf("g%d", i)
+		groups = append(groups, model.AppGroup{ID: id, Servers: 2, UsersByLocation: []int{1}, CurrentDC: "old1"})
+		assignments[id] = "t1"
+	}
+	s := mkState(groups, map[string]int{"old1": 20}, map[string]int{"t1": 100})
+	waves, err := Schedule(s, planFor(assignments, nil), Options{MaxMovesPerWave: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(waves) != 3 {
+		t.Fatalf("waves = %d, want 3 (7 moves / 3 per wave)", len(waves))
+	}
+	for i, w := range waves[:2] {
+		if len(w.Moves) != 3 {
+			t.Errorf("wave %d has %d moves", i+1, len(w.Moves))
+		}
+	}
+}
+
+func TestScheduleServerBudget(t *testing.T) {
+	groups := []model.AppGroup{
+		{ID: "a", Servers: 8, UsersByLocation: []int{1}, CurrentDC: "old1"},
+		{ID: "b", Servers: 7, UsersByLocation: []int{1}, CurrentDC: "old1"},
+		{ID: "c", Servers: 2, UsersByLocation: []int{1}, CurrentDC: "old1"},
+	}
+	s := mkState(groups, map[string]int{"old1": 20}, map[string]int{"t1": 40})
+	waves, err := Schedule(s, planFor(map[string]string{"a": "t1", "b": "t1", "c": "t1"}, nil),
+		Options{MaxServersPerWave: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range waves {
+		if w.Servers() > 10 {
+			t.Errorf("wave %d moves %d servers, cap 10", w.Number, w.Servers())
+		}
+	}
+	total := 0
+	for _, w := range waves {
+		total += len(w.Moves)
+	}
+	if total != 3 {
+		t.Errorf("moved %d groups, want 3", total)
+	}
+}
+
+func TestScheduleReservesBackupCapacity(t *testing.T) {
+	groups := []model.AppGroup{
+		{ID: "a", Servers: 10, UsersByLocation: []int{1}, CurrentDC: "old1"},
+	}
+	s := mkState(groups, map[string]int{"old1": 10}, map[string]int{"t1": 15})
+	plan := planFor(map[string]string{"a": "t1"}, map[string]int{"t1": 8})
+	// 15 capacity − 8 reserved = 7 < 10 → unschedulable with reservation…
+	if _, err := Schedule(s, plan, Options{ReserveBackupCapacity: true}); err == nil {
+		t.Fatal("expected unschedulable with reserved backup capacity")
+	}
+	// …but fine without.
+	waves, err := Schedule(s, plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(waves) != 1 {
+		t.Fatalf("waves = %d", len(waves))
+	}
+}
+
+func TestScheduleDetectsOverfilledPlan(t *testing.T) {
+	groups := []model.AppGroup{
+		{ID: "a", Servers: 10, UsersByLocation: []int{1}, CurrentDC: "old1"},
+		{ID: "b", Servers: 10, UsersByLocation: []int{1}, CurrentDC: "old1"},
+	}
+	s := mkState(groups, map[string]int{"old1": 20}, map[string]int{"t1": 15})
+	if _, err := Schedule(s, planFor(map[string]string{"a": "t1", "b": "t1"}, nil), Options{}); err == nil {
+		t.Fatal("expected overfill error")
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	groups := []model.AppGroup{
+		{ID: "a", Servers: 5, UsersByLocation: []int{1}, CurrentDC: "old1"},
+	}
+	s := mkState(groups, map[string]int{"old1": 10}, map[string]int{"t1": 10})
+	if _, err := Schedule(s, planFor(map[string]string{}, nil), Options{}); err == nil {
+		t.Error("missing assignment accepted")
+	}
+	if _, err := Schedule(s, planFor(map[string]string{"a": "zzz"}, nil), Options{}); err == nil {
+		t.Error("unknown target accepted")
+	}
+	if _, err := Schedule(s, planFor(map[string]string{"a": "t1"}, map[string]int{"zzz": 1}),
+		Options{ReserveBackupCapacity: true}); err == nil {
+		t.Error("unknown backup DC accepted")
+	}
+}
+
+// TestSchedulePropertyAllMovesValid: random plans schedule completely and
+// respect capacity at every prefix of execution.
+func TestSchedulePropertyAllMovesValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		nGroups := 3 + rng.Intn(15)
+		nTargets := 2 + rng.Intn(4)
+		targets := map[string]int{}
+		var tIDs []string
+		for j := 0; j < nTargets; j++ {
+			id := fmt.Sprintf("t%d", j)
+			targets[id] = 20 + rng.Intn(60)
+			tIDs = append(tIDs, id)
+		}
+		var groups []model.AppGroup
+		assignments := map[string]string{}
+		load := map[string]int{}
+		ok := true
+		for i := 0; i < nGroups; i++ {
+			id := fmt.Sprintf("g%d", i)
+			srv := 1 + rng.Intn(12)
+			tgt := tIDs[rng.Intn(nTargets)]
+			if load[tgt]+srv > targets[tgt] {
+				// keep the plan feasible by reassigning
+				placed := false
+				for _, alt := range tIDs {
+					if load[alt]+srv <= targets[alt] {
+						tgt = alt
+						placed = true
+						break
+					}
+				}
+				if !placed {
+					ok = false
+					break
+				}
+			}
+			load[tgt] += srv
+			groups = append(groups, model.AppGroup{
+				ID: id, Servers: srv, UsersByLocation: []int{1}, CurrentDC: "old1",
+			})
+			assignments[id] = tgt
+		}
+		if !ok {
+			continue
+		}
+		s := mkState(groups, map[string]int{"old1": 1000}, targets)
+		budget := 0
+		if rng.Intn(2) == 0 {
+			budget = 1 + rng.Intn(5)
+		}
+		waves, err := Schedule(s, planFor(assignments, nil), Options{MaxMovesPerWave: budget})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Replay: capacity never exceeded, every group moved exactly once.
+		free := map[string]int{}
+		for id, c := range targets {
+			free[id] = c
+		}
+		seen := map[string]bool{}
+		for _, w := range waves {
+			for _, m := range w.Moves {
+				if seen[m.GroupID] {
+					t.Fatalf("trial %d: group %q moved twice", trial, m.GroupID)
+				}
+				seen[m.GroupID] = true
+				free[m.To] -= m.Servers
+				if free[m.To] < 0 {
+					t.Fatalf("trial %d: %q overfilled in wave %d", trial, m.To, w.Number)
+				}
+			}
+		}
+		if len(seen) != len(groups) {
+			t.Fatalf("trial %d: moved %d of %d groups", trial, len(seen), len(groups))
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	waves := []Wave{{Number: 1, Moves: []Move{{GroupID: "a", From: "x", To: "y", Servers: 3}}}}
+	out := Render(waves)
+	for _, want := range []string{"1 waves", "wave 1", "x → y", "3 servers"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package milp
+
+import (
+	"math"
+
+	"github.com/etransform/etransform/internal/lp"
+)
+
+// presolve tightens variable bounds by constraint propagation before the
+// search starts: for every row, each variable's bound is improved using
+// the extreme activity of the other terms; integer bounds are then
+// rounded inward. Rows can also prove immediate infeasibility. The model
+// keeps its shape (no rows or columns are removed), so solutions map
+// back one-to-one.
+//
+// Propagation repeats until a fixed point or maxPasses; each pass is
+// O(nonzeros).
+func presolve(m *lp.Model, maxPasses int) (tightened int, infeasible bool) {
+	n := m.NumVars()
+	lo := make([]float64, n)
+	hi := make([]float64, n)
+	isInt := make([]bool, n)
+	for j := 0; j < n; j++ {
+		v := m.Var(lp.VarID(j))
+		lo[j], hi[j] = v.Lower, v.Upper
+		isInt[j] = v.Type != lp.Continuous
+	}
+
+	for pass := 0; pass < maxPasses; pass++ {
+		changed := false
+		for r := 0; r < m.NumRows(); r++ {
+			row := m.Row(lp.RowID(r))
+			// Row activity bounds from current variable bounds, tracking
+			// infinite contributions separately so removing one term's
+			// contribution stays well-defined.
+			var minFin, maxFin float64
+			minInf, maxInf := 0, 0 // counts of −inf (min) / +inf (max) contributions
+			for _, t := range row.Terms {
+				l, h := lo[t.Var], hi[t.Var]
+				if t.Coef < 0 {
+					l, h = h, l
+				}
+				// Contribution range is [coef·l, coef·h] after the swap.
+				if math.IsInf(l, 0) {
+					minInf++
+				} else {
+					minFin += t.Coef * l
+				}
+				if math.IsInf(h, 0) {
+					maxInf++
+				} else {
+					maxFin += t.Coef * h
+				}
+			}
+			const tol = 1e-9
+			switch row.Sense {
+			case lp.LE:
+				if minInf == 0 && minFin > row.RHS+feasEps(row.RHS) {
+					return tightened, true
+				}
+			case lp.GE:
+				if maxInf == 0 && maxFin < row.RHS-feasEps(row.RHS) {
+					return tightened, true
+				}
+			case lp.EQ:
+				if (minInf == 0 && minFin > row.RHS+feasEps(row.RHS)) ||
+					(maxInf == 0 && maxFin < row.RHS-feasEps(row.RHS)) {
+					return tightened, true
+				}
+			}
+			// Tighten each variable against the row. For a ≤ row:
+			// coef>0: x ≤ (rhs − minActWithout)/coef;
+			// coef<0: x ≥ (rhs − minActWithout)/coef.
+			// GE rows symmetric via maxAct; EQ rows give both.
+			for _, t := range row.Terms {
+				if t.Coef == 0 {
+					continue
+				}
+				j := t.Var
+				// Activity of the other terms at their extremes: finite
+				// only when j carries the sole infinite contribution.
+				l, h := lo[j], hi[j]
+				if t.Coef < 0 {
+					l, h = h, l
+				}
+				minOther, maxOther := math.Inf(-1), math.Inf(1)
+				if math.IsInf(l, 0) {
+					if minInf == 1 {
+						minOther = minFin
+					}
+				} else if minInf == 0 {
+					minOther = minFin - t.Coef*l
+				}
+				if math.IsInf(h, 0) {
+					if maxInf == 1 {
+						maxOther = maxFin
+					}
+				} else if maxInf == 0 {
+					maxOther = maxFin - t.Coef*h
+				}
+				upper := math.Inf(1)
+				lower := math.Inf(-1)
+				if row.Sense == lp.LE || row.Sense == lp.EQ {
+					if !math.IsInf(minOther, 0) {
+						bound := (row.RHS - minOther) / t.Coef
+						if t.Coef > 0 {
+							upper = bound
+						} else {
+							lower = bound
+						}
+					}
+				}
+				if row.Sense == lp.GE || row.Sense == lp.EQ {
+					if !math.IsInf(maxOther, 0) {
+						bound := (row.RHS - maxOther) / t.Coef
+						if t.Coef > 0 {
+							lower = bound
+						} else {
+							upper = bound
+						}
+					}
+				}
+				if isInt[j] {
+					if !math.IsInf(upper, 1) {
+						upper = math.Floor(upper + tol)
+					}
+					if !math.IsInf(lower, -1) {
+						lower = math.Ceil(lower - tol)
+					}
+				}
+				if upper < hi[j]-tol {
+					hi[j] = upper
+					changed = true
+					tightened++
+				}
+				if lower > lo[j]+tol {
+					lo[j] = lower
+					changed = true
+					tightened++
+				}
+				if lo[j] > hi[j]+tol {
+					return tightened, true
+				}
+				if lo[j] > hi[j] {
+					// Within tolerance: snap.
+					hi[j] = lo[j]
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for j := 0; j < n; j++ {
+		v := m.Var(lp.VarID(j))
+		if lo[j] != v.Lower || hi[j] != v.Upper {
+			m.SetBounds(lp.VarID(j), lo[j], hi[j])
+		}
+	}
+	return tightened, false
+}
+
+// feasEps scales the infeasibility tolerance by the row magnitude.
+func feasEps(rhs float64) float64 {
+	return 1e-7 * math.Max(1, math.Abs(rhs))
+}

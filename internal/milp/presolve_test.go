@@ -1,0 +1,133 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/etransform/etransform/internal/lp"
+)
+
+func TestPresolveTightensBounds(t *testing.T) {
+	// x + y <= 4 with x,y in [0,10]: both uppers tighten to 4.
+	m := lp.NewModel("ps")
+	x := m.AddContinuous("x", 0, 10, 1)
+	y := m.AddContinuous("y", 0, 10, 1)
+	m.AddRow("r", []lp.Term{{Var: x, Coef: 1}, {Var: y, Coef: 1}}, lp.LE, 4)
+	n, infeasible := presolve(m, 10)
+	if infeasible {
+		t.Fatal("feasible model declared infeasible")
+	}
+	if n == 0 {
+		t.Fatal("no tightening happened")
+	}
+	if m.Var(x).Upper != 4 || m.Var(y).Upper != 4 {
+		t.Errorf("uppers = %v, %v, want 4", m.Var(x).Upper, m.Var(y).Upper)
+	}
+}
+
+func TestPresolveIntegerRounding(t *testing.T) {
+	// 2g <= 7 with g integer in [0,10] → g ≤ 3 (floor of 3.5).
+	m := lp.NewModel("pi")
+	g := m.AddVar(lp.Variable{Name: "g", Lower: 0, Upper: 10, Type: lp.Integer})
+	m.AddRow("r", []lp.Term{{Var: g, Coef: 2}}, lp.LE, 7)
+	presolve(m, 10)
+	if m.Var(g).Upper != 3 {
+		t.Errorf("g upper = %v, want 3", m.Var(g).Upper)
+	}
+}
+
+func TestPresolveDetectsInfeasible(t *testing.T) {
+	m := lp.NewModel("inf")
+	x := m.AddContinuous("x", 0, 1, 0)
+	m.AddRow("r", []lp.Term{{Var: x, Coef: 1}}, lp.GE, 5)
+	if _, infeasible := presolve(m, 10); !infeasible {
+		t.Error("infeasible model not detected")
+	}
+}
+
+func TestPresolveGEAndEQ(t *testing.T) {
+	// x - y >= 3 with x ≤ 5 → y ≤ 2; plus a = 4 equality fixing.
+	m := lp.NewModel("geq")
+	x := m.AddContinuous("x", 0, 5, 0)
+	y := m.AddContinuous("y", 0, 100, 0)
+	a := m.AddContinuous("a", 0, 10, 0)
+	m.AddRow("r1", []lp.Term{{Var: x, Coef: 1}, {Var: y, Coef: -1}}, lp.GE, 3)
+	m.AddRow("r2", []lp.Term{{Var: a, Coef: 1}}, lp.EQ, 4)
+	presolve(m, 10)
+	if m.Var(y).Upper != 2 {
+		t.Errorf("y upper = %v, want 2", m.Var(y).Upper)
+	}
+	if m.Var(a).Lower != 4 || m.Var(a).Upper != 4 {
+		t.Errorf("a bounds = [%v,%v], want fixed at 4", m.Var(a).Lower, m.Var(a).Upper)
+	}
+	// x must now be ≥ 3 (x ≥ 3 + y_lo).
+	if m.Var(x).Lower != 3 {
+		t.Errorf("x lower = %v, want 3", m.Var(x).Lower)
+	}
+}
+
+func TestPresolveFreeVarsUntouched(t *testing.T) {
+	// A row with a free variable has unbounded other-activity; the bounded
+	// variable cannot be tightened through it.
+	m := lp.NewModel("free")
+	x := m.AddContinuous("x", math.Inf(-1), math.Inf(1), 0)
+	y := m.AddContinuous("y", 0, 10, 0)
+	m.AddRow("r", []lp.Term{{Var: x, Coef: 1}, {Var: y, Coef: 1}}, lp.LE, 4)
+	presolve(m, 10)
+	if m.Var(y).Upper != 10 {
+		t.Errorf("y upper changed to %v through a free variable", m.Var(y).Upper)
+	}
+	// But the free variable itself gains an upper bound (x ≤ 4 − y_lo).
+	if m.Var(x).Upper != 4 {
+		t.Errorf("x upper = %v, want 4", m.Var(x).Upper)
+	}
+}
+
+// TestPresolvePreservesOptimum: solving with and without presolve gives
+// the same objective on random MILPs.
+func TestPresolvePreservesOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	trials := 150
+	if testing.Short() {
+		trials = 30
+	}
+	for trial := 0; trial < trials; trial++ {
+		m := lp.NewModel("pp")
+		nv := 2 + rng.Intn(4)
+		for j := 0; j < nv; j++ {
+			if rng.Intn(2) == 0 {
+				m.AddBinary("", float64(rng.Intn(21)-10))
+			} else {
+				m.AddVar(lp.Variable{Lower: 0, Upper: float64(1 + rng.Intn(6)),
+					Cost: float64(rng.Intn(21) - 10), Type: lp.Integer})
+			}
+		}
+		rows := 1 + rng.Intn(3)
+		for r := 0; r < rows; r++ {
+			var terms []lp.Term
+			for j := 0; j < nv; j++ {
+				if c := float64(rng.Intn(9) - 4); c != 0 {
+					terms = append(terms, lp.Term{Var: lp.VarID(j), Coef: c})
+				}
+			}
+			m.AddRow("", terms, []lp.Sense{lp.LE, lp.GE, lp.EQ}[rng.Intn(3)], float64(rng.Intn(13)-4))
+		}
+		with, err := Solve(m, nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		without, err := Solve(m, &Options{DisablePresolve: true})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if with.Status != without.Status {
+			t.Fatalf("trial %d: status %v vs %v", trial, with.Status, without.Status)
+		}
+		if with.Status == lp.StatusOptimal {
+			if math.Abs(with.Objective-without.Objective) > 1e-6*math.Max(1, math.Abs(without.Objective)) {
+				t.Fatalf("trial %d: presolve changed optimum %v vs %v", trial, with.Objective, without.Objective)
+			}
+		}
+	}
+}

@@ -1,0 +1,251 @@
+// Package report renders plans, cost breakdowns, tables and ASCII charts
+// for the eTransform CLI tools and the experiment harness — the output
+// generation subroutine of the paper's architecture (Figure 5).
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/etransform/etransform/internal/model"
+)
+
+// Table renders an aligned text table.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Bar is one bar of a stacked horizontal chart.
+type Bar struct {
+	Label    string
+	Segments []Segment
+}
+
+// Segment is one stacked component of a bar.
+type Segment struct {
+	Name  string
+	Value float64
+}
+
+func (b Bar) total() float64 {
+	t := 0.0
+	for _, s := range b.Segments {
+		t += s.Value
+	}
+	return t
+}
+
+// BarChart renders a stacked horizontal ASCII bar chart, the textual
+// analogue of the paper's Figure 4/6 cost bars.
+func BarChart(title string, bars []Bar, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	maxTotal := 0.0
+	labelW := 0
+	for _, b := range bars {
+		if t := b.total(); t > maxTotal {
+			maxTotal = t
+		}
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	glyphs := []byte{'#', '+', '.', 'o', '*'}
+	for _, b := range bars {
+		fmt.Fprintf(&sb, "  %-*s |", labelW, b.Label)
+		drawn := 0
+		if maxTotal > 0 {
+			for si, seg := range b.Segments {
+				n := int(math.Round(seg.Value / maxTotal * float64(width)))
+				if n > 0 {
+					sb.Write(bytesRepeat(glyphs[si%len(glyphs)], n))
+					drawn += n
+				}
+			}
+		}
+		fmt.Fprintf(&sb, "%s %s\n", strings.Repeat(" ", maxInt(0, width+1-drawn)), Money(b.total()))
+	}
+	// Legend.
+	if len(bars) > 0 && len(bars[0].Segments) > 1 {
+		sb.WriteString("  legend:")
+		for si, seg := range bars[0].Segments {
+			fmt.Fprintf(&sb, " %c=%s", glyphs[si%len(glyphs)], seg.Name)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func bytesRepeat(b byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Money renders a dollar amount compactly ($1.23M style).
+func Money(v float64) string {
+	abs := math.Abs(v)
+	switch {
+	case abs >= 1e9:
+		return fmt.Sprintf("$%.2fB", v/1e9)
+	case abs >= 1e6:
+		return fmt.Sprintf("$%.2fM", v/1e6)
+	case abs >= 1e3:
+		return fmt.Sprintf("$%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("$%.0f", v)
+	}
+}
+
+// Percent renders a signed percentage.
+func Percent(v float64) string {
+	return fmt.Sprintf("%+.0f%%", v*100)
+}
+
+// CostBars converts labelled breakdowns into Figure 4/6-style bars with
+// an operational-cost segment and a latency-penalty segment.
+func CostBars(labels []string, breakdowns []model.CostBreakdown) []Bar {
+	bars := make([]Bar, len(labels))
+	for i := range labels {
+		b := breakdowns[i]
+		bars[i] = Bar{
+			Label: labels[i],
+			Segments: []Segment{
+				{Name: "cost", Value: b.OperationalCost() + b.BackupCapital},
+				{Name: "latency penalty", Value: b.Latency},
+			},
+		}
+	}
+	return bars
+}
+
+// PlanReport renders a human-readable to-be report for a plan.
+func PlanReport(s *model.AsIsState, p *model.Plan) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "to-be plan for %s\n", s.Name)
+	fmt.Fprintf(&sb, "  model: %d rows × %d cols (%d integral), %d B&B nodes, gap %.2g\n",
+		p.Stats.Rows, p.Stats.Cols, p.Stats.Integral, p.Stats.Nodes, p.Stats.Gap)
+	fmt.Fprintf(&sb, "  cost: %s/month (op %s, latency penalty %s, backup capital %s)\n",
+		Money(p.Cost.Total()), Money(p.Cost.OperationalCost()), Money(p.Cost.Latency), Money(p.Cost.BackupCapital))
+	fmt.Fprintf(&sb, "  data centers used: %d, latency violations: %d\n", p.Cost.DCsUsed, p.Cost.LatencyViolations)
+
+	ids := make([]string, 0, len(p.Cost.PerDC))
+	for id := range p.Cost.PerDC {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	rows := make([][]string, 0, len(ids))
+	for _, id := range ids {
+		c := p.Cost.PerDC[id]
+		rows = append(rows, []string{
+			id,
+			strconv.Itoa(c.Servers),
+			strconv.Itoa(c.BackupServers),
+			Money(c.Space), Money(c.Power), Money(c.Labor), Money(c.WAN), Money(c.Latency),
+			Money(c.Total()),
+		})
+	}
+	sb.WriteString(Table(
+		[]string{"data center", "servers", "backups", "space", "power", "labor", "wan", "latency", "total"},
+		rows))
+	return sb.String()
+}
+
+// WriteCSV writes headers and rows as CSV.
+func WriteCSV(w io.Writer, headers []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(headers); err != nil {
+		return fmt.Errorf("report: writing CSV header: %w", err)
+	}
+	for _, row := range rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("report: writing CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("report: flushing CSV: %w", err)
+	}
+	return nil
+}
+
+// Series is one line of a sweep chart (Figure 7/8-style).
+type Series struct {
+	Name   string
+	Points []float64
+}
+
+// SweepTable renders a sweep as a table: one row per x value, one column
+// per series.
+func SweepTable(xName string, xs []float64, series []Series) string {
+	headers := make([]string, 0, len(series)+1)
+	headers = append(headers, xName)
+	for _, s := range series {
+		headers = append(headers, s.Name)
+	}
+	rows := make([][]string, len(xs))
+	for i, x := range xs {
+		row := make([]string, 0, len(series)+1)
+		row = append(row, trimFloat(x))
+		for _, s := range series {
+			if i < len(s.Points) {
+				row = append(row, trimFloat(s.Points[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		rows[i] = row
+	}
+	return Table(headers, rows)
+}
+
+func trimFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}

@@ -1,0 +1,134 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/etransform/etransform/internal/model"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"a", "bbbb"}, [][]string{{"xxx", "y"}, {"z", "wwwww"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4", len(lines))
+	}
+	w := len(lines[0])
+	for i, l := range lines[1:] {
+		if len(l) > w+2 {
+			t.Errorf("row %d wider than header: %q", i, l)
+		}
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("missing separator: %q", lines[1])
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	bars := []Bar{
+		{Label: "AS-IS", Segments: []Segment{{"cost", 100}, {"latency penalty", 50}}},
+		{Label: "ETRANSFORM", Segments: []Segment{{"cost", 40}, {"latency penalty", 0}}},
+	}
+	out := BarChart("Cost for various solutions", bars, 40)
+	if !strings.Contains(out, "AS-IS") || !strings.Contains(out, "ETRANSFORM") {
+		t.Fatalf("labels missing:\n%s", out)
+	}
+	if !strings.Contains(out, "legend:") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	// The larger bar should contain more glyphs.
+	lines := strings.Split(out, "\n")
+	count := func(s string) int { return strings.Count(s, "#") + strings.Count(s, "+") }
+	if count(lines[1]) <= count(lines[2]) {
+		t.Errorf("bar lengths not proportional:\n%s", out)
+	}
+}
+
+func TestBarChartZeroValues(t *testing.T) {
+	out := BarChart("empty", []Bar{{Label: "x", Segments: []Segment{{"cost", 0}}}}, 20)
+	if !strings.Contains(out, "$0") {
+		t.Errorf("zero bar mishandled:\n%s", out)
+	}
+}
+
+func TestMoney(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{12, "$12"},
+		{1234, "$1.2k"},
+		{2.5e6, "$2.50M"},
+		{3.1e9, "$3.10B"},
+	}
+	for _, tt := range cases {
+		if got := Money(tt.v); got != tt.want {
+			t.Errorf("Money(%v) = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(-0.43); got != "-43%" {
+		t.Errorf("Percent = %q", got)
+	}
+	if got := Percent(0.37); got != "+37%" {
+		t.Errorf("Percent = %q", got)
+	}
+}
+
+func TestCostBars(t *testing.T) {
+	bds := []model.CostBreakdown{
+		{Space: 100, Power: 20, Labor: 30, WAN: 10, Latency: 99},
+	}
+	bars := CostBars([]string{"X"}, bds)
+	if bars[0].Segments[0].Value != 160 || bars[0].Segments[1].Value != 99 {
+		t.Errorf("bars = %+v", bars[0])
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteCSV(&buf, []string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4,x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "a,b\n1,2\n") || !strings.Contains(out, `"4,x"`) {
+		t.Errorf("csv = %q", out)
+	}
+}
+
+func TestSweepTable(t *testing.T) {
+	out := SweepTable("penalty", []float64{0, 50, 100}, []Series{
+		{Name: "total", Points: []float64{10, 20, 30}},
+		{Name: "space", Points: []float64{5, 15}},
+	})
+	if !strings.Contains(out, "penalty") || !strings.Contains(out, "total") {
+		t.Fatalf("headers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "50") || !strings.Contains(out, "30") {
+		t.Errorf("values missing:\n%s", out)
+	}
+}
+
+func TestPlanReport(t *testing.T) {
+	p := &model.Plan{
+		Cost: model.CostBreakdown{
+			Space: 10, Power: 5, Labor: 3, WAN: 2, Latency: 1,
+			DCsUsed: 1, LatencyViolations: 1,
+			PerDC: map[string]model.DCCost{
+				"t1": {Servers: 12, Space: 10, Power: 5, Labor: 3, WAN: 2, Latency: 1},
+			},
+		},
+		Stats: model.SolveStats{Rows: 3, Cols: 4, Integral: 4},
+	}
+	s := &model.AsIsState{Name: "demo"}
+	out := PlanReport(s, p)
+	for _, want := range []string{"demo", "t1", "servers", "violations: 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

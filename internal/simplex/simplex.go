@@ -1,0 +1,717 @@
+// Package simplex implements a two-phase bounded-variable revised primal
+// simplex solver for the linear programs emitted by the eTransform
+// planner. It is the repository's substitute for the CPLEX LP engine used
+// in the paper (§V): the planner builds a standard LP/MILP and any exact
+// solver — this one, or an external one via the LP-file interchange in
+// package lp — produces the same optimum.
+//
+// Design notes:
+//
+//   - Every constraint row gets a slack variable (LE: s ∈ [0,∞),
+//     GE: s ∈ (−∞,0], EQ: s ∈ [0,0]) so the working system is Ax = b with
+//     individual variable bounds.
+//   - Phase 1 installs one artificial per row carrying the initial
+//     residual, giving a primal-feasible identity basis; minimizing the
+//     sum of artificials either reaches zero (proceed to phase 2 on the
+//     true costs) or proves infeasibility.
+//   - The basis inverse is maintained densely with product-form updates
+//     (O(m²) per pivot) and recomputed from scratch on numerical drift.
+//   - Pricing is Dantzig (most-negative reduced cost); after a run of
+//     degenerate pivots the solver falls back to Bland's rule, which
+//     guarantees termination.
+//
+// Integrality markers on the model are ignored: Solve always solves the
+// continuous relaxation. Package milp layers branch & bound on top.
+package simplex
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/etransform/etransform/internal/lp"
+)
+
+// Options control a solve. The zero value is usable: sensible defaults
+// are applied for every unset field.
+type Options struct {
+	// MaxIters caps total simplex pivots across both phases.
+	// Default 50000 + 100×rows.
+	MaxIters int
+	// FeasTol is the primal feasibility tolerance. Default lp.FeasTol.
+	FeasTol float64
+	// OptTol is the dual (reduced-cost) tolerance. Default 1e-7.
+	OptTol float64
+	// Bland forces Bland's rule from the first pivot (slower, cycle-proof).
+	Bland bool
+	// StallLimit is the number of consecutive degenerate pivots tolerated
+	// before switching to Bland's rule. Default 60.
+	StallLimit int
+}
+
+func (o *Options) withDefaults(rows int) Options {
+	out := Options{}
+	if o != nil {
+		out = *o
+	}
+	if out.MaxIters <= 0 {
+		out.MaxIters = 50000 + 100*rows
+	}
+	if out.FeasTol <= 0 {
+		out.FeasTol = lp.FeasTol
+	}
+	if out.OptTol <= 0 {
+		out.OptTol = 1e-7
+	}
+	if out.StallLimit <= 0 {
+		out.StallLimit = 60
+	}
+	return out
+}
+
+// Solve solves the continuous relaxation of m and returns the solution
+// with primal values for the model's variables and one dual multiplier
+// per row. The returned error is non-nil only for malformed input or an
+// internal numerical failure; infeasible/unbounded outcomes are reported
+// through Solution.Status.
+func Solve(model *lp.Model, opts *Options) (*lp.Solution, error) {
+	if model.NumVars() == 0 {
+		// Trivial: no variables. Feasible iff every row accepts 0.
+		for r := 0; r < model.NumRows(); r++ {
+			row := model.Row(lp.RowID(r))
+			ok := false
+			switch row.Sense {
+			case lp.LE:
+				ok = row.RHS >= 0
+			case lp.GE:
+				ok = row.RHS <= 0
+			case lp.EQ:
+				ok = row.RHS == 0
+			}
+			if !ok {
+				return &lp.Solution{Status: lp.StatusInfeasible}, nil
+			}
+		}
+		return &lp.Solution{Status: lp.StatusOptimal, X: []float64{}, DualValues: make([]float64, model.NumRows())}, nil
+	}
+	t, err := newTableau(model, opts)
+	if err != nil {
+		return nil, err
+	}
+	return t.solve()
+}
+
+// Variable status within the tableau.
+type varStatus int8
+
+const (
+	atLower varStatus = iota + 1
+	atUpper
+	basic
+	freeAtZero
+)
+
+type sparseCol struct {
+	rows  []int32
+	coefs []float64
+}
+
+// tableau is the working state of one solve.
+type tableau struct {
+	opts Options
+
+	m       int // rows
+	nStruct int // structural variables
+	nTotal  int // structural + slacks + artificials
+
+	cols  []sparseCol
+	lower []float64
+	upper []float64
+	cost  []float64 // phase-2 (true) costs
+	b     []float64
+
+	status  []varStatus
+	value   []float64 // current value of every column (basics mirrored from xB)
+	basicIn []int32   // column basic in row i
+	inRow   []int32   // row a basic column occupies; -1 if nonbasic
+
+	binv []float64 // dense m×m row-major basis inverse
+	xB   []float64 // values of basic variables by row
+
+	phase      int
+	iters      int
+	degenRun   int
+	blandMode  bool
+	refactors  int
+	workCol    []float64 // FTRAN result w = Binv·A_j
+	workRow    []float64 // BTRAN result y
+	pricedCost []float64 // cost vector of the active phase
+}
+
+func newTableau(model *lp.Model, opts *Options) (*tableau, error) {
+	m := model.NumRows()
+	n := model.NumVars()
+	t := &tableau{
+		opts:    opts.withDefaults(m),
+		m:       m,
+		nStruct: n,
+		nTotal:  n + 2*m,
+	}
+	t.cols = make([]sparseCol, t.nTotal)
+	t.lower = make([]float64, t.nTotal)
+	t.upper = make([]float64, t.nTotal)
+	t.cost = make([]float64, t.nTotal)
+	t.b = make([]float64, m)
+	t.status = make([]varStatus, t.nTotal)
+	t.value = make([]float64, t.nTotal)
+	t.basicIn = make([]int32, m)
+	t.inRow = make([]int32, t.nTotal)
+	t.workCol = make([]float64, m)
+	t.workRow = make([]float64, m)
+
+	// Structural columns.
+	for j := 0; j < n; j++ {
+		v := model.Var(lp.VarID(j))
+		if math.IsInf(v.Cost, 0) {
+			return nil, fmt.Errorf("simplex: variable %q has infinite cost", v.Name)
+		}
+		t.lower[j] = v.Lower
+		t.upper[j] = v.Upper
+		t.cost[j] = v.Cost
+	}
+	for r := 0; r < m; r++ {
+		row := model.Row(lp.RowID(r))
+		for _, term := range row.Terms {
+			c := &t.cols[term.Var]
+			c.rows = append(c.rows, int32(r))
+			c.coefs = append(c.coefs, term.Coef)
+		}
+		t.b[r] = row.RHS
+		// Slack column j = n + r.
+		s := n + r
+		t.cols[s] = sparseCol{rows: []int32{int32(r)}, coefs: []float64{1}}
+		switch row.Sense {
+		case lp.LE:
+			t.lower[s], t.upper[s] = 0, math.Inf(1)
+		case lp.GE:
+			t.lower[s], t.upper[s] = math.Inf(-1), 0
+		case lp.EQ:
+			t.lower[s], t.upper[s] = 0, 0
+		}
+		// Artificial column j = n + m + r (coefficient set after residuals
+		// are known).
+		a := n + m + r
+		t.cols[a] = sparseCol{rows: []int32{int32(r)}, coefs: []float64{1}}
+		t.lower[a], t.upper[a] = 0, math.Inf(1)
+	}
+	return t, nil
+}
+
+// initialValue picks the starting value for a nonbasic column.
+func initialValueFor(lo, hi float64) (float64, varStatus) {
+	switch {
+	case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+		return 0, freeAtZero
+	case math.IsInf(lo, -1):
+		return hi, atUpper
+	case math.IsInf(hi, 1):
+		return lo, atLower
+	case math.Abs(lo) <= math.Abs(hi):
+		return lo, atLower
+	default:
+		return hi, atUpper
+	}
+}
+
+func (t *tableau) solve() (*lp.Solution, error) {
+	n, m := t.nStruct, t.m
+
+	// Nonbasic start for structurals and slacks.
+	for j := 0; j < n+m; j++ {
+		v, st := initialValueFor(t.lower[j], t.upper[j])
+		t.value[j] = v
+		t.status[j] = st
+		t.inRow[j] = -1
+	}
+	// Residuals determine artificial orientation and value.
+	resid := make([]float64, m)
+	copy(resid, t.b)
+	for j := 0; j < n+m; j++ {
+		if t.value[j] == 0 {
+			continue
+		}
+		c := t.cols[j]
+		for k, r := range c.rows {
+			resid[r] -= c.coefs[k] * t.value[j]
+		}
+	}
+	needPhase1 := false
+	t.binv = make([]float64, m*m)
+	t.xB = make([]float64, m)
+	for r := 0; r < m; r++ {
+		a := n + m + r
+		if resid[r] < 0 {
+			t.cols[a].coefs[0] = -1
+		}
+		av := math.Abs(resid[r])
+		t.xB[r] = av
+		t.value[a] = av
+		t.status[a] = basic
+		t.basicIn[r] = int32(a)
+		t.inRow[a] = int32(r)
+		// Binv = inverse of diag(±1) = diag(±1).
+		t.binv[r*m+r] = t.cols[a].coefs[0]
+		if av > t.opts.FeasTol {
+			needPhase1 = true
+		}
+	}
+
+	if needPhase1 {
+		t.phase = 1
+		p1 := make([]float64, t.nTotal)
+		for r := 0; r < m; r++ {
+			p1[n+m+r] = 1
+		}
+		t.pricedCost = p1
+		st, err := t.iterate()
+		if err != nil {
+			return nil, err
+		}
+		if st == lp.StatusIterLimit {
+			return &lp.Solution{Status: lp.StatusIterLimit, Iterations: t.iters}, nil
+		}
+		t.recomputeXB()
+		if t.phaseObjective() > t.opts.FeasTol*math.Max(1, t.bScale()) {
+			return &lp.Solution{Status: lp.StatusInfeasible, Iterations: t.iters}, nil
+		}
+	}
+	// Freeze artificials at zero for phase 2.
+	for r := 0; r < m; r++ {
+		a := n + m + r
+		t.lower[a], t.upper[a] = 0, 0
+		if t.inRow[a] < 0 {
+			t.value[a] = 0
+			t.status[a] = atLower
+		}
+	}
+
+	t.phase = 2
+	t.pricedCost = t.cost
+	t.blandMode = t.opts.Bland
+	t.degenRun = 0
+	st, err := t.iterate()
+	if err != nil {
+		return nil, err
+	}
+
+	sol := &lp.Solution{Iterations: t.iters}
+	switch st {
+	case lp.StatusOptimal:
+		sol.Status = lp.StatusOptimal
+	case lp.StatusUnbounded:
+		sol.Status = lp.StatusUnbounded
+		return sol, nil
+	case lp.StatusIterLimit:
+		sol.Status = lp.StatusIterLimit
+	default:
+		return nil, fmt.Errorf("simplex: unexpected terminal status %v", st)
+	}
+
+	// Extract primal point and duals.
+	t.recomputeXB()
+	x := make([]float64, n)
+	for j := 0; j < n; j++ {
+		x[j] = t.value[j]
+	}
+	sol.X = x
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		obj += t.cost[j] * x[j]
+	}
+	sol.Objective = obj
+
+	t.computeDuals(t.workRow)
+	duals := make([]float64, m)
+	copy(duals, t.workRow)
+	sol.DualValues = duals
+	return sol, nil
+}
+
+func (t *tableau) bScale() float64 {
+	s := 1.0
+	for _, v := range t.b {
+		if a := math.Abs(v); a > s {
+			s = a
+		}
+	}
+	return s
+}
+
+func (t *tableau) phaseObjective() float64 {
+	obj := 0.0
+	for j, c := range t.pricedCost {
+		if c != 0 {
+			obj += c * t.value[j]
+		}
+	}
+	return obj
+}
+
+// computeDuals fills y (len m) with cB' · Binv for the active cost vector.
+func (t *tableau) computeDuals(y []float64) {
+	m := t.m
+	for i := range y {
+		y[i] = 0
+	}
+	for r := 0; r < m; r++ {
+		cb := t.pricedCost[t.basicIn[r]]
+		if cb == 0 {
+			continue
+		}
+		row := t.binv[r*m : (r+1)*m]
+		for i, v := range row {
+			if v != 0 {
+				y[i] += cb * v
+			}
+		}
+	}
+}
+
+// reducedCost returns c_j − y'A_j.
+func (t *tableau) reducedCost(j int, y []float64) float64 {
+	d := t.pricedCost[j]
+	c := t.cols[j]
+	for k, r := range c.rows {
+		d -= y[r] * c.coefs[k]
+	}
+	return d
+}
+
+// ftran computes w = Binv · A_j into t.workCol.
+func (t *tableau) ftran(j int) {
+	m := t.m
+	w := t.workCol
+	for i := range w {
+		w[i] = 0
+	}
+	c := t.cols[j]
+	for k, r := range c.rows {
+		coef := c.coefs[k]
+		if coef == 0 {
+			continue
+		}
+		ri := int(r)
+		for i := 0; i < m; i++ {
+			w[i] += coef * t.binv[i*m+ri]
+		}
+	}
+}
+
+// iterate runs primal simplex pivots until optimal/unbounded/limit for
+// the current phase. It returns StatusOptimal when no improving column
+// remains (which in phase 1 means phase-1-optimal, not necessarily
+// feasible).
+func (t *tableau) iterate() (lp.Status, error) {
+	const pivTol = 1e-9
+	m := t.m
+	y := t.workRow
+	for {
+		if t.iters >= t.opts.MaxIters {
+			return lp.StatusIterLimit, nil
+		}
+		t.computeDuals(y)
+
+		// Pricing: pick entering column.
+		enter := -1
+		var enterDir float64
+		best := t.opts.OptTol
+		limit := t.nTotal
+		if t.phase == 2 {
+			limit = t.nStruct + t.m // artificials frozen; skip pricing them
+		}
+		for j := 0; j < limit; j++ {
+			st := t.status[j]
+			if st == basic {
+				continue
+			}
+			if t.lower[j] == t.upper[j] && st != freeAtZero {
+				continue // fixed
+			}
+			d := t.reducedCost(j, y)
+			var viol float64
+			var dir float64
+			switch st {
+			case atLower:
+				viol, dir = -d, 1
+			case atUpper:
+				viol, dir = d, -1
+			case freeAtZero:
+				if d < 0 {
+					viol, dir = -d, 1
+				} else {
+					viol, dir = d, -1
+				}
+			}
+			if viol > best {
+				if t.blandMode {
+					// Bland: first eligible index.
+					enter, enterDir = j, dir
+					break
+				}
+				best = viol
+				enter, enterDir = j, dir
+			}
+		}
+		if enter < 0 {
+			return lp.StatusOptimal, nil
+		}
+
+		t.ftran(enter)
+		w := t.workCol
+
+		// Ratio test: largest step tMax the entering var can move in
+		// direction enterDir.
+		tMax := math.Inf(1)
+		if !math.IsInf(t.lower[enter], -1) && !math.IsInf(t.upper[enter], 1) {
+			tMax = t.upper[enter] - t.lower[enter]
+		}
+		leaveRow := -1
+		leaveToUpper := false
+		consider := func(i int, ratio float64, toUpper bool) {
+			if ratio < 0 {
+				ratio = 0
+			}
+			switch {
+			case ratio < tMax-pivTol:
+				// Strictly tighter limit.
+			case ratio < tMax+pivTol && better(leaveRow, i, w, t):
+				// Tie: prefer the stabler (or Bland-lower) row.
+			default:
+				return
+			}
+			tMax = math.Min(tMax, ratio)
+			leaveRow = i
+			leaveToUpper = toUpper
+		}
+		for i := 0; i < m; i++ {
+			wi := enterDir * w[i]
+			bj := t.basicIn[i]
+			if wi > pivTol {
+				// Basic i decreases toward its lower bound.
+				if lo := t.lower[bj]; !math.IsInf(lo, -1) {
+					consider(i, (t.xB[i]-lo)/wi, false)
+				}
+			} else if wi < -pivTol {
+				// Basic i increases toward its upper bound.
+				if hi := t.upper[bj]; !math.IsInf(hi, 1) {
+					consider(i, (hi-t.xB[i])/(-wi), true)
+				}
+			}
+		}
+
+		if math.IsInf(tMax, 1) {
+			if t.phase == 1 {
+				return 0, fmt.Errorf("simplex: phase-1 unbounded (numerical failure)")
+			}
+			return lp.StatusUnbounded, nil
+		}
+
+		t.iters++
+		if tMax <= t.opts.FeasTol {
+			t.degenRun++
+			if t.degenRun > t.opts.StallLimit {
+				t.blandMode = true
+			}
+		} else {
+			t.degenRun = 0
+			if !t.opts.Bland {
+				t.blandMode = false
+			}
+		}
+
+		// Apply the step to basic values.
+		if tMax > 0 {
+			for i := 0; i < m; i++ {
+				if w[i] != 0 {
+					t.xB[i] -= enterDir * tMax * w[i]
+					t.value[t.basicIn[i]] = t.xB[i]
+				}
+			}
+		}
+
+		if leaveRow < 0 {
+			// Bound flip: entering moves across its range, basis unchanged.
+			if enterDir > 0 {
+				t.value[enter] = t.upper[enter]
+				t.status[enter] = atUpper
+			} else {
+				t.value[enter] = t.lower[enter]
+				t.status[enter] = atLower
+			}
+			continue
+		}
+
+		// Pivot: entering becomes basic in leaveRow.
+		if math.Abs(w[leaveRow]) < pivTol {
+			// Numerically unusable pivot: refactorize and retry, or fail.
+			if t.refactors < 5 {
+				if err := t.refactorize(); err != nil {
+					return 0, err
+				}
+				continue
+			}
+			return 0, fmt.Errorf("simplex: pivot element %g too small after %d refactorizations", w[leaveRow], t.refactors)
+		}
+
+		leaving := t.basicIn[leaveRow]
+		if leaveToUpper {
+			t.value[leaving] = t.upper[leaving]
+			t.status[leaving] = atUpper
+		} else {
+			t.value[leaving] = t.lower[leaving]
+			t.status[leaving] = atLower
+		}
+		t.inRow[leaving] = -1
+
+		enterVal := t.value[enter] + enterDir*tMax
+		t.basicIn[leaveRow] = int32(enter)
+		t.inRow[enter] = int32(leaveRow)
+		t.status[enter] = basic
+		t.value[enter] = enterVal
+		t.xB[leaveRow] = enterVal
+
+		t.updateBinv(leaveRow, w)
+	}
+}
+
+// better is the tie-break in the ratio test: prefer the row with the
+// larger |pivot| for stability; under Bland, prefer the lower column
+// index for the anti-cycling guarantee.
+func better(cur, cand int, w []float64, t *tableau) bool {
+	if cur < 0 {
+		return true
+	}
+	if t.blandMode {
+		return t.basicIn[cand] < t.basicIn[cur]
+	}
+	return math.Abs(w[cand]) > math.Abs(w[cur])
+}
+
+// updateBinv applies the product-form update for a pivot in row r with
+// FTRAN column w: Binv ← E·Binv where E is the identity except column r.
+func (t *tableau) updateBinv(r int, w []float64) {
+	m := t.m
+	piv := w[r]
+	pivRow := t.binv[r*m : (r+1)*m]
+	inv := 1 / piv
+	for k := range pivRow {
+		pivRow[k] *= inv
+	}
+	for i := 0; i < m; i++ {
+		if i == r {
+			continue
+		}
+		f := w[i]
+		if f == 0 {
+			continue
+		}
+		row := t.binv[i*m : (i+1)*m]
+		for k := range row {
+			row[k] -= f * pivRow[k]
+		}
+	}
+}
+
+// recomputeXB recomputes basic values exactly from nonbasic values:
+// xB = Binv·(b − N·xN).
+func (t *tableau) recomputeXB() {
+	m := t.m
+	rhs := make([]float64, m)
+	copy(rhs, t.b)
+	for j := 0; j < t.nTotal; j++ {
+		if t.status[j] == basic || t.value[j] == 0 {
+			continue
+		}
+		c := t.cols[j]
+		for k, r := range c.rows {
+			rhs[r] -= c.coefs[k] * t.value[j]
+		}
+	}
+	for i := 0; i < m; i++ {
+		row := t.binv[i*m : (i+1)*m]
+		s := 0.0
+		for k, v := range row {
+			if v != 0 {
+				s += v * rhs[k]
+			}
+		}
+		t.xB[i] = s
+		t.value[t.basicIn[i]] = s
+	}
+}
+
+// refactorize rebuilds the dense basis inverse from the current basis
+// columns via Gauss-Jordan elimination with partial pivoting, then
+// recomputes basic values.
+func (t *tableau) refactorize() error {
+	t.refactors++
+	m := t.m
+	// Build dense B.
+	bm := make([]float64, m*m)
+	for r := 0; r < m; r++ {
+		c := t.cols[t.basicIn[r]]
+		for k, ri := range c.rows {
+			bm[int(ri)*m+r] = c.coefs[k]
+		}
+	}
+	inv := make([]float64, m*m)
+	for i := 0; i < m; i++ {
+		inv[i*m+i] = 1
+	}
+	for col := 0; col < m; col++ {
+		// Partial pivot.
+		p := col
+		best := math.Abs(bm[col*m+col])
+		for r := col + 1; r < m; r++ {
+			if a := math.Abs(bm[r*m+col]); a > best {
+				best, p = a, r
+			}
+		}
+		if best < 1e-12 {
+			return fmt.Errorf("simplex: singular basis during refactorization (column %d)", col)
+		}
+		if p != col {
+			swapRows(bm, m, p, col)
+			swapRows(inv, m, p, col)
+		}
+		piv := bm[col*m+col]
+		invPiv := 1 / piv
+		for k := 0; k < m; k++ {
+			bm[col*m+k] *= invPiv
+			inv[col*m+k] *= invPiv
+		}
+		for r := 0; r < m; r++ {
+			if r == col {
+				continue
+			}
+			f := bm[r*m+col]
+			if f == 0 {
+				continue
+			}
+			for k := 0; k < m; k++ {
+				bm[r*m+k] -= f * bm[col*m+k]
+				inv[r*m+k] -= f * inv[col*m+k]
+			}
+		}
+	}
+	t.binv = inv
+	t.recomputeXB()
+	return nil
+}
+
+func swapRows(a []float64, m, i, j int) {
+	ri := a[i*m : (i+1)*m]
+	rj := a[j*m : (j+1)*m]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}

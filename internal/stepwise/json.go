@@ -1,0 +1,85 @@
+package stepwise
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// jsonSegment mirrors Segment but encodes an infinite width as the string
+// "inf", since JSON has no literal for infinity.
+type jsonSegment struct {
+	Width    any     `json:"width"`
+	UnitCost float64 `json:"unit_cost"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (c Curve) MarshalJSON() ([]byte, error) {
+	segs := make([]jsonSegment, len(c.segments))
+	for i, s := range c.segments {
+		js := jsonSegment{UnitCost: s.UnitCost}
+		if math.IsInf(s.Width, 1) {
+			js.Width = "inf"
+		} else {
+			js.Width = s.Width
+		}
+		segs[i] = js
+	}
+	return json.Marshal(struct {
+		Segments []jsonSegment `json:"segments"`
+	}{segs})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (c *Curve) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		Segments []jsonSegment `json:"segments"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	segs := make([]Segment, len(raw.Segments))
+	for i, js := range raw.Segments {
+		switch w := js.Width.(type) {
+		case float64:
+			segs[i].Width = w
+		case string:
+			if w != "inf" {
+				return fmt.Errorf("stepwise: segment %d: unknown width %q", i, w)
+			}
+			segs[i].Width = math.Inf(1)
+		default:
+			return fmt.Errorf("stepwise: segment %d: width must be a number or \"inf\"", i)
+		}
+		segs[i].UnitCost = js.UnitCost
+	}
+	parsed, err := NewCurve(segs)
+	if err != nil {
+		return err
+	}
+	*c = parsed
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p LatencyPenalty) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Steps []PenaltyStep `json:"steps"`
+	}{p.steps})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (p *LatencyPenalty) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		Steps []PenaltyStep `json:"steps"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	parsed, err := NewLatencyPenalty(raw.Steps)
+	if err != nil {
+		return err
+	}
+	*p = parsed
+	return nil
+}

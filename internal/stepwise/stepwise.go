@@ -1,0 +1,302 @@
+// Package stepwise models piecewise-linear cost curves: volume-discount
+// (economies-of-scale) pricing for data center resources and step-function
+// latency penalties.
+//
+// The paper (§III-B) represents each data center cost as a function of the
+// quantity purchased and incorporates the resulting step functions into
+// the linear program following Schoomer's technique. This package is the
+// curve substrate: it validates, evaluates, and exposes the segment
+// structure that the LP builder encodes with segment binaries.
+package stepwise
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Segment is one tier of an incremental (tiered) price curve: the first
+// Width units beyond the previous tiers each cost UnitCost.
+type Segment struct {
+	// Width is the quantity covered by this tier. The final segment of a
+	// curve may have Width = +Inf to cover unbounded quantity.
+	Width float64 `json:"width"`
+	// UnitCost is the price per unit within this tier.
+	UnitCost float64 `json:"unit_cost"`
+}
+
+// Curve is an incremental tiered price curve. Unit k's price is the
+// UnitCost of the tier containing k. The zero value is a free curve
+// (cost 0 everywhere); construct non-trivial curves with NewCurve, Flat,
+// or VolumeDiscount.
+type Curve struct {
+	segments []Segment
+}
+
+// NewCurve validates the segments and builds a Curve. Segment widths must
+// be positive; only the final segment may be infinite; unit costs must be
+// finite and non-negative.
+func NewCurve(segments []Segment) (Curve, error) {
+	for i, s := range segments {
+		if s.Width <= 0 || math.IsNaN(s.Width) {
+			return Curve{}, fmt.Errorf("stepwise: segment %d has non-positive width %v", i, s.Width)
+		}
+		if math.IsInf(s.Width, 1) && i != len(segments)-1 {
+			return Curve{}, fmt.Errorf("stepwise: only the final segment may be unbounded (segment %d)", i)
+		}
+		if s.UnitCost < 0 || math.IsNaN(s.UnitCost) || math.IsInf(s.UnitCost, 0) {
+			return Curve{}, fmt.Errorf("stepwise: segment %d has invalid unit cost %v", i, s.UnitCost)
+		}
+	}
+	c := Curve{segments: make([]Segment, len(segments))}
+	copy(c.segments, segments)
+	return c, nil
+}
+
+// Flat returns a single-tier curve pricing every unit at unitCost.
+func Flat(unitCost float64) Curve {
+	c, err := NewCurve([]Segment{{Width: math.Inf(1), UnitCost: unitCost}})
+	if err != nil {
+		// Only reachable through an invalid unitCost; surface loudly.
+		panic(fmt.Sprintf("stepwise: Flat(%v): %v", unitCost, err))
+	}
+	return c
+}
+
+// VolumeDiscount builds the paper's economies-of-scale curve: the first
+// tierSize units cost baseUnit each, and each subsequent tier of tierSize
+// units costs decrement less per unit, never dropping below floorUnit.
+// The final tier is unbounded. numTiers counts the distinct price levels
+// including the base tier.
+func VolumeDiscount(baseUnit, tierSize, decrement, floorUnit float64, numTiers int) (Curve, error) {
+	if numTiers < 1 {
+		return Curve{}, fmt.Errorf("stepwise: numTiers must be ≥ 1, got %d", numTiers)
+	}
+	if tierSize <= 0 {
+		return Curve{}, fmt.Errorf("stepwise: tierSize must be positive, got %v", tierSize)
+	}
+	if decrement < 0 {
+		return Curve{}, fmt.Errorf("stepwise: decrement must be non-negative, got %v", decrement)
+	}
+	if floorUnit < 0 || floorUnit > baseUnit {
+		return Curve{}, fmt.Errorf("stepwise: floorUnit %v must lie in [0, baseUnit=%v]", floorUnit, baseUnit)
+	}
+	segs := make([]Segment, 0, numTiers)
+	for k := 0; k < numTiers; k++ {
+		unit := baseUnit - float64(k)*decrement
+		if unit < floorUnit {
+			unit = floorUnit
+		}
+		w := tierSize
+		if k == numTiers-1 {
+			w = math.Inf(1)
+		}
+		segs = append(segs, Segment{Width: w, UnitCost: unit})
+	}
+	return NewCurve(segs)
+}
+
+// Segments returns a copy of the curve's tiers. An empty result means the
+// curve is free.
+func (c Curve) Segments() []Segment {
+	out := make([]Segment, len(c.segments))
+	copy(out, c.segments)
+	return out
+}
+
+// IsFlat reports whether the curve has a single price level (including the
+// zero-value free curve).
+func (c Curve) IsFlat() bool {
+	if len(c.segments) <= 1 {
+		return true
+	}
+	first := c.segments[0].UnitCost
+	for _, s := range c.segments[1:] {
+		if s.UnitCost != first {
+			return false
+		}
+	}
+	return true
+}
+
+// IsConcave reports whether total cost is concave in quantity, i.e. unit
+// costs are non-increasing across tiers. Concave curves require binary
+// segment-ordering variables in an LP encoding; convex ones do not.
+func (c Curve) IsConcave() bool {
+	for i := 1; i < len(c.segments); i++ {
+		if c.segments[i].UnitCost > c.segments[i-1].UnitCost {
+			return false
+		}
+	}
+	return true
+}
+
+// IsConvex reports whether total cost is convex in quantity, i.e. unit
+// costs are non-decreasing across tiers. Convex curves can be encoded in
+// an LP without binaries: the minimizer fills cheap tiers first on its
+// own.
+func (c Curve) IsConvex() bool {
+	for i := 1; i < len(c.segments); i++ {
+		if c.segments[i].UnitCost < c.segments[i-1].UnitCost {
+			return false
+		}
+	}
+	return true
+}
+
+// SegmentsUpTo returns finite-width segments that price quantities in
+// [0, cap] exactly as Eval does: the final tier (or, for all-finite
+// curves, an extension at the last price) is truncated or stretched to
+// end at cap. An empty result means the curve is free or cap is 0.
+func (c Curve) SegmentsUpTo(cap float64) []Segment {
+	if cap <= 0 || len(c.segments) == 0 {
+		return nil
+	}
+	var out []Segment
+	covered := 0.0
+	for _, s := range c.segments {
+		if covered >= cap {
+			break
+		}
+		w := math.Min(s.Width, cap-covered)
+		out = append(out, Segment{Width: w, UnitCost: s.UnitCost})
+		covered += w
+	}
+	if covered < cap {
+		// All-finite curve shorter than cap: extend at the final price,
+		// merging with the last tier since the price is identical.
+		out[len(out)-1].Width += cap - covered
+	}
+	return out
+}
+
+// UnitCostAt returns the marginal price of the unit at quantity q (0-based
+// within the curve: the q-th unit purchased). Quantities beyond all finite
+// tiers price at the final tier.
+func (c Curve) UnitCostAt(q float64) float64 {
+	if len(c.segments) == 0 {
+		return 0
+	}
+	rem := q
+	for _, s := range c.segments {
+		if rem < s.Width {
+			return s.UnitCost
+		}
+		rem -= s.Width
+	}
+	return c.segments[len(c.segments)-1].UnitCost
+}
+
+// Eval returns the total cost of purchasing quantity q under incremental
+// tiered pricing. Negative q is an error.
+func (c Curve) Eval(q float64) (float64, error) {
+	if q < 0 || math.IsNaN(q) {
+		return 0, fmt.Errorf("stepwise: cannot evaluate at quantity %v", q)
+	}
+	total := 0.0
+	rem := q
+	for _, s := range c.segments {
+		if rem <= 0 {
+			break
+		}
+		take := math.Min(rem, s.Width)
+		total += take * s.UnitCost
+		rem -= take
+	}
+	if rem > 0 && len(c.segments) > 0 {
+		// Beyond the final finite tier: extend at the last price.
+		total += rem * c.segments[len(c.segments)-1].UnitCost
+	}
+	return total, nil
+}
+
+// MustEval is Eval for known-valid quantities; it panics on error. Use in
+// tests and internal code where q ≥ 0 is guaranteed.
+func (c Curve) MustEval(q float64) float64 {
+	v, err := c.Eval(q)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// PenaltyStep is one step of a latency penalty function: if average
+// latency strictly exceeds ThresholdMs, the application pays PenaltyPerUser
+// for every user (the largest exceeded threshold applies).
+type PenaltyStep struct {
+	ThresholdMs    float64 `json:"threshold_ms"`
+	PenaltyPerUser float64 `json:"penalty_per_user"`
+}
+
+// LatencyPenalty is a step function from average latency to per-user
+// penalty, as specified per application group in §III-B ("a penalty of
+// $10 per user be added if the average latency > 10ms"). The zero value
+// imposes no penalty (a latency-insensitive application).
+type LatencyPenalty struct {
+	steps []PenaltyStep
+}
+
+// NewLatencyPenalty validates and builds a penalty function. Thresholds
+// must be non-negative and strictly increasing after sorting is applied;
+// penalties must be non-negative and non-decreasing with threshold (a
+// higher latency can never cost less).
+func NewLatencyPenalty(steps []PenaltyStep) (LatencyPenalty, error) {
+	sorted := make([]PenaltyStep, len(steps))
+	copy(sorted, steps)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ThresholdMs < sorted[j].ThresholdMs })
+	for i, s := range sorted {
+		if s.ThresholdMs < 0 || math.IsNaN(s.ThresholdMs) || math.IsInf(s.ThresholdMs, 0) {
+			return LatencyPenalty{}, fmt.Errorf("stepwise: invalid threshold %v", s.ThresholdMs)
+		}
+		if s.PenaltyPerUser < 0 || math.IsNaN(s.PenaltyPerUser) || math.IsInf(s.PenaltyPerUser, 0) {
+			return LatencyPenalty{}, fmt.Errorf("stepwise: invalid penalty %v", s.PenaltyPerUser)
+		}
+		if i > 0 {
+			if s.ThresholdMs == sorted[i-1].ThresholdMs {
+				return LatencyPenalty{}, fmt.Errorf("stepwise: duplicate threshold %v", s.ThresholdMs)
+			}
+			if s.PenaltyPerUser < sorted[i-1].PenaltyPerUser {
+				return LatencyPenalty{}, fmt.Errorf("stepwise: penalty must be non-decreasing in threshold (%v at %vms < %v at %vms)",
+					s.PenaltyPerUser, s.ThresholdMs, sorted[i-1].PenaltyPerUser, sorted[i-1].ThresholdMs)
+			}
+		}
+	}
+	return LatencyPenalty{steps: sorted}, nil
+}
+
+// SingleThreshold is the common §VI-B form: penaltyPerUser is charged for
+// every user when average latency exceeds thresholdMs.
+func SingleThreshold(thresholdMs, penaltyPerUser float64) (LatencyPenalty, error) {
+	return NewLatencyPenalty([]PenaltyStep{{ThresholdMs: thresholdMs, PenaltyPerUser: penaltyPerUser}})
+}
+
+// PerUser returns the penalty charged per user at the given average
+// latency: the penalty of the largest strictly-exceeded threshold, or 0.
+func (p LatencyPenalty) PerUser(avgLatencyMs float64) float64 {
+	pen := 0.0
+	for _, s := range p.steps {
+		if avgLatencyMs > s.ThresholdMs {
+			pen = s.PenaltyPerUser
+		} else {
+			break
+		}
+	}
+	return pen
+}
+
+// IsZero reports whether the function never charges a penalty.
+func (p LatencyPenalty) IsZero() bool {
+	for _, s := range p.steps {
+		if s.PenaltyPerUser > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Steps returns a copy of the (sorted) steps.
+func (p LatencyPenalty) Steps() []PenaltyStep {
+	out := make([]PenaltyStep, len(p.steps))
+	copy(out, p.steps)
+	return out
+}

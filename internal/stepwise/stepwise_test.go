@@ -1,0 +1,333 @@
+package stepwise
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCurveValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		segs []Segment
+		ok   bool
+	}{
+		{"empty", nil, true},
+		{"single-finite", []Segment{{Width: 10, UnitCost: 5}}, true},
+		{"single-infinite", []Segment{{Width: math.Inf(1), UnitCost: 5}}, true},
+		{"two-tier", []Segment{{Width: 10, UnitCost: 5}, {Width: math.Inf(1), UnitCost: 3}}, true},
+		{"zero-width", []Segment{{Width: 0, UnitCost: 5}}, false},
+		{"negative-width", []Segment{{Width: -1, UnitCost: 5}}, false},
+		{"inf-not-last", []Segment{{Width: math.Inf(1), UnitCost: 5}, {Width: 1, UnitCost: 3}}, false},
+		{"negative-cost", []Segment{{Width: 1, UnitCost: -3}}, false},
+		{"nan-cost", []Segment{{Width: 1, UnitCost: math.NaN()}}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewCurve(tt.segs)
+			if tt.ok != (err == nil) {
+				t.Fatalf("NewCurve err = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestCurveEval(t *testing.T) {
+	c, err := NewCurve([]Segment{
+		{Width: 10, UnitCost: 5},
+		{Width: 10, UnitCost: 4},
+		{Width: math.Inf(1), UnitCost: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		q, want float64
+	}{
+		{0, 0},
+		{1, 5},
+		{10, 50},
+		{15, 50 + 20},
+		{20, 50 + 40},
+		{25, 50 + 40 + 10},
+	}
+	for _, tt := range tests {
+		got, err := c.Eval(tt.q)
+		if err != nil {
+			t.Fatalf("Eval(%v): %v", tt.q, err)
+		}
+		if math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Eval(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if _, err := c.Eval(-1); err == nil {
+		t.Error("Eval(-1) succeeded, want error")
+	}
+}
+
+func TestCurveEvalBeyondFiniteTiers(t *testing.T) {
+	// All-finite curve: quantities past the end extend at the last price.
+	c, err := NewCurve([]Segment{{Width: 5, UnitCost: 10}, {Width: 5, UnitCost: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c.MustEval(12)
+	want := 5*10.0 + 5*6.0 + 2*6.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("Eval(12) = %v, want %v", got, want)
+	}
+}
+
+func TestFlatCurve(t *testing.T) {
+	c := Flat(7)
+	if !c.IsFlat() || !c.IsConcave() {
+		t.Error("Flat curve should be flat and concave")
+	}
+	if got := c.MustEval(13); got != 91 {
+		t.Errorf("Eval(13) = %v, want 91", got)
+	}
+	if got := c.UnitCostAt(1000); got != 7 {
+		t.Errorf("UnitCostAt = %v, want 7", got)
+	}
+}
+
+func TestZeroCurveIsFree(t *testing.T) {
+	var c Curve
+	if got := c.MustEval(100); got != 0 {
+		t.Errorf("zero curve Eval = %v, want 0", got)
+	}
+	if got := c.UnitCostAt(5); got != 0 {
+		t.Errorf("zero curve UnitCostAt = %v, want 0", got)
+	}
+	if !c.IsFlat() || !c.IsConcave() {
+		t.Error("zero curve should be flat and concave")
+	}
+}
+
+func TestVolumeDiscount(t *testing.T) {
+	c, err := VolumeDiscount(100, 50, 10, 60, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := c.Segments()
+	if len(segs) != 6 {
+		t.Fatalf("got %d segments, want 6", len(segs))
+	}
+	wantCosts := []float64{100, 90, 80, 70, 60, 60} // floor clamps tier 6 (would be 50)
+	for i, s := range segs {
+		if s.UnitCost != wantCosts[i] {
+			t.Errorf("segment %d unit cost = %v, want %v", i, s.UnitCost, wantCosts[i])
+		}
+	}
+	if !math.IsInf(segs[5].Width, 1) {
+		t.Error("final segment should be unbounded")
+	}
+	if !c.IsConcave() {
+		t.Error("volume discount curve must be concave")
+	}
+	// 120 units: 50@100 + 50@90 + 20@80.
+	if got, want := c.MustEval(120), 50*100.0+50*90.0+20*80.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Eval(120) = %v, want %v", got, want)
+	}
+}
+
+func TestVolumeDiscountValidation(t *testing.T) {
+	cases := []struct {
+		name                                 string
+		base, tierSize, decrement, floorUnit float64
+		tiers                                int
+	}{
+		{"zero-tiers", 100, 50, 10, 0, 0},
+		{"zero-tier-size", 100, 0, 10, 0, 3},
+		{"negative-decrement", 100, 50, -1, 0, 3},
+		{"floor-above-base", 100, 50, 10, 200, 3},
+		{"negative-floor", 100, 50, 10, -5, 3},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := VolumeDiscount(tt.base, tt.tierSize, tt.decrement, tt.floorUnit, tt.tiers); err == nil {
+				t.Error("VolumeDiscount succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestIsConcaveConvexCurve(t *testing.T) {
+	c, err := NewCurve([]Segment{{Width: 5, UnitCost: 1}, {Width: math.Inf(1), UnitCost: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.IsConcave() {
+		t.Error("increasing unit costs reported concave")
+	}
+	if c.IsFlat() {
+		t.Error("two-price curve reported flat")
+	}
+}
+
+// Property: Eval is non-decreasing and its marginal matches UnitCostAt.
+func TestCurveEvalMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cfg := &quick.Config{Rand: rng}
+	f := func(rawWidths [3]uint8, rawCosts [3]uint8, q1, q2 uint16) bool {
+		segs := make([]Segment, 0, 3)
+		for i := 0; i < 3; i++ {
+			w := float64(rawWidths[i]%50) + 1
+			if i == 2 {
+				w = math.Inf(1)
+			}
+			segs = append(segs, Segment{Width: w, UnitCost: float64(rawCosts[i] % 100)})
+		}
+		c, err := NewCurve(segs)
+		if err != nil {
+			return false
+		}
+		a, b := float64(q1%500), float64(q2%500)
+		if a > b {
+			a, b = b, a
+		}
+		ea, eb := c.MustEval(a), c.MustEval(b)
+		if eb < ea-1e-9 {
+			return false
+		}
+		// Marginal check: derivative at integer q equals UnitCostAt(q).
+		q := math.Floor(a)
+		marginal := c.MustEval(q+1) - c.MustEval(q)
+		return math.Abs(marginal-c.UnitCostAt(q)) < 1e-9
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsConvex(t *testing.T) {
+	concave, _ := NewCurve([]Segment{{Width: 5, UnitCost: 10}, {Width: math.Inf(1), UnitCost: 5}})
+	convex, _ := NewCurve([]Segment{{Width: 5, UnitCost: 5}, {Width: math.Inf(1), UnitCost: 10}})
+	if concave.IsConvex() {
+		t.Error("decreasing prices reported convex")
+	}
+	if !convex.IsConvex() || !Flat(3).IsConvex() || !(Curve{}).IsConvex() {
+		t.Error("convex/flat/zero curves misclassified")
+	}
+}
+
+func TestSegmentsUpTo(t *testing.T) {
+	c, err := NewCurve([]Segment{{Width: 10, UnitCost: 9}, {Width: 10, UnitCost: 7}, {Width: math.Inf(1), UnitCost: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capped inside tier 2.
+	segs := c.SegmentsUpTo(15)
+	if len(segs) != 2 || segs[0].Width != 10 || segs[1].Width != 5 {
+		t.Fatalf("segs = %+v", segs)
+	}
+	// Capped beyond all finite tiers: infinite tier truncated.
+	segs = c.SegmentsUpTo(100)
+	if len(segs) != 3 || segs[2].Width != 80 {
+		t.Fatalf("segs = %+v", segs)
+	}
+	// Total of SegmentsUpTo-priced cap equals Eval(cap).
+	total := 0.0
+	for _, s := range segs {
+		total += s.Width * s.UnitCost
+	}
+	if want := c.MustEval(100); math.Abs(total-want) > 1e-9 {
+		t.Errorf("segment total %v != Eval %v", total, want)
+	}
+	// All-finite curve stretched at final price.
+	fin, _ := NewCurve([]Segment{{Width: 5, UnitCost: 9}, {Width: 5, UnitCost: 7}})
+	segs = fin.SegmentsUpTo(20)
+	if len(segs) != 2 || segs[1].Width != 15 {
+		t.Fatalf("stretched segs = %+v", segs)
+	}
+	if got := (Curve{}).SegmentsUpTo(10); got != nil {
+		t.Errorf("zero curve segments = %+v", got)
+	}
+	if got := Flat(2).SegmentsUpTo(0); got != nil {
+		t.Errorf("cap-0 segments = %+v", got)
+	}
+}
+
+func TestLatencyPenalty(t *testing.T) {
+	p, err := NewLatencyPenalty([]PenaltyStep{
+		{ThresholdMs: 10, PenaltyPerUser: 100},
+		{ThresholdMs: 50, PenaltyPerUser: 250},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		lat, want float64
+	}{
+		{0, 0}, {10, 0}, {10.01, 100}, {50, 100}, {51, 250}, {1000, 250},
+	}
+	for _, tt := range tests {
+		if got := p.PerUser(tt.lat); got != tt.want {
+			t.Errorf("PerUser(%v) = %v, want %v", tt.lat, got, tt.want)
+		}
+	}
+	if p.IsZero() {
+		t.Error("non-trivial penalty reported zero")
+	}
+}
+
+func TestLatencyPenaltySortsSteps(t *testing.T) {
+	p, err := NewLatencyPenalty([]PenaltyStep{
+		{ThresholdMs: 50, PenaltyPerUser: 250},
+		{ThresholdMs: 10, PenaltyPerUser: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := p.Steps()
+	if steps[0].ThresholdMs != 10 || steps[1].ThresholdMs != 50 {
+		t.Errorf("steps not sorted: %+v", steps)
+	}
+	if got := p.PerUser(20); got != 100 {
+		t.Errorf("PerUser(20) = %v, want 100", got)
+	}
+}
+
+func TestLatencyPenaltyValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		steps []PenaltyStep
+	}{
+		{"negative-threshold", []PenaltyStep{{ThresholdMs: -1, PenaltyPerUser: 1}}},
+		{"negative-penalty", []PenaltyStep{{ThresholdMs: 1, PenaltyPerUser: -1}}},
+		{"duplicate-threshold", []PenaltyStep{{ThresholdMs: 5, PenaltyPerUser: 1}, {ThresholdMs: 5, PenaltyPerUser: 2}}},
+		{"decreasing-penalty", []PenaltyStep{{ThresholdMs: 5, PenaltyPerUser: 10}, {ThresholdMs: 9, PenaltyPerUser: 5}}},
+		{"inf-threshold", []PenaltyStep{{ThresholdMs: math.Inf(1), PenaltyPerUser: 1}}},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewLatencyPenalty(tt.steps); err == nil {
+				t.Error("NewLatencyPenalty succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestSingleThreshold(t *testing.T) {
+	p, err := SingleThreshold(10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.PerUser(11); got != 100 {
+		t.Errorf("PerUser(11) = %v, want 100", got)
+	}
+	if got := p.PerUser(9); got != 0 {
+		t.Errorf("PerUser(9) = %v, want 0", got)
+	}
+}
+
+func TestZeroLatencyPenalty(t *testing.T) {
+	var p LatencyPenalty
+	if !p.IsZero() {
+		t.Error("zero value should be zero penalty")
+	}
+	if got := p.PerUser(1e9); got != 0 {
+		t.Errorf("PerUser = %v, want 0", got)
+	}
+}
