@@ -1,0 +1,62 @@
+// Command etlint runs the repository's custom static-analysis suite:
+//
+//   - floatcmp: forbids raw ==/!= (and switch) on float operands
+//     outside internal/tol,
+//   - toldef: forbids tolerance-sized float literals (exponent ≤ -4)
+//     outside internal/tol,
+//   - nopanic: forbids panic in internal/{simplex,milp,lp,core} except
+//     documented invariant-violation helpers.
+//
+// Usage:
+//
+//	etlint [packages]
+//
+// With no arguments it analyzes ./... in the current directory. It
+// prints one line per finding (path:line:col: message [analyzer]) and
+// exits 1 if there are findings, 2 on load failure.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/etransform/etransform/internal/lint/analysis"
+	"github.com/etransform/etransform/internal/lint/driver"
+	"github.com/etransform/etransform/internal/lint/floatcmp"
+	"github.com/etransform/etransform/internal/lint/nopanic"
+	"github.com/etransform/etransform/internal/lint/toldef"
+)
+
+// suite is the full etlint analyzer set, in reporting order.
+var suite = []*analysis.Analyzer{
+	floatcmp.Analyzer,
+	toldef.Analyzer,
+	nopanic.Analyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := driver.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "etlint:", err)
+		return 2
+	}
+	diags, err := driver.Run(pkgs, suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "etlint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/etransform/etransform/internal/lint/driver"
+)
+
+// TestAnalyzersOnTestdata loads each fixture package under
+// testdata/src, runs the full suite, and requires the findings to match
+// the "// want <analyzer>" markers in the fixtures exactly — every
+// marked line fires its analyzer, and nothing else fires.
+func TestAnalyzersOnTestdata(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	for _, rel := range []string{"internal/lp", "internal/report"} {
+		t.Run(rel, func(t *testing.T) {
+			dir := filepath.Join(root, filepath.FromSlash(rel))
+			pkg, err := driver.LoadDir(root, dir)
+			if err != nil {
+				t.Fatalf("LoadDir(%s): %v", dir, err)
+			}
+			if pkg.Path != rel {
+				t.Fatalf("synthesized package path = %q, want %q", pkg.Path, rel)
+			}
+			diags, err := driver.Run([]*driver.Package{pkg}, suite)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			got := make(map[string]int)
+			for _, d := range diags {
+				got[key(filepath.Base(d.Position.Filename), d.Position.Line, d.Analyzer)]++
+			}
+			want := wantMarkers(t, dir)
+			for k := range want {
+				if got[k] == 0 {
+					t.Errorf("missing diagnostic %s", k)
+				}
+			}
+			for k, n := range got {
+				if !want[k] {
+					t.Errorf("unexpected diagnostic %s (x%d)", k, n)
+				} else if n != 1 {
+					t.Errorf("diagnostic %s reported %d times, want 1", k, n)
+				}
+			}
+		})
+	}
+}
+
+// TestRunCleanPackage smoke-tests the go list load path end to end:
+// etlint over its own (clean) command package must find nothing.
+func TestRunCleanPackage(t *testing.T) {
+	if code := run([]string{"."}); code != 0 {
+		t.Fatalf("run([.]) = %d, want 0", code)
+	}
+}
+
+// TestRunBadPattern exercises the load-failure exit code.
+func TestRunBadPattern(t *testing.T) {
+	if code := run([]string{"./does-not-exist/..."}); code != 2 {
+		t.Fatalf("run(bad pattern) = %d, want 2", code)
+	}
+}
+
+func key(file string, line int, analyzer string) string {
+	return fmt.Sprintf("%s:%d [%s]", file, line, analyzer)
+}
+
+// wantMarkers scans the fixture files in dir for "// want <analyzer>"
+// line markers and returns the expected diagnostic keys.
+func wantMarkers(t *testing.T, dir string) map[string]bool {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string]bool)
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			text := sc.Text()
+			idx := strings.Index(text, "// want ")
+			if idx < 0 {
+				continue
+			}
+			for _, analyzer := range strings.Fields(text[idx+len("// want "):]) {
+				want[key(name, line, analyzer)] = true
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	if len(want) == 0 {
+		t.Fatalf("no want markers found in %s", dir)
+	}
+	return want
+}

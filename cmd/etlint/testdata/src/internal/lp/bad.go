@@ -1,0 +1,43 @@
+// Package lp is etlint test fixture code: every planted defect carries
+// a want-analyzer marker comment and the etlint smoke test asserts each
+// analyzer fires exactly on the marked lines and nowhere else. This
+// package path sits inside the nopanic scope on purpose.
+package lp
+
+// Eps is a stray tolerance literal.
+const Eps = 1e-7 // want toldef
+
+// Gap is a configuration knob, not a tolerance; it must NOT be flagged.
+const Gap = 1e-3
+
+func equalExact(a, b float64) bool {
+	return a == b // want floatcmp
+}
+
+func notEqual(a, b float64) bool {
+	return a != b // want floatcmp
+}
+
+func intEqual(a, b int) bool {
+	return a == b // ints are fine
+}
+
+func classify(x float64) string {
+	switch x { // want floatcmp
+	case 0:
+		return "zero"
+	}
+	return "other"
+}
+
+func mustPositive(x float64) {
+	if x < 0 {
+		panic("negative") // want nopanic
+	}
+}
+
+// invariant reports a programming error in the solver itself. It is the
+// package's documented invariant-violation helper.
+func invariant(msg string) {
+	panic("lp: " + msg) // sanctioned: documented helper
+}

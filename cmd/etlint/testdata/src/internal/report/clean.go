@@ -1,0 +1,20 @@
+// Package report is etlint test fixture code for a package OUTSIDE the
+// nopanic scope: its panic must not be flagged, while float comparisons
+// and tolerance literals still are.
+package report
+
+// Tiny is still a tolerance even outside the solver packages.
+var Tiny = 2.5e-9 // want toldef
+
+func render(v float64) string {
+	if v == 0 { // want floatcmp
+		return "-"
+	}
+	return "value"
+}
+
+func mustRender(ok bool) {
+	if !ok {
+		panic("report: render failed") // out of nopanic scope: allowed
+	}
+}

@@ -15,8 +15,10 @@ import (
 	"strings"
 	"time"
 
+	"github.com/etransform/etransform/internal/certify"
 	"github.com/etransform/etransform/internal/lp"
 	"github.com/etransform/etransform/internal/milp"
+	"github.com/etransform/etransform/internal/tol"
 )
 
 func main() {
@@ -28,7 +30,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("lpsolve", flag.ContinueOnError)
-	gap := fs.Float64("gap", 1e-6, "MILP relative optimality gap")
+	gap := fs.Float64("gap", tol.Gap, "MILP relative optimality gap")
 	nodes := fs.Int("nodes", 200000, "branch & bound node limit")
 	timeLimit := fs.Duration("timelimit", 10*time.Minute, "wall-clock limit")
 	verbose := fs.Bool("v", false, "print every nonzero variable (default: first 50)")
@@ -66,11 +68,24 @@ func run(args []string) error {
 	if !sol.Status.HasSolution() || sol.X == nil {
 		return nil
 	}
+	// Every printed solution ships with an independent feasibility
+	// certificate: certify re-checks all rows, bounds and integrality
+	// directly against the parsed model.
+	cert, err := certify.CheckSolution(m, sol, &certify.Options{FeasTol: tol.Accept, IntTol: tol.Accept})
+	if err != nil {
+		return err
+	}
+	if cert != nil {
+		fmt.Printf("certificate: %s\n", cert.Summary())
+		if err := cert.Err(); err != nil {
+			return err
+		}
+	}
 	fmt.Printf("objective: %.8g\n", sol.Objective)
 	printed := 0
 	for j := 0; j < m.NumVars(); j++ {
 		v := sol.X[j]
-		if v == 0 {
+		if tol.IsZero(v) {
 			continue
 		}
 		if !*verbose && printed >= 50 {
@@ -86,7 +101,7 @@ func run(args []string) error {
 func countNonzero(x []float64) int {
 	n := 0
 	for _, v := range x {
-		if v != 0 {
+		if !tol.IsZero(v) {
 			n++
 		}
 	}

@@ -1,0 +1,251 @@
+// Package certify independently re-checks LP/MILP solutions. It walks
+// the model itself — every row activity, every variable bound, every
+// integrality requirement — using only the model data and the shared
+// tolerances in package tol, so a bug in the simplex or branch & bound
+// machinery cannot vouch for its own output. The planner certifies every
+// plan after solving, and cmd/lpsolve certifies every solution it
+// prints, so reported results always ship with a machine-checked
+// feasibility certificate (the correctness layer consolidation-MILP work
+// such as cut-and-solve stresses as a precondition for comparing
+// solvers).
+package certify
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/etransform/etransform/internal/lp"
+	"github.com/etransform/etransform/internal/tol"
+)
+
+// Options configure a certification pass. The zero value applies the
+// repository defaults from package tol.
+type Options struct {
+	// FeasTol is the bound/row feasibility tolerance (absolute; rows are
+	// additionally scaled by max(1, |rhs|)). Default tol.Feas.
+	FeasTol float64
+	// IntTol is the integrality tolerance. Default tol.Int.
+	IntTol float64
+	// ObjTol, when a claimed objective is supplied to CheckSolution, is
+	// the tolerance for the recomputed-vs-claimed comparison, scaled by
+	// max(1, |claimed|). Default tol.Objective.
+	ObjTol float64
+	// MaxViolations caps the recorded violation list (the counts and
+	// maxima still cover everything). Default 20; negative means
+	// unlimited.
+	MaxViolations int
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{}
+	if o != nil {
+		out = *o
+	}
+	if out.FeasTol <= 0 {
+		out.FeasTol = tol.Feas
+	}
+	if out.IntTol <= 0 {
+		out.IntTol = tol.Int
+	}
+	if out.ObjTol <= 0 {
+		out.ObjTol = tol.Objective
+	}
+	if out.MaxViolations == 0 {
+		out.MaxViolations = 20
+	}
+	return out
+}
+
+// Violation is one requirement the point fails beyond tolerance.
+type Violation struct {
+	// Kind is "bound", "integrality", "row" or "objective".
+	Kind string
+	// Name is the variable or row name (or "objective").
+	Name string
+	// Index is the variable or row index within the model.
+	Index int
+	// Amount is the raw violation magnitude (distance past the bound,
+	// distance from integrality, or |claimed − recomputed|).
+	Amount float64
+	// Detail is a human-readable description.
+	Detail string
+}
+
+// Certificate is the result of re-checking one solution.
+type Certificate struct {
+	// Feasible reports that every bound, row and integrality requirement
+	// holds within the configured tolerances.
+	Feasible bool
+	// Vars and Rows count what was checked.
+	Vars, Rows int
+	// Integral counts the integrality requirements checked.
+	Integral int
+	// MaxBoundViol, MaxIntViol and MaxRowViol are the largest raw
+	// violations observed (0 when fully clean), regardless of whether
+	// they exceed tolerance. MaxRowViol is pre-scaling (absolute).
+	MaxBoundViol, MaxIntViol, MaxRowViol float64
+	// Objective is the objective value recomputed from the model costs.
+	Objective float64
+	// Violations lists every requirement failed beyond tolerance, up to
+	// Options.MaxViolations.
+	Violations []Violation
+	// TotalViolations counts all tolerance failures, including ones
+	// dropped from Violations by the cap.
+	TotalViolations int
+}
+
+// Err returns nil for a feasible certificate, or an error summarizing
+// the violations.
+func (c *Certificate) Err() error {
+	if c.Feasible {
+		return nil
+	}
+	return fmt.Errorf("certify: solution infeasible: %s", c.Summary())
+}
+
+// Summary renders a compact one-line description of the certificate.
+func (c *Certificate) Summary() string {
+	var sb strings.Builder
+	if c.Feasible {
+		fmt.Fprintf(&sb, "feasible (%d rows, %d bounds, %d integralities; max viol row %.3g bound %.3g int %.3g)",
+			c.Rows, c.Vars, c.Integral, c.MaxRowViol, c.MaxBoundViol, c.MaxIntViol)
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "%d violation(s)", c.TotalViolations)
+	for i, v := range c.Violations {
+		if i == 3 {
+			fmt.Fprintf(&sb, "; … %d more", c.TotalViolations-i)
+			break
+		}
+		fmt.Fprintf(&sb, "; %s", v.Detail)
+	}
+	return sb.String()
+}
+
+func (c *Certificate) addViolation(cap int, v Violation) {
+	c.TotalViolations++
+	if cap < 0 || len(c.Violations) < cap {
+		c.Violations = append(c.Violations, v)
+	}
+}
+
+// Check certifies the point x against every bound, integrality
+// requirement and row of m. It returns an error only for structural
+// problems (a broken model, wrong point length); an infeasible point
+// yields a certificate with Feasible == false.
+func Check(m *lp.Model, x []float64, opts *Options) (*Certificate, error) {
+	o := opts.withDefaults()
+	if err := m.Err(); err != nil {
+		return nil, fmt.Errorf("certify: invalid model: %w", err)
+	}
+	if len(x) != m.NumVars() {
+		return nil, fmt.Errorf("certify: point has %d entries, model has %d variables", len(x), m.NumVars())
+	}
+	c := &Certificate{Feasible: true, Vars: m.NumVars(), Rows: m.NumRows()}
+
+	for j := 0; j < m.NumVars(); j++ {
+		v := m.Var(lp.VarID(j))
+		xi := x[j]
+		if math.IsNaN(xi) || math.IsInf(xi, 0) {
+			c.Feasible = false
+			c.addViolation(o.MaxViolations, Violation{
+				Kind: "bound", Name: v.Name, Index: j, Amount: math.Inf(1),
+				Detail: fmt.Sprintf("variable %q = %v is not finite", v.Name, xi),
+			})
+			continue
+		}
+		var bv float64
+		if xi < v.Lower {
+			bv = v.Lower - xi
+		} else if xi > v.Upper {
+			bv = xi - v.Upper
+		}
+		if bv > c.MaxBoundViol {
+			c.MaxBoundViol = bv
+		}
+		if tol.Pos(bv, o.FeasTol) {
+			c.Feasible = false
+			c.addViolation(o.MaxViolations, Violation{
+				Kind: "bound", Name: v.Name, Index: j, Amount: bv,
+				Detail: fmt.Sprintf("variable %q = %v outside [%v, %v] by %.3g", v.Name, xi, v.Lower, v.Upper, bv),
+			})
+		}
+		if v.Type != lp.Continuous {
+			c.Integral++
+			iv := tol.Frac(xi)
+			if iv > c.MaxIntViol {
+				c.MaxIntViol = iv
+			}
+			if tol.Pos(iv, o.IntTol) {
+				c.Feasible = false
+				c.addViolation(o.MaxViolations, Violation{
+					Kind: "integrality", Name: v.Name, Index: j, Amount: iv,
+					Detail: fmt.Sprintf("variable %q = %v is %.3g from integral", v.Name, xi, iv),
+				})
+			}
+		}
+	}
+
+	for r := 0; r < m.NumRows(); r++ {
+		row := m.Row(lp.RowID(r))
+		a := m.RowActivity(lp.RowID(r), x)
+		var rv float64
+		switch row.Sense {
+		case lp.LE:
+			rv = a - row.RHS
+		case lp.GE:
+			rv = row.RHS - a
+		case lp.EQ:
+			rv = math.Abs(a - row.RHS)
+		}
+		if rv < 0 {
+			rv = 0
+		}
+		if rv > c.MaxRowViol {
+			c.MaxRowViol = rv
+		}
+		scaled := o.FeasTol * math.Max(1, math.Abs(row.RHS))
+		if tol.Pos(rv, scaled) {
+			c.Feasible = false
+			c.addViolation(o.MaxViolations, Violation{
+				Kind: "row", Name: row.Name, Index: r, Amount: rv,
+				Detail: fmt.Sprintf("row %q: activity %v %s %v violated by %.3g", row.Name, a, row.Sense, row.RHS, rv),
+			})
+		}
+	}
+
+	c.Objective = m.Objective(x)
+	return c, nil
+}
+
+// CheckSolution certifies a solver result against the model: the primal
+// point is checked like Check, and the solution's claimed objective must
+// match the recomputed one within ObjTol (scaled). Solutions without a
+// usable point (infeasible/unbounded statuses) certify trivially with a
+// nil certificate and nil error only when the status carries no
+// solution; a missing X on a solution-bearing status is an error.
+func CheckSolution(m *lp.Model, sol *lp.Solution, opts *Options) (*Certificate, error) {
+	if sol == nil {
+		return nil, fmt.Errorf("certify: nil solution")
+	}
+	if !sol.Status.HasSolution() {
+		return nil, nil
+	}
+	if sol.X == nil {
+		return nil, fmt.Errorf("certify: status %v promises a solution but X is nil", sol.Status)
+	}
+	o := opts.withDefaults()
+	c, err := Check(m, sol.X, &o)
+	if err != nil {
+		return nil, err
+	}
+	if d := math.Abs(sol.Objective - c.Objective); !tol.Leq(d, 0, o.ObjTol*math.Max(1, math.Abs(sol.Objective))) {
+		c.Feasible = false
+		c.addViolation(o.MaxViolations, Violation{
+			Kind: "objective", Name: "objective", Index: -1, Amount: d,
+			Detail: fmt.Sprintf("claimed objective %v differs from recomputed %v by %.3g", sol.Objective, c.Objective, d),
+		})
+	}
+	return c, nil
+}

@@ -1,0 +1,220 @@
+package certify
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/etransform/etransform/internal/lp"
+	"github.com/etransform/etransform/internal/milp"
+)
+
+// knapsack builds a small MILP with a known optimum: maximize value
+// (as min of negated cost) of 3 binary items under one capacity row.
+func knapsack(t *testing.T) *lp.Model {
+	t.Helper()
+	m := lp.NewModel("ks")
+	m.AddBinary("a", -6)
+	m.AddBinary("b", -5)
+	m.AddBinary("c", -4)
+	m.AddRow("cap", []lp.Term{{Var: 0, Coef: 3}, {Var: 1, Coef: 2}, {Var: 2, Coef: 2}}, lp.LE, 5)
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCertifyAcceptsOptimalSolution(t *testing.T) {
+	m := knapsack(t)
+	sol, err := milp.Solve(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.StatusOptimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	cert, err := CheckSolution(m, sol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cert.Feasible {
+		t.Fatalf("optimal solution failed certification: %s", cert.Summary())
+	}
+	if cert.Err() != nil {
+		t.Fatalf("Err() = %v on feasible certificate", cert.Err())
+	}
+	if cert.Rows != m.NumRows() || cert.Vars != m.NumVars() {
+		t.Errorf("checked %d rows / %d vars, want %d / %d", cert.Rows, cert.Vars, m.NumRows(), m.NumVars())
+	}
+	if !strings.Contains(cert.Summary(), "feasible") {
+		t.Errorf("summary = %q, want it to say feasible", cert.Summary())
+	}
+}
+
+func TestCertifyRejectsPerturbedInfeasible(t *testing.T) {
+	m := knapsack(t)
+	sol, err := milp.Solve(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force every item into the knapsack: total weight 7 > capacity 5.
+	x := append([]float64(nil), sol.X...)
+	for j := range x {
+		x[j] = 1
+	}
+	cert, err := Check(m, x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Feasible {
+		t.Fatal("over-capacity point certified feasible")
+	}
+	found := false
+	for _, v := range cert.Violations {
+		if v.Kind == "row" && v.Name == "cap" {
+			found = true
+			if v.Amount < 1.9 || v.Amount > 2.1 {
+				t.Errorf("cap violation amount = %v, want ≈2", v.Amount)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no row violation for cap in %+v", cert.Violations)
+	}
+	if cert.Err() == nil {
+		t.Error("Err() = nil on infeasible certificate")
+	}
+}
+
+func TestCertifyRejectsFractionalInteger(t *testing.T) {
+	m := knapsack(t)
+	cert, err := Check(m, []float64{0.5, 0, 0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Feasible {
+		t.Fatal("fractional binary certified feasible")
+	}
+	found := false
+	for _, v := range cert.Violations {
+		if v.Kind == "integrality" && v.Name == "a" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no integrality violation for a in %+v", cert.Violations)
+	}
+}
+
+func TestCertifyRejectsBoundViolationAndNaN(t *testing.T) {
+	m := knapsack(t)
+	cases := []struct {
+		name string
+		x    []float64
+		kind string
+	}{
+		{"above-upper", []float64{2, 0, 0}, "bound"},
+		{"below-lower", []float64{-1, 0, 0}, "bound"},
+		{"nan", []float64{math.NaN(), 0, 0}, "bound"},
+		{"inf", []float64{math.Inf(1), 0, 0}, "bound"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			cert, err := Check(m, tt.x, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cert.Feasible {
+				t.Fatal("bad point certified feasible")
+			}
+			found := false
+			for _, v := range cert.Violations {
+				if v.Kind == tt.kind {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("no %q violation in %+v", tt.kind, cert.Violations)
+			}
+		})
+	}
+}
+
+func TestCertifyObjectiveMismatch(t *testing.T) {
+	m := knapsack(t)
+	sol, err := milp.Solve(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	claimed := *sol
+	claimed.Objective = sol.Objective + 100 // lie about the objective
+	cert, err := CheckSolution(m, &claimed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Feasible {
+		t.Fatal("objective lie certified feasible")
+	}
+	found := false
+	for _, v := range cert.Violations {
+		if v.Kind == "objective" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no objective violation in %+v", cert.Violations)
+	}
+}
+
+func TestCertifyNonSolutionStatuses(t *testing.T) {
+	m := knapsack(t)
+	for _, status := range []lp.Status{lp.StatusInfeasible, lp.StatusUnbounded} {
+		cert, err := CheckSolution(m, &lp.Solution{Status: status}, nil)
+		if err != nil {
+			t.Fatalf("status %v: %v", status, err)
+		}
+		if cert != nil {
+			t.Errorf("status %v: certificate = %+v, want nil (nothing to certify)", status, cert)
+		}
+	}
+	// A solution-bearing status with no point is a structural error.
+	if _, err := CheckSolution(m, &lp.Solution{Status: lp.StatusOptimal}, nil); err == nil {
+		t.Error("optimal status without X accepted")
+	}
+}
+
+func TestCertifyStructuralErrors(t *testing.T) {
+	m := knapsack(t)
+	if _, err := Check(m, []float64{0}, nil); err == nil {
+		t.Error("wrong-length point accepted")
+	}
+	bad := lp.NewModel("bad")
+	bad.AddContinuous("x", 5, 1, 0) // lower > upper: sticky model error
+	if _, err := Check(bad, []float64{0}, nil); err == nil {
+		t.Error("broken model accepted")
+	}
+}
+
+func TestCertifyViolationCap(t *testing.T) {
+	m := lp.NewModel("cap")
+	for j := 0; j < 10; j++ {
+		m.AddBinary("", 0)
+	}
+	x := make([]float64, 10)
+	for j := range x {
+		x[j] = 0.5 // every variable fractional
+	}
+	cert, err := Check(m, x, &Options{MaxViolations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.TotalViolations != 10 {
+		t.Errorf("TotalViolations = %d, want 10", cert.TotalViolations)
+	}
+	if len(cert.Violations) != 3 {
+		t.Errorf("len(Violations) = %d, want capped at 3", len(cert.Violations))
+	}
+	if !strings.Contains(cert.Summary(), "10 violation(s)") {
+		t.Errorf("summary = %q, want total count", cert.Summary())
+	}
+}

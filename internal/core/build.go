@@ -9,6 +9,7 @@ import (
 	"github.com/etransform/etransform/internal/lp"
 	"github.com/etransform/etransform/internal/model"
 	"github.com/etransform/etransform/internal/simplex"
+	"github.com/etransform/etransform/internal/tol"
 )
 
 // groupType is a set of interchangeable application groups: identical in
@@ -225,7 +226,7 @@ func (b *builder) primaryCost(g *model.AppGroup, j int) float64 {
 // labor and capital are carried by the shared pool variables G_j.
 func (b *builder) secondaryCost(g *model.AppGroup, j int) float64 {
 	w := b.s.Params.SecondaryLatencyWeight
-	if w == 0 {
+	if tol.IsZero(w) {
 		return 0
 	}
 	return w * model.LatencyPenaltyAt(g, &b.s.Target, &b.s.Params, j)
@@ -610,12 +611,12 @@ func (b *builder) decode(sol *lp.Solution) (*model.Plan, error) {
 	} else {
 		// Paper formulation: singleton types; read X and Y.
 		for _, pv := range b.placeVars {
-			if math.Round(sol.Value(pv.v)) == 1 {
+			if int(math.Round(sol.Value(pv.v))) == 1 {
 				placement[b.types[pv.t].members[0]] = pv.a
 			}
 		}
 		for _, sv := range b.secVars {
-			if math.Round(sol.Value(sv.v)) == 1 {
+			if int(math.Round(sol.Value(sv.v))) == 1 {
 				secondary[b.types[sv.t].members[0]] = sv.b
 			}
 		}
@@ -639,7 +640,7 @@ func (b *builder) decode(sol *lp.Solution) (*model.Plan, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: internal: decoded plan fails evaluation: %w", err)
 	}
-	if err := model.CheckObjectiveMatches(sol.Objective, bd.Total(), 1e-4); err != nil {
+	if err := model.CheckObjectiveMatches(sol.Objective, bd.Total(), tol.Objective); err != nil {
 		return nil, fmt.Errorf("core: internal: %w", err)
 	}
 
@@ -708,7 +709,7 @@ func (b *builder) shadowPrices() (map[string]float64, error) {
 		if row < 0 {
 			continue
 		}
-		if v := -lpSol.DualValues[row]; v > 1e-9 {
+		if v := -lpSol.DualValues[row]; tol.Pos(v, tol.Shadow) {
 			out[b.s.Target.DCs[j].ID] = v
 		}
 	}

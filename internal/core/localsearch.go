@@ -2,6 +2,7 @@ package core
 
 import (
 	"github.com/etransform/etransform/internal/model"
+	"github.com/etransform/etransform/internal/tol"
 )
 
 // localImprove hill-climbs a feasible (placement, secondary) assignment
@@ -40,7 +41,7 @@ func (b *builder) localImprove(placement, secondary []int, maxPasses int) float6
 					continue
 				}
 				placement[i] = a
-				if c := b.evalTotal(placement, secondary); c < cur-1e-9 {
+				if c := b.evalTotal(placement, secondary); c < cur-tol.Tighten {
 					cur = c
 					oldA = a
 					improved = true
@@ -61,7 +62,7 @@ func (b *builder) localImprove(placement, secondary []int, maxPasses int) float6
 					continue
 				}
 				secondary[i] = sb
-				if c := b.evalTotal(placement, secondary); c < cur-1e-9 {
+				if c := b.evalTotal(placement, secondary); c < cur-tol.Tighten {
 					cur = c
 					oldB = sb
 					improved = true

@@ -26,9 +26,11 @@ import (
 	"io"
 	"sort"
 
+	"github.com/etransform/etransform/internal/certify"
 	"github.com/etransform/etransform/internal/lp"
 	"github.com/etransform/etransform/internal/milp"
 	"github.com/etransform/etransform/internal/model"
+	"github.com/etransform/etransform/internal/tol"
 )
 
 // Formulation selects how disaster recovery is linearized.
@@ -241,7 +243,28 @@ func (p *Planner) solveOnce(candidateK int) (*model.Plan, error) {
 	if sol.X == nil {
 		return nil, fmt.Errorf("core: solver stopped (%v) before finding any feasible plan; raise Solver.MaxNodes or TimeLimit", sol.Status)
 	}
-	return b.decode(sol)
+	// Independently certify the solver's point against the full MILP
+	// before trusting it: every row activity, bound and integrality
+	// requirement is re-checked by internal/certify, so a solver bug
+	// cannot silently ship an infeasible plan. The tolerance matches the
+	// incumbent-acceptance tolerance used inside branch & bound.
+	cert, err := certify.CheckSolution(b.m, sol, &certify.Options{FeasTol: tol.Accept, IntTol: tol.Accept})
+	if err != nil {
+		return nil, fmt.Errorf("core: certifying %s: %w", b.m.Name, err)
+	}
+	if cert != nil {
+		if err := cert.Err(); err != nil {
+			return nil, fmt.Errorf("core: plan for %s failed certification: %w", b.m.Name, err)
+		}
+	}
+	plan, err := b.decode(sol)
+	if err != nil {
+		return nil, err
+	}
+	if cert != nil {
+		plan.Stats.Certificate = cert.Summary()
+	}
+	return plan, nil
 }
 
 // sortedIndices returns 0..n-1 ordered by the given cost function

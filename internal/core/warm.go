@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"github.com/etransform/etransform/internal/model"
+	"github.com/etransform/etransform/internal/tol"
 )
 
 // This file implements the planner's warm-start heuristic for DR solves.
@@ -208,7 +209,7 @@ func (b *builder) latencyFirstSecondaries(placement []int, poolRank []int) ([]in
 				continue
 			}
 			c := b.secondaryCost(g, j)
-			if c < bestCost || (c == bestCost && poolPos[j] < bestPos) {
+			if c < bestCost || (tol.Same(c, bestCost) && poolPos[j] < bestPos) {
 				sec, bestCost, bestPos = j, c, poolPos[j]
 			}
 		}
@@ -445,7 +446,7 @@ func (b *builder) encodePoint(placement, secondary []int) ([]float64, bool) {
 				x[b.ordVars[j][k-1]] = 1
 			}
 		}
-		if rem > 1e-9 {
+		if tol.Pos(rem, tol.Tighten) {
 			return nil, false
 		}
 	}

@@ -18,6 +18,7 @@ import (
 	"github.com/etransform/etransform/internal/milp"
 	"github.com/etransform/etransform/internal/model"
 	"github.com/etransform/etransform/internal/report"
+	"github.com/etransform/etransform/internal/tol"
 )
 
 // Scale bounds an experiment's size and solve effort. Benchmarks shrink
@@ -91,7 +92,7 @@ func (r *CaseStudyResult) Cost(algo string) float64 {
 // (negative = cheaper), as in Tables 4(d) and 6(d).
 func (r *CaseStudyResult) Reduction(algo string) float64 {
 	base := r.Cost("AS-IS")
-	if base == 0 {
+	if tol.IsZero(base) {
 		return 0
 	}
 	return (r.Cost(algo) - base) / base

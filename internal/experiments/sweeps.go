@@ -6,6 +6,7 @@ import (
 	"github.com/etransform/etransform/internal/core"
 	"github.com/etransform/etransform/internal/datagen"
 	"github.com/etransform/etransform/internal/report"
+	"github.com/etransform/etransform/internal/tol"
 )
 
 // Fig7Penalties is the latency-penalty axis of Figure 7 ($0–$120/user).
@@ -17,10 +18,10 @@ var Fig7Splits = []float64{0, 0.25, 0.5, 0.75, 1}
 
 // Fig7SplitName names a split the way the paper's legend does.
 func Fig7SplitName(split float64) string {
-	switch split {
-	case 0:
+	switch {
+	case tol.Same(split, 0):
 		return "all users in location 9"
-	case 1:
+	case tol.Same(split, 1):
 		return "all users in location 0"
 	default:
 		return fmt.Sprintf("%.0f%% users in location 0", split*100)

@@ -1,0 +1,86 @@
+// Package analysis is a minimal, dependency-free re-implementation of
+// the golang.org/x/tools/go/analysis API surface the etlint suite needs.
+// The toolchain image has no module proxy access, so the framework is
+// self-hosted on the standard library's go/ast and go/types: an
+// Analyzer inspects one type-checked package through a Pass and reports
+// Diagnostics. Analyzers written against this package keep the upstream
+// shape (Name/Doc/Run, Pass.Report) so they could be lifted onto the
+// real go/analysis driver unchanged if x/tools ever becomes available.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics (lowercase identifier).
+	Name string
+	// Doc is the analyzer's human-readable documentation.
+	Doc string
+	// Run applies the analyzer to one package. Diagnostics are delivered
+	// through pass.Report; the error return is for analyzer failure, not
+	// findings.
+	Run func(pass *Pass) error
+}
+
+// Pass connects an Analyzer to the package under inspection.
+type Pass struct {
+	Analyzer *Analyzer
+	// Fset maps positions for every file in the package.
+	Fset *token.FileSet
+	// Files are the package's parsed source files (test files excluded
+	// by the driver; etlint analyzes shipped code).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds type information for expressions and identifiers.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, msg string) {
+	p.Report(Diagnostic{Pos: pos, Message: msg})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// IsGenerated reports whether the file carries a standard "Code
+// generated … DO NOT EDIT." comment; generated files are skipped by the
+// etlint analyzers.
+func IsGenerated(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "// Code generated ") && strings.HasSuffix(c.Text, " DO NOT EDIT.") {
+				return true
+			}
+		}
+		// Only leading comments can carry the marker.
+		if cg.End() >= f.Package {
+			break
+		}
+	}
+	return false
+}
+
+// IsFloat reports whether t's core type is a floating-point basic type
+// (float32, float64, or an untyped float constant).
+func IsFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return basic.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,69 @@
+// Package floatcmp implements the etlint analyzer that forbids raw
+// `==`/`!=` comparisons (and switch statements) on floating-point
+// operands. Raw float equality is almost always a numerical-robustness
+// bug in solver code; the fix is to state intent through the helpers in
+// internal/tol: tol.Eq (approximate), tol.IsZero (exact sparsity test),
+// tol.Same (exact propagation test), tol.IsInt (integrality). Package
+// internal/tol itself is exempt — it is where the allowed primitives
+// live.
+package floatcmp
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"github.com/etransform/etransform/internal/lint/analysis"
+)
+
+// Analyzer flags float equality comparisons outside internal/tol.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc: "forbid ==/!= and switch on float operands outside internal/tol; " +
+		"use tol.Eq/tol.Same/tol.IsZero/tol.IsInt to state intent",
+	Run: run,
+}
+
+// exemptSuffix marks the one package allowed to compare floats directly.
+const exemptSuffix = "internal/tol"
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg != nil && (pass.Pkg.Path() == exemptSuffix || strings.HasSuffix(pass.Pkg.Path(), "/"+exemptSuffix)) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsGenerated(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if floatOperand(pass, n.X) || floatOperand(pass, n.Y) {
+					pass.Reportf(n.OpPos, fmt.Sprintf(
+						"float %s comparison; use internal/tol (tol.Eq, tol.IsZero, tol.Same, …)", n.Op))
+				}
+			case *ast.SwitchStmt:
+				if n.Tag != nil && floatOperand(pass, n.Tag) {
+					pass.Reportf(n.Switch, "switch on float value; use internal/tol comparisons in an if/else chain")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func floatOperand(pass *analysis.Pass, e ast.Expr) bool {
+	if pass.TypesInfo == nil {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	return analysis.IsFloat(tv.Type)
+}

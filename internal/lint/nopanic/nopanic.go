@@ -1,0 +1,96 @@
+// Package nopanic implements the etlint analyzer that forbids panic
+// calls in the solver library packages (internal/simplex, internal/milp,
+// internal/lp, internal/core). Library code must return errors; a panic
+// in the MILP stack turns a malformed model or a numerical corner case
+// into a crashed planner. The one sanctioned escape hatch is a
+// documented invariant-violation helper: a function whose doc comment
+// contains the phrase "invariant-violation helper" may panic, and code
+// reporting programming errors calls it (see lp.invariant).
+package nopanic
+
+import (
+	"go/ast"
+	"strings"
+
+	"github.com/etransform/etransform/internal/lint/analysis"
+)
+
+// Analyzer flags panic calls in solver library packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "nopanic",
+	Doc: "forbid panic in internal/{simplex,milp,lp,core}; return errors, or route programming " +
+		`errors through a documented "invariant-violation helper" function`,
+	Run: run,
+}
+
+// Scopes lists the package-path segments whose packages must not panic.
+// A package is in scope when its import path contains one of these as a
+// path-segment-aligned substring.
+var Scopes = []string{
+	"internal/simplex",
+	"internal/milp",
+	"internal/lp",
+	"internal/core",
+}
+
+// marker is the doc-comment phrase that sanctions a panic inside one
+// documented helper function per package.
+const marker = "invariant-violation helper"
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg == nil || !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsGenerated(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if fn.Doc != nil && strings.Contains(fn.Doc.Text(), marker) {
+				continue // the documented invariant-violation helper
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" && isBuiltinPanic(pass, id) {
+					pass.Reportf(call.Pos(),
+						"panic in solver library code; return an error, or route programming errors "+
+							"through the package's documented invariant-violation helper")
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// inScope reports whether pkgPath contains one of the Scopes aligned on
+// path-segment boundaries.
+func inScope(pkgPath string) bool {
+	for _, s := range Scopes {
+		if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) || strings.Contains(pkgPath, "/"+s+"/") || strings.HasPrefix(pkgPath, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// isBuiltinPanic reports that id resolves to the predeclared panic (not
+// a local function or variable shadowing the name).
+func isBuiltinPanic(pass *analysis.Pass, id *ast.Ident) bool {
+	if pass.TypesInfo == nil {
+		return true // no type info: assume builtin
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return true
+	}
+	// The predeclared panic lives in the Universe scope.
+	return obj.Parent() == nil || obj.Pkg() == nil
+}

@@ -1,0 +1,68 @@
+// Package toldef implements the etlint analyzer that forbids ad-hoc
+// numeric tolerance literals outside the central internal/tol package.
+// A float literal written in scientific notation with an exponent of
+// −4 or smaller (1e-7, 2.5e-9, 1e-12, …) is, in this codebase, always a
+// tolerance; scattering such literals is how solver layers drift apart
+// numerically. The fix is to name the value in internal/tol and
+// reference it.
+package toldef
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"github.com/etransform/etransform/internal/lint/analysis"
+)
+
+// Analyzer flags tolerance-sized float literals outside internal/tol.
+var Analyzer = &analysis.Analyzer{
+	Name: "toldef",
+	Doc: "forbid tolerance literals (scientific notation, exponent ≤ -4) outside internal/tol; " +
+		"name the tolerance in internal/tol and reference it",
+	Run: run,
+}
+
+// exemptSuffix marks the one package allowed to define tolerances.
+const exemptSuffix = "internal/tol"
+
+// sciNeg matches a float literal in scientific notation with a negative
+// exponent, capturing the exponent digits.
+var sciNeg = regexp.MustCompile(`(?i)^[0-9]*\.?[0-9]+e-([0-9]+)$`)
+
+// minExponent is the smallest magnitude a negative exponent must reach
+// before the literal counts as a tolerance (1e-3 is a configuration gap;
+// 1e-4 and below are numerical tolerances).
+const minExponent = 4
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg != nil && (pass.Pkg.Path() == exemptSuffix || strings.HasSuffix(pass.Pkg.Path(), "/"+exemptSuffix)) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsGenerated(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.FLOAT {
+				return true
+			}
+			m := sciNeg.FindStringSubmatch(lit.Value)
+			if m == nil {
+				return true
+			}
+			exp, err := strconv.Atoi(m[1])
+			if err != nil || exp < minExponent {
+				return true
+			}
+			pass.Reportf(lit.Pos(), fmt.Sprintf(
+				"tolerance literal %s outside internal/tol; name it there (see tol.Feas, tol.Opt, …) and reference it", lit.Value))
+			return true
+		})
+	}
+	return nil
+}

@@ -9,6 +9,8 @@ package lp
 import (
 	"fmt"
 	"math"
+
+	"github.com/etransform/etransform/internal/tol"
 )
 
 // VarType is the domain of a decision variable.
@@ -105,20 +107,40 @@ type Model struct {
 	vars     []Variable
 	rows     []Row
 	nonzeros int
+	// err is the first construction error (NaN data, inverted bounds,
+	// unknown variable IDs, …). Builder methods record it and keep the
+	// model structurally consistent; solvers and writers refuse a model
+	// whose Err is non-nil.
+	err error
 }
 
 // NewModel returns an empty minimization model with the given name.
 func NewModel(name string) *Model { return &Model{Name: name} }
 
-// AddVar adds a variable and returns its ID. It panics on NaN attributes
-// or inverted bounds: those are programming errors in the model builder,
-// not runtime conditions.
+// Err returns the first error recorded while building the model, or nil.
+// Invalid data handed to AddVar, AddRow, SetCost or SetBounds does not
+// panic; it marks the model broken, and every solver and writer entry
+// point reports that error instead of operating on corrupt data.
+func (m *Model) Err() error { return m.err }
+
+// fail records the model's first construction error.
+func (m *Model) fail(format string, args ...any) {
+	if m.err == nil {
+		m.err = fmt.Errorf(format, args...)
+	}
+}
+
+// AddVar adds a variable and returns its ID. Invalid attributes (NaN
+// data, inverted bounds) record a model error (see Err); the variable is
+// still appended with sanitized bounds so IDs remain dense and stable.
 func (m *Model) AddVar(v Variable) VarID {
 	if math.IsNaN(v.Lower) || math.IsNaN(v.Upper) || math.IsNaN(v.Cost) {
-		panic(fmt.Sprintf("lp: NaN attribute in variable %q", v.Name))
+		m.fail("lp: NaN attribute in variable %q", v.Name)
+		v.Lower, v.Upper, v.Cost = 0, 0, 0
 	}
 	if v.Lower > v.Upper {
-		panic(fmt.Sprintf("lp: inverted bounds [%v, %v] on variable %q", v.Lower, v.Upper, v.Name))
+		m.fail("lp: inverted bounds [%v, %v] on variable %q", v.Lower, v.Upper, v.Name)
+		v.Upper = v.Lower
 	}
 	if v.Type == 0 {
 		v.Type = Continuous
@@ -148,23 +170,28 @@ func (m *Model) AddBinary(name string, cost float64) VarID {
 
 // AddRow adds a constraint and returns its ID. Duplicate variables within
 // a row are merged by summing coefficients; zero coefficients are dropped.
-// It panics on out-of-range variable IDs or non-finite data — programming
-// errors in the builder.
+// Out-of-range variable IDs, non-finite data, and invalid senses record a
+// model error (see Err); the offending terms are skipped so the row list
+// stays structurally consistent.
 func (m *Model) AddRow(name string, terms []Term, sense Sense, rhs float64) RowID {
 	if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
-		panic(fmt.Sprintf("lp: invalid RHS %v in row %q", rhs, name))
+		m.fail("lp: invalid RHS %v in row %q", rhs, name)
+		rhs = 0
 	}
 	if sense != LE && sense != GE && sense != EQ {
-		panic(fmt.Sprintf("lp: invalid sense %d in row %q", int(sense), name))
+		m.fail("lp: invalid sense %d in row %q", int(sense), name)
+		sense = LE
 	}
 	merged := make(map[VarID]float64, len(terms))
 	order := make([]VarID, 0, len(terms))
 	for _, t := range terms {
 		if t.Var < 0 || int(t.Var) >= len(m.vars) {
-			panic(fmt.Sprintf("lp: unknown variable id %d in row %q", int(t.Var), name))
+			m.fail("lp: unknown variable id %d in row %q", int(t.Var), name)
+			continue
 		}
 		if math.IsNaN(t.Coef) || math.IsInf(t.Coef, 0) {
-			panic(fmt.Sprintf("lp: invalid coefficient %v in row %q", t.Coef, name))
+			m.fail("lp: invalid coefficient %v in row %q", t.Coef, name)
+			continue
 		}
 		if _, seen := merged[t.Var]; !seen {
 			order = append(order, t.Var)
@@ -173,7 +200,7 @@ func (m *Model) AddRow(name string, terms []Term, sense Sense, rhs float64) RowI
 	}
 	clean := make([]Term, 0, len(order))
 	for _, v := range order {
-		if c := merged[v]; c != 0 {
+		if c := merged[v]; !tol.IsZero(c) {
 			clean = append(clean, Term{Var: v, Coef: c})
 		}
 	}
@@ -182,18 +209,32 @@ func (m *Model) AddRow(name string, terms []Term, sense Sense, rhs float64) RowI
 	return RowID(len(m.rows) - 1)
 }
 
-// SetCost overwrites the objective coefficient of v.
+// SetCost overwrites the objective coefficient of v. An invalid cost or
+// variable ID records a model error (see Err) and leaves the model
+// unchanged.
 func (m *Model) SetCost(v VarID, cost float64) {
+	if v < 0 || int(v) >= len(m.vars) {
+		m.fail("lp: SetCost: unknown variable id %d", int(v))
+		return
+	}
 	if math.IsNaN(cost) || math.IsInf(cost, 0) {
-		panic(fmt.Sprintf("lp: invalid cost %v", cost))
+		m.fail("lp: invalid cost %v for variable %q", cost, m.vars[v].Name)
+		return
 	}
 	m.vars[v].Cost = cost
 }
 
-// SetBounds overwrites the bounds of v.
+// SetBounds overwrites the bounds of v. Invalid bounds or an invalid
+// variable ID record a model error (see Err) and leave the model
+// unchanged.
 func (m *Model) SetBounds(v VarID, lower, upper float64) {
+	if v < 0 || int(v) >= len(m.vars) {
+		m.fail("lp: SetBounds: unknown variable id %d", int(v))
+		return
+	}
 	if math.IsNaN(lower) || math.IsNaN(upper) || lower > upper {
-		panic(fmt.Sprintf("lp: invalid bounds [%v, %v]", lower, upper))
+		m.fail("lp: invalid bounds [%v, %v] for variable %q", lower, upper, m.vars[v].Name)
+		return
 	}
 	m.vars[v].Lower = lower
 	m.vars[v].Upper = upper
@@ -226,11 +267,21 @@ func (m *Model) Var(id VarID) Variable { return m.vars[id] }
 // with the model; callers must not mutate it.
 func (m *Model) Row(id RowID) Row { return m.rows[id] }
 
+// invariant is the package's documented invariant-violation helper: it
+// panics to report a programming error that cannot be expressed as a
+// returned error without corrupting caller state. It is the only
+// function in this package allowed to panic (enforced by the etlint
+// nopanic analyzer).
+func invariant(format string, args ...any) {
+	panic("lp: invariant violation: " + fmt.Sprintf(format, args...))
+}
+
 // Objective evaluates the objective at the given point (len must equal
-// NumVars).
+// NumVars — a mismatch is a programming error and panics via the
+// invariant helper).
 func (m *Model) Objective(x []float64) float64 {
 	if len(x) != len(m.vars) {
-		panic(fmt.Sprintf("lp: point has %d entries, model has %d variables", len(x), len(m.vars)))
+		invariant("point has %d entries, model has %d variables", len(x), len(m.vars))
 	}
 	obj := 0.0
 	for i, v := range m.vars {
@@ -249,42 +300,42 @@ func (m *Model) RowActivity(r RowID, x []float64) float64 {
 }
 
 // FeasTol is the default feasibility tolerance used across the solvers.
-const FeasTol = 1e-6
+// It aliases tol.Feas; package tol is the home of all tolerance values.
+const FeasTol = tol.Feas
 
 // IntTol is the default integrality tolerance used across the solvers.
-const IntTol = 1e-6
+// It aliases tol.Int; package tol is the home of all tolerance values.
+const IntTol = tol.Int
 
 // CheckFeasible verifies x against all rows, bounds and integrality
-// within tol (absolute, scaled by max(1,|rhs|) for rows). It returns nil
+// within eps (absolute, scaled by max(1,|rhs|) for rows). It returns nil
 // if feasible, or an error naming the first violated requirement.
-func (m *Model) CheckFeasible(x []float64, tol float64) error {
+func (m *Model) CheckFeasible(x []float64, eps float64) error {
 	if len(x) != len(m.vars) {
 		return fmt.Errorf("lp: point has %d entries, model has %d variables", len(x), len(m.vars))
 	}
 	for i, v := range m.vars {
-		if x[i] < v.Lower-tol || x[i] > v.Upper+tol {
+		if !tol.Geq(x[i], v.Lower, eps) || !tol.Leq(x[i], v.Upper, eps) {
 			return fmt.Errorf("lp: variable %q = %v outside bounds [%v, %v]", v.Name, x[i], v.Lower, v.Upper)
 		}
-		if v.Type != Continuous {
-			if frac := math.Abs(x[i] - math.Round(x[i])); frac > tol {
-				return fmt.Errorf("lp: variable %q = %v not integral", v.Name, x[i])
-			}
+		if v.Type != Continuous && !tol.IsInt(x[i], eps) {
+			return fmt.Errorf("lp: variable %q = %v not integral", v.Name, x[i])
 		}
 	}
 	for r, row := range m.rows {
 		a := m.RowActivity(RowID(r), x)
-		scale := math.Max(1, math.Abs(row.RHS))
+		scaled := eps * math.Max(1, math.Abs(row.RHS))
 		switch row.Sense {
 		case LE:
-			if a > row.RHS+tol*scale {
+			if !tol.Leq(a, row.RHS, scaled) {
 				return fmt.Errorf("lp: row %q violated: %v > %v", row.Name, a, row.RHS)
 			}
 		case GE:
-			if a < row.RHS-tol*scale {
+			if !tol.Geq(a, row.RHS, scaled) {
 				return fmt.Errorf("lp: row %q violated: %v < %v", row.Name, a, row.RHS)
 			}
 		case EQ:
-			if math.Abs(a-row.RHS) > tol*scale {
+			if !tol.Eq(a, row.RHS, scaled) {
 				return fmt.Errorf("lp: row %q violated: %v != %v", row.Name, a, row.RHS)
 			}
 		}
@@ -302,9 +353,10 @@ func (m *Model) Relax() *Model {
 	return c
 }
 
-// Clone returns a deep copy of the model.
+// Clone returns a deep copy of the model (including any recorded
+// construction error).
 func (m *Model) Clone() *Model {
-	c := &Model{Name: m.Name, nonzeros: m.nonzeros}
+	c := &Model{Name: m.Name, nonzeros: m.nonzeros, err: m.err}
 	c.vars = make([]Variable, len(m.vars))
 	copy(c.vars, m.vars)
 	c.rows = make([]Row, len(m.rows))

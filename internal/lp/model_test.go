@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"bytes"
 	"math"
 	"strings"
 	"testing"
@@ -59,26 +60,65 @@ func TestModelMergesDuplicateTerms(t *testing.T) {
 	}
 }
 
-func TestModelPanics(t *testing.T) {
-	assertPanics := func(name string, f func()) {
-		t.Helper()
-		defer func() {
-			if recover() == nil {
-				t.Errorf("%s: expected panic", name)
-			}
-		}()
-		f()
+func TestModelRejectsInvalidInput(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(m *Model, x VarID)
+	}{
+		{"inverted-bounds", func(m *Model, x VarID) { m.AddContinuous("bad", 5, 1, 0) }},
+		{"nan-cost", func(m *Model, x VarID) { m.AddVar(Variable{Name: "n", Lower: 0, Upper: 1, Cost: math.NaN()}) }},
+		{"unknown-var", func(m *Model, x VarID) { m.AddRow("r", []Term{{VarID(99), 1}}, LE, 1) }},
+		{"inf-coef", func(m *Model, x VarID) { m.AddRow("r", []Term{{x, math.Inf(1)}}, LE, 1) }},
+		{"bad-sense", func(m *Model, x VarID) { m.AddRow("r", []Term{{x, 1}}, Sense(0), 1) }},
+		{"nan-rhs", func(m *Model, x VarID) { m.AddRow("r", []Term{{x, 1}}, LE, math.NaN()) }},
+		{"bad-setbounds", func(m *Model, x VarID) { m.SetBounds(x, 3, 1) }},
+		{"inf-setcost", func(m *Model, x VarID) { m.SetCost(x, math.Inf(1)) }},
+		{"setcost-unknown-var", func(m *Model, x VarID) { m.SetCost(VarID(42), 1) }},
+		{"setbounds-unknown-var", func(m *Model, x VarID) { m.SetBounds(VarID(-1), 0, 1) }},
 	}
+	for _, c := range cases {
+		m := NewModel("p")
+		x := m.AddContinuous("x", 0, 1, 0)
+		if err := m.Err(); err != nil {
+			t.Fatalf("%s: clean model has error %v", c.name, err)
+		}
+		c.f(m, x)
+		if m.Err() == nil {
+			t.Errorf("%s: expected model error, got nil", c.name)
+			continue
+		}
+		// A broken model must be refused downstream and its clone must
+		// carry the error too.
+		var buf bytes.Buffer
+		if err := m.WriteLP(&buf); err == nil {
+			t.Errorf("%s: WriteLP accepted a broken model", c.name)
+		}
+		if err := m.WriteMPS(&buf); err == nil {
+			t.Errorf("%s: WriteMPS accepted a broken model", c.name)
+		}
+		if m.Clone().Err() == nil {
+			t.Errorf("%s: Clone dropped the model error", c.name)
+		}
+	}
+}
+
+func TestModelErrKeepsIDsStable(t *testing.T) {
 	m := NewModel("p")
 	x := m.AddContinuous("x", 0, 1, 0)
-	assertPanics("inverted-bounds", func() { m.AddContinuous("bad", 5, 1, 0) })
-	assertPanics("nan-cost", func() { m.AddVar(Variable{Name: "n", Lower: 0, Upper: 1, Cost: math.NaN()}) })
-	assertPanics("unknown-var", func() { m.AddRow("r", []Term{{VarID(99), 1}}, LE, 1) })
-	assertPanics("inf-coef", func() { m.AddRow("r", []Term{{x, math.Inf(1)}}, LE, 1) })
-	assertPanics("bad-sense", func() { m.AddRow("r", []Term{{x, 1}}, Sense(0), 1) })
-	assertPanics("nan-rhs", func() { m.AddRow("r", []Term{{x, 1}}, LE, math.NaN()) })
-	assertPanics("bad-setbounds", func() { m.SetBounds(x, 3, 1) })
-	assertPanics("inf-setcost", func() { m.SetCost(x, math.Inf(1)) })
+	bad := m.AddContinuous("bad", 5, 1, 0) // inverted: records error
+	y := m.AddContinuous("y", 0, 2, 0)
+	if x != 0 || bad != 1 || y != 2 {
+		t.Fatalf("variable IDs not dense/stable: %d %d %d", x, bad, y)
+	}
+	if m.NumVars() != 3 {
+		t.Fatalf("NumVars = %d, want 3", m.NumVars())
+	}
+	if v := m.Var(bad); v.Lower > v.Upper {
+		t.Errorf("sanitized variable still has inverted bounds [%v, %v]", v.Lower, v.Upper)
+	}
+	if m.Err() == nil {
+		t.Error("expected recorded model error")
+	}
 }
 
 func TestBinaryBoundsClamped(t *testing.T) {

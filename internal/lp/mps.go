@@ -7,6 +7,8 @@ import (
 	"math"
 	"strconv"
 	"strings"
+
+	"github.com/etransform/etransform/internal/tol"
 )
 
 // WriteMPS writes the model in free-format MPS, the other interchange
@@ -14,6 +16,9 @@ import (
 // variables are bracketed by INTORG/INTEND markers; binaries get BV
 // bounds.
 func (m *Model) WriteMPS(w io.Writer) error {
+	if err := m.Err(); err != nil {
+		return err
+	}
 	names, err := m.lpNames()
 	if err != nil {
 		return err
@@ -58,7 +63,7 @@ func (m *Model) WriteMPS(w io.Writer) error {
 	}
 	cols := make([][]entry, m.NumVars())
 	for j := 0; j < m.NumVars(); j++ {
-		if c := m.Var(VarID(j)).Cost; c != 0 {
+		if c := m.Var(VarID(j)).Cost; !tol.IsZero(c) {
 			cols[j] = append(cols[j], entry{"OBJ", c})
 		}
 	}
@@ -96,7 +101,7 @@ func (m *Model) WriteMPS(w io.Writer) error {
 
 	fmt.Fprintln(bw, "RHS")
 	for r := 0; r < m.NumRows(); r++ {
-		if rhs := m.Row(RowID(r)).RHS; rhs != 0 {
+		if rhs := m.Row(RowID(r)).RHS; !tol.IsZero(rhs) {
 			fmt.Fprintf(bw, " RHS %s %s\n", rowNames[r], fmtLPNum(rhs))
 		}
 	}
@@ -107,7 +112,7 @@ func (m *Model) WriteMPS(w io.Writer) error {
 		lo, hi := v.Lower, v.Upper
 		n := names[j]
 		switch {
-		case v.Type == Binary && lo == 0 && hi == 1:
+		case v.Type == Binary && tol.IsZero(lo) && tol.Same(hi, 1):
 			fmt.Fprintf(bw, " BV BND %s\n", n)
 		case math.IsInf(lo, -1) && math.IsInf(hi, 1):
 			fmt.Fprintf(bw, " FR BND %s\n", n)
@@ -116,7 +121,7 @@ func (m *Model) WriteMPS(w io.Writer) error {
 		case math.IsInf(lo, -1):
 			fmt.Fprintf(bw, " MI BND %s\n", n)
 			fmt.Fprintf(bw, " UP BND %s %s\n", n, fmtLPNum(hi))
-		case lo == hi:
+		case tol.Same(lo, hi):
 			fmt.Fprintf(bw, " FX BND %s %s\n", n, fmtLPNum(lo))
 		default:
 			fmt.Fprintf(bw, " LO BND %s %s\n", n, fmtLPNum(lo))
@@ -233,7 +238,7 @@ func ParseMPS(r io.Reader) (*Model, error) {
 			id := getVar(fields[0], inInt)
 			for k := 1; k+1 < len(fields); k += 2 {
 				rn := fields[k]
-				val, err := strconv.ParseFloat(fields[k+1], 64)
+				val, err := parseMPSNum(fields[k+1])
 				if err != nil {
 					return nil, fmt.Errorf("lp: MPS line %d: bad coefficient %q", line, fields[k+1])
 				}
@@ -253,7 +258,7 @@ func ParseMPS(r io.Reader) (*Model, error) {
 			}
 			for k := 1; k+1 < len(fields); k += 2 {
 				rn := fields[k]
-				val, err := strconv.ParseFloat(fields[k+1], 64)
+				val, err := parseMPSNum(fields[k+1])
 				if err != nil {
 					return nil, fmt.Errorf("lp: MPS line %d: bad RHS %q", line, fields[k+1])
 				}
@@ -275,7 +280,7 @@ func ParseMPS(r io.Reader) (*Model, error) {
 			lo, hi := v.Lower, v.Upper
 			var val float64
 			if len(fields) >= 4 {
-				parsed, err := strconv.ParseFloat(fields[3], 64)
+				parsed, err := parseMPSNum(fields[3])
 				if err != nil {
 					return nil, fmt.Errorf("lp: MPS line %d: bad bound %q", line, fields[3])
 				}
@@ -315,5 +320,21 @@ done:
 	for _, rn := range rowOrder {
 		m.AddRow(rn, rowTerms[rn], rowSense[rn], rowRHS[rn])
 	}
+	if err := m.Err(); err != nil {
+		return nil, fmt.Errorf("lp: MPS input built an invalid model: %w", err)
+	}
 	return m, nil
+}
+
+// parseMPSNum parses a finite MPS numeric field; NaN and infinities are
+// rejected so hostile input cannot corrupt the model.
+func parseMPSNum(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("non-finite value %q", s)
+	}
+	return v, nil
 }

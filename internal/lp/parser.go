@@ -7,6 +7,8 @@ import (
 	"math"
 	"strconv"
 	"strings"
+
+	"github.com/etransform/etransform/internal/tol"
 )
 
 // ParseLP reads a model in CPLEX LP file format. It accepts the grammar
@@ -22,6 +24,9 @@ func ParseLP(r io.Reader) (*Model, error) {
 	p := &lpParser{toks: toks, m: NewModel(""), varIDs: make(map[string]VarID)}
 	if err := p.parse(); err != nil {
 		return nil, err
+	}
+	if err := p.m.Err(); err != nil {
+		return nil, fmt.Errorf("lp: input built an invalid model: %w", err)
 	}
 	return p.m, nil
 }
@@ -362,7 +367,7 @@ func (p *lpParser) parseConstraint() error {
 	terms := make([]Term, 0, len(coefs))
 	// Deterministic order: by variable ID.
 	for id := VarID(0); int(id) < p.m.NumVars(); id++ {
-		if c, ok := coefs[id]; ok && c != 0 {
+		if c, ok := coefs[id]; ok && !tol.IsZero(c) {
 			terms = append(terms, Term{Var: id, Coef: c})
 		}
 	}
@@ -418,7 +423,7 @@ func (p *lpParser) parseBounds() error {
 		} else if !hasLo {
 			return fmt.Errorf("lp: bounds: malformed bound for %q", t.text)
 		}
-		if !hasLo && newLo == 0 && math.IsInf(newHi, -1) {
+		if !hasLo && tol.IsZero(newLo) && math.IsInf(newHi, -1) {
 			return fmt.Errorf("lp: bounds: malformed bound for %q", t.text)
 		}
 		p.m.SetBounds(id, newLo, newHi)

@@ -7,6 +7,8 @@ import (
 	"math"
 	"strconv"
 	"strings"
+
+	"github.com/etransform/etransform/internal/tol"
 )
 
 // WriteLP writes the model in CPLEX LP file format. The output can be
@@ -15,6 +17,9 @@ import (
 // interchange point the paper's architecture uses between its
 // transformation module and optimization engine.
 func (m *Model) WriteLP(w io.Writer) error {
+	if err := m.Err(); err != nil {
+		return err
+	}
 	bw := bufio.NewWriter(w)
 	names, err := m.lpNames()
 	if err != nil {
@@ -29,7 +34,7 @@ func (m *Model) WriteLP(w io.Writer) error {
 	col := 5
 	wroteAny := false
 	for i, v := range m.vars {
-		if v.Cost == 0 {
+		if tol.IsZero(v.Cost) {
 			continue
 		}
 		col = writeTerm(bw, col, v.Cost, names[i], !wroteAny)
@@ -124,7 +129,7 @@ func writeTerm(w io.Writer, col int, coef float64, name string, first bool) int 
 	} else {
 		sb.WriteString(" + ")
 	}
-	if a := math.Abs(coef); a != 1 {
+	if a := math.Abs(coef); !tol.Same(a, 1) {
 		sb.WriteString(fmtLPNum(a))
 		sb.WriteString(" ")
 	}
@@ -140,7 +145,7 @@ func writeTerm(w io.Writer, col int, coef float64, name string, first bool) int 
 
 // fmtLPNum renders a float compactly without losing precision.
 func fmtLPNum(v float64) string {
-	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+	if tol.Same(v, math.Trunc(v)) && math.Abs(v) < 1e15 {
 		return strconv.FormatFloat(v, 'f', -1, 64)
 	}
 	return strconv.FormatFloat(v, 'g', -1, 64)

@@ -18,13 +18,14 @@ import (
 
 	"github.com/etransform/etransform/internal/lp"
 	"github.com/etransform/etransform/internal/simplex"
+	"github.com/etransform/etransform/internal/tol"
 )
 
 // Options control a branch & bound solve. The zero value applies
 // defaults suitable for the planner's models.
 type Options struct {
 	// GapTol is the relative optimality gap at which the search stops.
-	// Default 1e-6 (effectively exact).
+	// Default tol.Gap (effectively exact).
 	GapTol float64
 	// MaxNodes caps explored nodes. Default 200000.
 	MaxNodes int
@@ -51,7 +52,7 @@ func (o *Options) withDefaults() Options {
 		out = *o
 	}
 	if out.GapTol <= 0 {
-		out.GapTol = 1e-6
+		out.GapTol = tol.Gap
 	}
 	if out.MaxNodes <= 0 {
 		out.MaxNodes = 200000
@@ -80,7 +81,7 @@ type nodeQueue []*node
 
 func (q nodeQueue) Len() int { return len(q) }
 func (q nodeQueue) Less(i, j int) bool {
-	if q[i].bound != q[j].bound {
+	if !tol.Same(q[i].bound, q[j].bound) {
 		return q[i].bound < q[j].bound
 	}
 	return q[i].seq < q[j].seq
@@ -101,6 +102,9 @@ func (q *nodeQueue) Pop() any {
 // fractional values. The returned solution's Gap field reports the final
 // relative optimality gap (0 when proven optimal).
 func Solve(model *lp.Model, opts *Options) (*lp.Solution, error) {
+	if err := model.Err(); err != nil {
+		return nil, fmt.Errorf("milp: invalid model: %w", err)
+	}
 	o := opts.withDefaults()
 	s := &solver{opts: o, model: model.Clone()}
 	for j := 0; j < model.NumVars(); j++ {
@@ -178,7 +182,7 @@ func (s *solver) mostFractional(x []float64) (lp.VarID, float64) {
 		val := x[v]
 		dist := math.Abs(val - math.Round(val))
 		// Most fractional: maximize distance from nearest integer.
-		if dist > bestDist+1e-12 {
+		if dist > bestDist+tol.Tie {
 			best, bestDist, bestVal = v, dist, val
 		}
 	}
@@ -187,7 +191,7 @@ func (s *solver) mostFractional(x []float64) (lp.VarID, float64) {
 
 // accept records a new incumbent if it beats the current one.
 func (s *solver) accept(x []float64, obj float64) {
-	if s.haveInc && obj >= s.incumbentObj-1e-12 {
+	if s.haveInc && obj >= s.incumbentObj-tol.Tie {
 		return
 	}
 	// Snap integer variables exactly and verify against the original
@@ -197,7 +201,7 @@ func (s *solver) accept(x []float64, obj float64) {
 	for _, v := range s.intVars {
 		snapped[v] = math.Round(snapped[v])
 	}
-	if err := s.model.CheckFeasible(snapped, 1e-5); err != nil {
+	if err := s.model.CheckFeasible(snapped, tol.Accept); err != nil {
 		return
 	}
 	s.incumbent = snapped

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"github.com/etransform/etransform/internal/lp"
+	"github.com/etransform/etransform/internal/tol"
 )
 
 // presolve tightens variable bounds by constraint propagation before the
@@ -52,7 +53,6 @@ func presolve(m *lp.Model, maxPasses int) (tightened int, infeasible bool) {
 					maxFin += t.Coef * h
 				}
 			}
-			const tol = 1e-9
 			switch row.Sense {
 			case lp.LE:
 				if minInf == 0 && minFin > row.RHS+feasEps(row.RHS) {
@@ -73,7 +73,7 @@ func presolve(m *lp.Model, maxPasses int) (tightened int, infeasible bool) {
 			// coef<0: x ≥ (rhs − minActWithout)/coef.
 			// GE rows symmetric via maxAct; EQ rows give both.
 			for _, t := range row.Terms {
-				if t.Coef == 0 {
+				if tol.IsZero(t.Coef) {
 					continue
 				}
 				j := t.Var
@@ -122,23 +122,23 @@ func presolve(m *lp.Model, maxPasses int) (tightened int, infeasible bool) {
 				}
 				if isInt[j] {
 					if !math.IsInf(upper, 1) {
-						upper = math.Floor(upper + tol)
+						upper = math.Floor(upper + tol.Tighten)
 					}
 					if !math.IsInf(lower, -1) {
-						lower = math.Ceil(lower - tol)
+						lower = math.Ceil(lower - tol.Tighten)
 					}
 				}
-				if upper < hi[j]-tol {
+				if upper < hi[j]-tol.Tighten {
 					hi[j] = upper
 					changed = true
 					tightened++
 				}
-				if lower > lo[j]+tol {
+				if lower > lo[j]+tol.Tighten {
 					lo[j] = lower
 					changed = true
 					tightened++
 				}
-				if lo[j] > hi[j]+tol {
+				if lo[j] > hi[j]+tol.Tighten {
 					return tightened, true
 				}
 				if lo[j] > hi[j] {
@@ -153,7 +153,7 @@ func presolve(m *lp.Model, maxPasses int) (tightened int, infeasible bool) {
 	}
 	for j := 0; j < n; j++ {
 		v := m.Var(lp.VarID(j))
-		if lo[j] != v.Lower || hi[j] != v.Upper {
+		if !tol.Same(lo[j], v.Lower) || !tol.Same(hi[j], v.Upper) {
 			m.SetBounds(lp.VarID(j), lo[j], hi[j])
 		}
 	}
@@ -162,5 +162,5 @@ func presolve(m *lp.Model, maxPasses int) (tightened int, infeasible bool) {
 
 // feasEps scales the infeasibility tolerance by the row magnitude.
 func feasEps(rhs float64) float64 {
-	return 1e-7 * math.Max(1, math.Abs(rhs))
+	return tol.RowFeas * math.Max(1, math.Abs(rhs))
 }

@@ -84,6 +84,121 @@ func TestPresolveFreeVarsUntouched(t *testing.T) {
 	}
 }
 
+// TestPresolveEdgeCases is the table-driven sweep of the degenerate
+// inputs propagation has to survive: empty rows, already-fixed
+// variables, and bound tightening that proves infeasibility (including
+// integer rounding collapsing an interval past itself).
+func TestPresolveEdgeCases(t *testing.T) {
+	cases := []struct {
+		name           string
+		build          func() *lp.Model
+		wantInfeasible bool
+		check          func(t *testing.T, m *lp.Model)
+	}{
+		{
+			name: "empty-row-feasible",
+			build: func() *lp.Model {
+				m := lp.NewModel("er")
+				m.AddContinuous("x", 0, 10, 1)
+				m.AddRow("empty", nil, lp.LE, 5) // 0 ≤ 5: vacuous
+				return m
+			},
+			check: func(t *testing.T, m *lp.Model) {
+				if m.Var(0).Upper != 10 {
+					t.Errorf("empty row changed bounds: upper = %v", m.Var(0).Upper)
+				}
+			},
+		},
+		{
+			name: "empty-row-infeasible",
+			build: func() *lp.Model {
+				m := lp.NewModel("eri")
+				m.AddContinuous("x", 0, 10, 1)
+				m.AddRow("empty", nil, lp.LE, -1) // 0 ≤ −1: impossible
+				return m
+			},
+			wantInfeasible: true,
+		},
+		{
+			name: "empty-eq-row-infeasible",
+			build: func() *lp.Model {
+				m := lp.NewModel("eqi")
+				m.AddContinuous("x", 0, 10, 1)
+				m.AddRow("empty", nil, lp.EQ, 2) // 0 = 2: impossible
+				return m
+			},
+			wantInfeasible: true,
+		},
+		{
+			name: "fixed-variable-propagates",
+			build: func() *lp.Model {
+				m := lp.NewModel("fx")
+				x := m.AddContinuous("x", 3, 3, 0) // fixed at 3
+				y := m.AddContinuous("y", 0, 10, 0)
+				m.AddRow("r", []lp.Term{{Var: x, Coef: 1}, {Var: y, Coef: 1}}, lp.LE, 5)
+				return m
+			},
+			check: func(t *testing.T, m *lp.Model) {
+				if m.Var(0).Lower != 3 || m.Var(0).Upper != 3 {
+					t.Errorf("fixed variable moved: [%v,%v]", m.Var(0).Lower, m.Var(0).Upper)
+				}
+				if m.Var(1).Upper != 2 {
+					t.Errorf("y upper = %v, want 2 (5 − fixed 3)", m.Var(1).Upper)
+				}
+			},
+		},
+		{
+			name: "fixed-variable-conflict",
+			build: func() *lp.Model {
+				m := lp.NewModel("fc")
+				x := m.AddContinuous("x", 3, 3, 0)
+				m.AddRow("r", []lp.Term{{Var: x, Coef: 1}}, lp.LE, 2) // 3 ≤ 2
+				return m
+			},
+			wantInfeasible: true,
+		},
+		{
+			name: "integer-rounding-collapses-interval",
+			build: func() *lp.Model {
+				// 0.4 ≤ x ≤ 0.6 for integer x: ceil(0.4)=1 > floor(0.6)=0.
+				m := lp.NewModel("ir")
+				x := m.AddVar(lp.Variable{Name: "x", Lower: 0, Upper: 1, Type: lp.Integer})
+				m.AddRow("lo", []lp.Term{{Var: x, Coef: 1}}, lp.GE, 0.4)
+				m.AddRow("hi", []lp.Term{{Var: x, Coef: 1}}, lp.LE, 0.6)
+				return m
+			},
+			wantInfeasible: true,
+		},
+		{
+			name: "crossing-bounds-two-rows",
+			build: func() *lp.Model {
+				// x ≥ 6 and x ≤ 4 tighten [0,10] to an empty interval.
+				m := lp.NewModel("cb")
+				x := m.AddContinuous("x", 0, 10, 0)
+				m.AddRow("ge", []lp.Term{{Var: x, Coef: 1}}, lp.GE, 6)
+				m.AddRow("le", []lp.Term{{Var: x, Coef: 1}}, lp.LE, 4)
+				return m
+			},
+			wantInfeasible: true,
+		},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			m := tt.build()
+			if err := m.Err(); err != nil {
+				t.Fatalf("building model: %v", err)
+			}
+			_, infeasible := presolve(m, 10)
+			if infeasible != tt.wantInfeasible {
+				t.Fatalf("infeasible = %v, want %v", infeasible, tt.wantInfeasible)
+			}
+			if tt.check != nil {
+				tt.check(t, m)
+			}
+		})
+	}
+}
+
 // TestPresolvePreservesOptimum: solving with and without presolve gives
 // the same objective on random MILPs.
 func TestPresolvePreservesOptimum(t *testing.T) {

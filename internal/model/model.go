@@ -12,6 +12,7 @@ import (
 
 	"github.com/etransform/etransform/internal/geo"
 	"github.com/etransform/etransform/internal/stepwise"
+	"github.com/etransform/etransform/internal/tol"
 )
 
 // AppGroup is a clustered application group (§II): applications that
@@ -370,7 +371,7 @@ func WANCostAt(g *AppGroup, e *Estate, p *CostParams, j int) float64 {
 		return g.DataMbPerMonth * e.DCs[j].WANCostPerMb
 	}
 	total := g.TotalUsers()
-	if total == 0 || g.DataMbPerMonth == 0 {
+	if total == 0 || tol.IsZero(g.DataMbPerMonth) {
 		return 0
 	}
 	cost := 0.0

@@ -84,6 +84,10 @@ type SolveStats struct {
 	CandidatesK int     `json:"candidates_k,omitempty"`
 	Aggregated  bool    `json:"aggregated,omitempty"`
 	Formulation string  `json:"formulation,omitempty"`
+	// Certificate is the independent feasibility certificate produced by
+	// internal/certify after the solve (empty for plans that were not
+	// certified, e.g. heuristic baselines).
+	Certificate string `json:"certificate,omitempty"`
 }
 
 // Plan is a complete "to-be" state: placements, backup pools and costs.

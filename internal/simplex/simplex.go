@@ -29,6 +29,7 @@ import (
 	"math"
 
 	"github.com/etransform/etransform/internal/lp"
+	"github.com/etransform/etransform/internal/tol"
 )
 
 // Options control a solve. The zero value is usable: sensible defaults
@@ -39,7 +40,7 @@ type Options struct {
 	MaxIters int
 	// FeasTol is the primal feasibility tolerance. Default lp.FeasTol.
 	FeasTol float64
-	// OptTol is the dual (reduced-cost) tolerance. Default 1e-7.
+	// OptTol is the dual (reduced-cost) tolerance. Default tol.Opt.
 	OptTol float64
 	// Bland forces Bland's rule from the first pivot (slower, cycle-proof).
 	Bland bool
@@ -60,7 +61,7 @@ func (o *Options) withDefaults(rows int) Options {
 		out.FeasTol = lp.FeasTol
 	}
 	if out.OptTol <= 0 {
-		out.OptTol = 1e-7
+		out.OptTol = tol.Opt
 	}
 	if out.StallLimit <= 0 {
 		out.StallLimit = 60
@@ -74,6 +75,9 @@ func (o *Options) withDefaults(rows int) Options {
 // internal numerical failure; infeasible/unbounded outcomes are reported
 // through Solution.Status.
 func Solve(model *lp.Model, opts *Options) (*lp.Solution, error) {
+	if err := model.Err(); err != nil {
+		return nil, fmt.Errorf("simplex: invalid model: %w", err)
+	}
 	if model.NumVars() == 0 {
 		// Trivial: no variables. Feasible iff every row accepts 0.
 		for r := 0; r < model.NumRows(); r++ {
@@ -81,11 +85,11 @@ func Solve(model *lp.Model, opts *Options) (*lp.Solution, error) {
 			ok := false
 			switch row.Sense {
 			case lp.LE:
-				ok = row.RHS >= 0
+				ok = tol.Geq(row.RHS, 0, lp.FeasTol)
 			case lp.GE:
-				ok = row.RHS <= 0
+				ok = tol.Leq(row.RHS, 0, lp.FeasTol)
 			case lp.EQ:
-				ok = row.RHS == 0
+				ok = tol.Eq(row.RHS, 0, lp.FeasTol)
 			}
 			if !ok {
 				return &lp.Solution{Status: lp.StatusInfeasible}, nil
@@ -236,7 +240,7 @@ func (t *tableau) solve() (*lp.Solution, error) {
 	resid := make([]float64, m)
 	copy(resid, t.b)
 	for j := 0; j < n+m; j++ {
-		if t.value[j] == 0 {
+		if tol.IsZero(t.value[j]) {
 			continue
 		}
 		c := t.cols[j]
@@ -349,7 +353,7 @@ func (t *tableau) bScale() float64 {
 func (t *tableau) phaseObjective() float64 {
 	obj := 0.0
 	for j, c := range t.pricedCost {
-		if c != 0 {
+		if !tol.IsZero(c) {
 			obj += c * t.value[j]
 		}
 	}
@@ -364,12 +368,12 @@ func (t *tableau) computeDuals(y []float64) {
 	}
 	for r := 0; r < m; r++ {
 		cb := t.pricedCost[t.basicIn[r]]
-		if cb == 0 {
+		if tol.IsZero(cb) {
 			continue
 		}
 		row := t.binv[r*m : (r+1)*m]
 		for i, v := range row {
-			if v != 0 {
+			if !tol.IsZero(v) {
 				y[i] += cb * v
 			}
 		}
@@ -396,7 +400,7 @@ func (t *tableau) ftran(j int) {
 	c := t.cols[j]
 	for k, r := range c.rows {
 		coef := c.coefs[k]
-		if coef == 0 {
+		if tol.IsZero(coef) {
 			continue
 		}
 		ri := int(r)
@@ -411,7 +415,7 @@ func (t *tableau) ftran(j int) {
 // remains (which in phase 1 means phase-1-optimal, not necessarily
 // feasible).
 func (t *tableau) iterate() (lp.Status, error) {
-	const pivTol = 1e-9
+	const pivTol = tol.Pivot
 	m := t.m
 	y := t.workRow
 	for {
@@ -433,7 +437,7 @@ func (t *tableau) iterate() (lp.Status, error) {
 			if st == basic {
 				continue
 			}
-			if t.lower[j] == t.upper[j] && st != freeAtZero {
+			if tol.Same(t.lower[j], t.upper[j]) && st != freeAtZero {
 				continue // fixed
 			}
 			d := t.reducedCost(j, y)
@@ -531,7 +535,7 @@ func (t *tableau) iterate() (lp.Status, error) {
 		// Apply the step to basic values.
 		if tMax > 0 {
 			for i := 0; i < m; i++ {
-				if w[i] != 0 {
+				if !tol.IsZero(w[i]) {
 					t.xB[i] -= enterDir * tMax * w[i]
 					t.value[t.basicIn[i]] = t.xB[i]
 				}
@@ -611,7 +615,7 @@ func (t *tableau) updateBinv(r int, w []float64) {
 			continue
 		}
 		f := w[i]
-		if f == 0 {
+		if tol.IsZero(f) {
 			continue
 		}
 		row := t.binv[i*m : (i+1)*m]
@@ -628,7 +632,7 @@ func (t *tableau) recomputeXB() {
 	rhs := make([]float64, m)
 	copy(rhs, t.b)
 	for j := 0; j < t.nTotal; j++ {
-		if t.status[j] == basic || t.value[j] == 0 {
+		if t.status[j] == basic || tol.IsZero(t.value[j]) {
 			continue
 		}
 		c := t.cols[j]
@@ -640,7 +644,7 @@ func (t *tableau) recomputeXB() {
 		row := t.binv[i*m : (i+1)*m]
 		s := 0.0
 		for k, v := range row {
-			if v != 0 {
+			if !tol.IsZero(v) {
 				s += v * rhs[k]
 			}
 		}
@@ -676,7 +680,7 @@ func (t *tableau) refactorize() error {
 				best, p = a, r
 			}
 		}
-		if best < 1e-12 {
+		if best < tol.Singular {
 			return fmt.Errorf("simplex: singular basis during refactorization (column %d)", col)
 		}
 		if p != col {
@@ -694,7 +698,7 @@ func (t *tableau) refactorize() error {
 				continue
 			}
 			f := bm[r*m+col]
-			if f == 0 {
+			if tol.IsZero(f) {
 				continue
 			}
 			for k := 0; k < m; k++ {

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"github.com/etransform/etransform/internal/tol"
 )
 
 // Segment is one tier of an incremental (tiered) price curve: the first
@@ -112,7 +114,7 @@ func (c Curve) IsFlat() bool {
 	}
 	first := c.segments[0].UnitCost
 	for _, s := range c.segments[1:] {
-		if s.UnitCost != first {
+		if !tol.Same(s.UnitCost, first) {
 			return false
 		}
 	}
@@ -252,7 +254,7 @@ func NewLatencyPenalty(steps []PenaltyStep) (LatencyPenalty, error) {
 			return LatencyPenalty{}, fmt.Errorf("stepwise: invalid penalty %v", s.PenaltyPerUser)
 		}
 		if i > 0 {
-			if s.ThresholdMs == sorted[i-1].ThresholdMs {
+			if tol.Same(s.ThresholdMs, sorted[i-1].ThresholdMs) {
 				return LatencyPenalty{}, fmt.Errorf("stepwise: duplicate threshold %v", s.ThresholdMs)
 			}
 			if s.PenaltyPerUser < sorted[i-1].PenaltyPerUser {

@@ -1,0 +1,112 @@
+// Package tol is the single home of the repository's numerical
+// tolerances and the comparison helpers built on them. The simplex,
+// branch & bound, presolve, planner and certification layers all route
+// their floating-point comparisons through this package so that
+//
+//   - every tolerance has one named, documented value instead of
+//     ad-hoc literals scattered across the solver stack, and
+//   - every float comparison states its intent (approximate equality,
+//     exact sparsity test, integrality, …), which the etlint
+//     floatcmp/toldef analyzers enforce repo-wide.
+//
+// Tolerance semantics: Feas/Int/Opt are absolute unless the call site
+// scales them (helpers ending in Scaled scale by max(1, |a|, |b|)).
+// IsZero and Same are *exact* comparisons for use where exact floating
+// equality is the intent — skipping stored zeros in sparse data,
+// detecting that a value was copied unchanged — and exist so those
+// sites are explicit and auditable rather than linted away.
+package tol
+
+import "math"
+
+// Named tolerances. Every value here is a deliberate choice; see
+// DESIGN.md ("Numerical correctness") for the rationale.
+const (
+	// Feas is the primal feasibility tolerance: a bound or row is
+	// satisfied when violated by no more than Feas (scaled by row
+	// magnitude where noted).
+	Feas = 1e-6
+	// Int is the integrality tolerance: x is integral when within Int
+	// of the nearest integer.
+	Int = 1e-6
+	// Opt is the dual (reduced-cost) optimality tolerance used by
+	// simplex pricing.
+	Opt = 1e-7
+	// Gap is the default relative MILP optimality gap.
+	Gap = 1e-6
+	// Pivot is the smallest pivot magnitude simplex will divide by.
+	Pivot = 1e-9
+	// Singular is the partial-pivoting threshold below which a basis
+	// matrix is declared singular during refactorization.
+	Singular = 1e-12
+	// Tie is the strict-improvement epsilon for incumbent updates and
+	// most-fractional branching tie-breaks.
+	Tie = 1e-12
+	// Tighten is the minimum bound improvement presolve and local
+	// search count as progress.
+	Tighten = 1e-9
+	// RowFeas is the per-row infeasibility tolerance presolve uses,
+	// scaled by max(1, |rhs|).
+	RowFeas = 1e-7
+	// Accept is the feasibility tolerance for accepting a rounded MILP
+	// incumbent — looser than Feas because the point was solved at
+	// simplex precision and then snapped to integers.
+	Accept = 1e-5
+	// Objective is the relative tolerance for cross-checking the LP
+	// objective against the independent plan evaluator.
+	Objective = 1e-4
+	// Shadow is the smallest dual value reported as a shadow price.
+	Shadow = 1e-9
+)
+
+// Eq reports |a−b| ≤ eps.
+func Eq(a, b, eps float64) bool { return abs(a-b) <= eps }
+
+// EqScaled reports |a−b| ≤ eps·max(1, |a|, |b|).
+func EqScaled(a, b, eps float64) bool { return abs(a-b) <= eps*scale(a, b) }
+
+// Leq reports a ≤ b + eps.
+func Leq(a, b, eps float64) bool { return a <= b+eps }
+
+// Geq reports a ≥ b − eps.
+func Geq(a, b, eps float64) bool { return a >= b-eps }
+
+// LeqScaled reports a ≤ b + eps·max(1, |a|, |b|).
+func LeqScaled(a, b, eps float64) bool { return a <= b+eps*scale(a, b) }
+
+// GeqScaled reports a ≥ b − eps·max(1, |a|, |b|).
+func GeqScaled(a, b, eps float64) bool { return a >= b-eps*scale(a, b) }
+
+// Pos reports x > eps: strictly positive beyond tolerance.
+func Pos(x, eps float64) bool { return x > eps }
+
+// Neg reports x < −eps: strictly negative beyond tolerance.
+func Neg(x, eps float64) bool { return x < -eps }
+
+// IsInt reports that x is within eps of its nearest integer.
+func IsInt(x, eps float64) bool { return Frac(x) <= eps }
+
+// Frac returns the distance from x to its nearest integer.
+func Frac(x float64) float64 { return abs(x - round(x)) }
+
+// Round returns the nearest integer to x (half away from zero).
+func Round(x float64) float64 { return math.Round(x) }
+
+// IsZero reports x == 0 exactly. Use only where exact floating zero is
+// the intent — typically skipping stored zeros in sparse structures,
+// where any nonzero (however tiny) must still be processed.
+func IsZero(x float64) bool { return x == 0 }
+
+// Same reports a == b exactly (including the usual IEEE caveats: NaN
+// is never Same, and ±0 are). Use only where bit-for-bit propagation of
+// a value is the intent — e.g. detecting that a bound is unchanged or
+// that two bounds came from the same assignment.
+func Same(a, b float64) bool { return a == b }
+
+func abs(x float64) float64 { return math.Abs(x) }
+
+func round(x float64) float64 { return math.Round(x) }
+
+func scale(a, b float64) float64 {
+	return math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}

@@ -1,0 +1,89 @@
+package tol
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEq(t *testing.T) {
+	cases := []struct {
+		a, b, eps float64
+		want      bool
+	}{
+		{1, 1, 0, true},
+		{1, 1 + 1e-7, 1e-6, true},
+		{1, 1 + 1e-5, 1e-6, false},
+		{-3, -3.0000005, 1e-6, true},
+		{math.NaN(), 1, 1, false},
+	}
+	for _, c := range cases {
+		if got := Eq(c.a, c.b, c.eps); got != c.want {
+			t.Errorf("Eq(%v, %v, %v) = %v, want %v", c.a, c.b, c.eps, got, c.want)
+		}
+	}
+}
+
+func TestEqScaled(t *testing.T) {
+	// 1e6 vs 1e6+0.5: absolute error 0.5 fails at eps=1e-7 unscaled but
+	// passes scaled (0.5 ≤ 1e-7·1e6 = 0.1 is false; use a passing pair).
+	if !EqScaled(1e9, 1e9+1, 1e-6) {
+		t.Error("EqScaled(1e9, 1e9+1, 1e-6) = false, want true")
+	}
+	if EqScaled(1, 1.1, 1e-6) {
+		t.Error("EqScaled(1, 1.1, 1e-6) = true, want false")
+	}
+}
+
+func TestOrderings(t *testing.T) {
+	if !Leq(1.0000001, 1, 1e-6) {
+		t.Error("Leq within eps failed")
+	}
+	if Leq(1.1, 1, 1e-6) {
+		t.Error("Leq beyond eps passed")
+	}
+	if !Geq(0.9999999, 1, 1e-6) {
+		t.Error("Geq within eps failed")
+	}
+	if Geq(0.9, 1, 1e-6) {
+		t.Error("Geq beyond eps passed")
+	}
+	if !LeqScaled(1e9+100, 1e9, 1e-6) {
+		t.Error("LeqScaled within scaled eps failed")
+	}
+	if !GeqScaled(1e9-100, 1e9, 1e-6) {
+		t.Error("GeqScaled within scaled eps failed")
+	}
+	if !Pos(0.1, 1e-6) || Pos(1e-9, 1e-6) {
+		t.Error("Pos misclassifies")
+	}
+	if !Neg(-0.1, 1e-6) || Neg(-1e-9, 1e-6) {
+		t.Error("Neg misclassifies")
+	}
+}
+
+func TestIntegrality(t *testing.T) {
+	if !IsInt(3.0000004, Int) {
+		t.Error("IsInt near-integer failed")
+	}
+	if IsInt(3.4, Int) {
+		t.Error("IsInt fractional passed")
+	}
+	if got := Frac(2.75); math.Abs(got-0.25) > 1e-15 {
+		t.Errorf("Frac(2.75) = %v, want 0.25", got)
+	}
+	if got := Round(-1.5); !Same(got, -2) {
+		t.Errorf("Round(-1.5) = %v, want -2 (half away from zero)", got)
+	}
+}
+
+func TestExactComparisons(t *testing.T) {
+	if !IsZero(0.0) || IsZero(1e-300) {
+		t.Error("IsZero must be exact")
+	}
+	if !Same(0.5, 0.5) || Same(0.5, 0.5+1e-16) {
+		t.Error("Same must be exact")
+	}
+	if Same(math.NaN(), math.NaN()) {
+		t.Error("Same(NaN, NaN) must be false")
+	}
+}

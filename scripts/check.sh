@@ -1,0 +1,23 @@
+#!/bin/sh
+# check.sh — the repository's full static + dynamic gate:
+#
+#   1. go vet      standard toolchain checks
+#   2. etlint      repo-specific analyzers (floatcmp, toldef, nopanic)
+#   3. go test     full suite under the race detector
+#
+# Run from anywhere; it operates on the repo root. Exits non-zero on the
+# first failing stage.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> etlint ./..."
+go run ./cmd/etlint ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> all checks passed"
