@@ -6,10 +6,16 @@
 // Usage:
 //
 //	etbench [-experiment all|table2|fig4|fig6|fig7|fig8|fig9|fig10] [-scale full|bench]
+//	        [-sweep-workers N] [-workers N]
 //
 // At -scale bench the Federal dataset is shrunk (the shrink factor
 // appears in the output) so a full run fits a laptop budget; -scale full
-// runs everything at paper size.
+// runs everything at paper size. Independent solves — the fig4/fig6
+// datasets and every fig7/fig8/fig10 sweep point — fan out across
+// -sweep-workers goroutines (default: all CPUs); -workers sets the
+// branch & bound worker count per solve (default: 1 inside a concurrent
+// sweep). Output is assembled in a fixed order, so it is identical for
+// any worker count.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"sync"
 	"time"
 
 	"github.com/etransform/etransform/internal/datagen"
@@ -38,6 +45,8 @@ func run(args []string) error {
 	scaleName := fs.String("scale", "bench", `"bench" (laptop budget, Federal shrunk) or "full" (paper size)`)
 	dataset := fs.String("dataset", "", "restrict fig4/fig6 to one dataset: enterprise1 | florida | federal")
 	csvDir := fs.String("csv", "", "also write each experiment's data as CSV into this directory")
+	sweepWorkers := fs.Int("sweep-workers", 0, "concurrent sweep points / datasets (0 = all CPUs)")
+	solverWorkers := fs.Int("workers", 0, "branch & bound workers per solve (0 = auto)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -70,6 +79,8 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown scale %q", *scaleName)
 	}
+	sc.SweepWorkers = *sweepWorkers
+	sc.SolverWorkers = *solverWorkers
 
 	run := func(name string, f func() error) error {
 		if *experiment != "all" && *experiment != name {
@@ -85,18 +96,33 @@ func run(args []string) error {
 	}
 
 	caseStudies := func(fig string, dr bool) error {
-		cfgs := []datagen.CaseStudyConfig{datagen.Enterprise1(), datagen.Florida(), datagen.Federal()}
-		for _, cfg := range cfgs {
-			if *dataset != "" && cfg.Name != *dataset {
-				continue
+		var cfgs []datagen.CaseStudyConfig
+		for _, cfg := range []datagen.CaseStudyConfig{datagen.Enterprise1(), datagen.Florida(), datagen.Federal()} {
+			if *dataset == "" || cfg.Name == *dataset {
+				cfgs = append(cfgs, cfg)
 			}
-			res, err := experiments.CaseStudy(cfg, sc, dr)
-			if err != nil {
-				return err
+		}
+		// Solve the datasets concurrently; render in the fixed order.
+		results := make([]*experiments.CaseStudyResult, len(cfgs))
+		errs := make([]error, len(cfgs))
+		var wg sync.WaitGroup
+		for i := range cfgs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i], errs[i] = experiments.CaseStudy(cfgs[i], sc, dr)
+			}(i)
+		}
+		wg.Wait()
+		for i, cfg := range cfgs {
+			if errs[i] != nil {
+				return errs[i]
 			}
+			res := results[i]
 			fmt.Print(res.Render())
-			fmt.Printf("solver: %d rows × %d cols, %d nodes, gap %.2g\n\n",
-				res.Stats.Rows, res.Stats.Cols, res.Stats.Nodes, res.Stats.Gap)
+			fmt.Printf("solver: %d rows × %d cols, %d nodes, gap %.2g, %d workers, wall %dms (busy %dms)\n\n",
+				res.Stats.Rows, res.Stats.Cols, res.Stats.Nodes, res.Stats.Gap,
+				res.Stats.Workers, res.Stats.WallMillis, res.Stats.WorkMillis)
 			var rows [][]string
 			for _, algo := range experiments.AlgorithmNames {
 				b, ok := res.Breakdowns[algo]

@@ -9,16 +9,27 @@
 //
 // Usage:
 //
-//	etlint [packages]
+//	etlint [-nopanic-exemptions] [packages]
 //
 // With no arguments it analyzes ./... in the current directory. It
 // prints one line per finding (path:line:col: message [analyzer]) and
 // exits 1 if there are findings, 2 on load failure.
+//
+// With -nopanic-exemptions it instead audits the nopanic escape hatch:
+// it prints every function in the solver library packages whose doc
+// comment carries the "invariant-violation helper" marker, one per line,
+// sorted. scripts/check.sh diffs this output against the reviewed
+// allowlist in scripts/nopanic_exemptions.txt, so a newly sanctioned
+// panic site (e.g. one slipped into a branch & bound worker, where a
+// panic must instead convert to a coordinator error) fails CI until the
+// allowlist is deliberately updated.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"github.com/etransform/etransform/internal/lint/analysis"
 	"github.com/etransform/etransform/internal/lint/driver"
@@ -38,7 +49,14 @@ func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
-func run(patterns []string) int {
+func run(args []string) int {
+	fs := flag.NewFlagSet("etlint", flag.ContinueOnError)
+	audit := fs.Bool("nopanic-exemptions", false,
+		"print the sanctioned panic-helper functions in solver packages and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -46,6 +64,17 @@ func run(patterns []string) int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "etlint:", err)
 		return 2
+	}
+	if *audit {
+		var names []string
+		for _, p := range pkgs {
+			names = append(names, nopanic.Exemptions(p.Path, p.Files)...)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return 0
 	}
 	diags, err := driver.Run(pkgs, suite)
 	if err != nil {

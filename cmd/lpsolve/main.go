@@ -5,13 +5,21 @@
 //
 // Usage:
 //
-//	lpsolve [-gap G] [-nodes N] [-timelimit D] model.lp|model.mps
+//	lpsolve [-gap G] [-nodes N] [-timelimit D] [-workers N] model.lp|model.mps
+//
+// The branch & bound search runs -workers goroutines (0 = all CPUs; 1 =
+// deterministic sequential search). Ctrl-C cancels the solve gracefully:
+// the best incumbent found so far is printed, marked as a partial
+// (uncertified-optimal) result.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -33,6 +41,7 @@ func run(args []string) error {
 	gap := fs.Float64("gap", tol.Gap, "MILP relative optimality gap")
 	nodes := fs.Int("nodes", 200000, "branch & bound node limit")
 	timeLimit := fs.Duration("timelimit", 10*time.Minute, "wall-clock limit")
+	workers := fs.Int("workers", 0, "branch & bound worker goroutines (0 = all CPUs, 1 = deterministic)")
 	verbose := fs.Bool("v", false, "print every nonzero variable (default: first 50)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,20 +67,48 @@ func run(args []string) error {
 	}
 	fmt.Printf("model: %s\n", m.Stats())
 
+	// Ctrl-C cancels the context; the solver surrenders its best
+	// incumbent instead of dying mid-search.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	start := time.Now()
-	sol, err := milp.Solve(m, &milp.Options{GapTol: *gap, MaxNodes: *nodes, TimeLimit: *timeLimit})
-	if err != nil {
+	sol, err := milp.SolveContext(ctx, m, &milp.Options{
+		GapTol: *gap, MaxNodes: *nodes, TimeLimit: *timeLimit, Workers: *workers,
+	})
+	canceled := err != nil && errors.Is(err, context.Canceled) && sol != nil
+	if err != nil && !canceled {
 		return err
 	}
 	fmt.Printf("status: %v in %v (%d simplex iterations, %d nodes, gap %.3g)\n",
 		sol.Status, time.Since(start).Round(time.Millisecond), sol.Iterations, sol.Nodes, sol.Gap)
-	if !sol.Status.HasSolution() || sol.X == nil {
+	if sol.Workers > 0 {
+		fmt.Printf("search: %d workers, peak queue %d, wall %v, busy %v\n",
+			sol.Workers, sol.PeakQueueDepth,
+			sol.WallTime.Round(time.Millisecond), sol.WorkTime.Round(time.Millisecond))
+	}
+	if canceled {
+		if sol.X == nil {
+			fmt.Println("canceled before any feasible point was found")
+			return nil
+		}
+		fmt.Printf("canceled: best incumbent so far follows (bound gap %.3g, NOT proven optimal)\n", sol.Gap)
+	} else if !sol.Status.HasSolution() || sol.X == nil {
 		return nil
 	}
 	// Every printed solution ships with an independent feasibility
 	// certificate: certify re-checks all rows, bounds and integrality
-	// directly against the parsed model.
-	cert, err := certify.CheckSolution(m, sol, &certify.Options{FeasTol: tol.Accept, IntTol: tol.Accept})
+	// directly against the parsed model. Canceled partial incumbents are
+	// certified through Check (no claimed-objective comparison — the
+	// search did not finish); completed solves go through CheckSolution,
+	// which additionally cross-checks the reported objective.
+	certOpts := &certify.Options{FeasTol: tol.Accept, IntTol: tol.Accept}
+	var cert *certify.Certificate
+	if canceled {
+		cert, err = certify.Check(m, sol.X, certOpts)
+	} else {
+		cert, err = certify.CheckSolution(m, sol, certOpts)
+	}
 	if err != nil {
 		return err
 	}

@@ -11,7 +11,10 @@
 //
 //   - internal/lp — MILP modeling, CPLEX LP-file writer/parser
 //   - internal/simplex — bounded-variable revised simplex
-//   - internal/milp — branch & bound with diving and warm starts
+//   - internal/milp — parallel branch & bound (coordinator + worker pool,
+//     deterministic at Workers=1) with diving and warm starts
+//   - internal/tol — the single home of every numeric tolerance
+//   - internal/certify — independent solution certification
 //   - internal/stepwise — volume-discount curves, latency penalty steps
 //   - internal/geo — locations, distances, latency models
 //   - internal/model — the enterprise domain and shared cost evaluator
@@ -19,7 +22,9 @@
 //   - internal/baseline — the manual and greedy comparison heuristics
 //   - internal/datagen — the three case-study datasets and sweep topologies
 //   - internal/experiments — one harness per paper table and figure
+//   - internal/migrate — wave-by-wave migration scheduling for plans
 //   - internal/report — tables, ASCII charts, CSV output
+//   - internal/lint — the etlint static-analysis suite and its driver
 //
 // See README.md for a walkthrough, DESIGN.md for the system inventory,
 // and EXPERIMENTS.md for paper-versus-measured results. The benchmarks

@@ -1,13 +1,3 @@
-// Package certify independently re-checks LP/MILP solutions. It walks
-// the model itself — every row activity, every variable bound, every
-// integrality requirement — using only the model data and the shared
-// tolerances in package tol, so a bug in the simplex or branch & bound
-// machinery cannot vouch for its own output. The planner certifies every
-// plan after solving, and cmd/lpsolve certifies every solution it
-// prints, so reported results always ship with a machine-checked
-// feasibility certificate (the correctness layer consolidation-MILP work
-// such as cut-and-solve stresses as a precondition for comparing
-// solvers).
 package certify
 
 import (

@@ -1,0 +1,31 @@
+// Package certify independently re-checks LP/MILP solutions. It walks
+// the model itself — every row activity, every variable bound, every
+// integrality requirement — using only the model data and the shared
+// tolerances in package tol, so a bug in the simplex or branch & bound
+// machinery cannot vouch for its own output. The planner certifies every
+// plan after solving, and cmd/lpsolve certifies every solution it
+// prints, so reported results always ship with a machine-checked
+// feasibility certificate (the correctness layer consolidation-MILP work
+// such as cut-and-solve stresses as a precondition for comparing
+// solvers).
+//
+// # Invariants
+//
+//   - Check and CheckSolution never mutate the model or the point; both
+//     are pure functions of their inputs.
+//   - A Certificate with Feasible=true guarantees every bound, row and
+//     integrality requirement holds within the configured tolerances —
+//     independent of which solver (or how many worker goroutines)
+//     produced the point. This is what makes the parallel branch & bound
+//     in package milp safe to trust: whatever the schedule, the shipped
+//     plan re-verifies from the model data alone.
+//   - Statuses that carry no usable point (infeasible, unbounded,
+//     canceled) certify to (nil, nil) from CheckSolution rather than a
+//     vacuous "feasible".
+//
+// # Goroutine safety
+//
+// All functions in this package are safe for concurrent use; they share
+// no state. The experiment sweeps certify many solutions in parallel
+// from their fan-out workers.
+package certify

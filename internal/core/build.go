@@ -667,6 +667,11 @@ func (b *builder) decode(sol *lp.Solution) (*model.Plan, error) {
 			Gap:         sol.Gap,
 			CandidatesK: b.candidateK,
 			Aggregated:  b.p.opts.Aggregate,
+
+			Workers:        sol.Workers,
+			PeakQueueDepth: sol.PeakQueueDepth,
+			WallMillis:     sol.WallTime.Milliseconds(),
+			WorkMillis:     sol.WorkTime.Milliseconds(),
 		},
 	}
 	if dr {

@@ -1,0 +1,75 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/etransform/etransform/internal/core"
+	"github.com/etransform/etransform/internal/geo"
+	"github.com/etransform/etransform/internal/model"
+	"github.com/etransform/etransform/internal/stepwise"
+)
+
+func exampleDC(id string, capacity int, space, power, labor, wan float64) model.DataCenter {
+	return model.DataCenter{
+		ID:                id,
+		Location:          geo.Location{ID: "loc-" + id, Region: geo.RegionNorthAmerica},
+		CapacityServers:   capacity,
+		SpaceCost:         stepwise.Flat(space),
+		PowerCostPerKWh:   power,
+		LaborCostPerAdmin: labor,
+		WANCostPerMb:      wan,
+	}
+}
+
+// ExamplePlanner_SolveContext consolidates a two-group estate under a
+// wall-clock budget enforced through the context. On timeout or cancel
+// no plan is returned and the error wraps the context's error; within
+// budget the certified plan comes back as usual.
+func ExamplePlanner_SolveContext() {
+	penalty, err := stepwise.SingleThreshold(10, 1000)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	state := &model.AsIsState{
+		Name: "example",
+		Groups: []model.AppGroup{
+			{ID: "sensitive", Servers: 10, DataMbPerMonth: 100, UsersByLocation: []int{100, 0}, LatencyPenalty: penalty, CurrentDC: "old"},
+			{ID: "insensitive", Servers: 20, DataMbPerMonth: 200, UsersByLocation: []int{0, 50}, CurrentDC: "old"},
+		},
+		UserLocations: []geo.Location{{ID: "u0"}, {ID: "u1"}},
+		Current: model.Estate{
+			DCs:       []model.DataCenter{exampleDC("old", 100, 200, 0.2, 9000, 0.05)},
+			LatencyMs: [][]float64{{12}, {12}},
+		},
+		Target: model.Estate{
+			DCs: []model.DataCenter{
+				exampleDC("cheap", 100, 50, 0.05, 5000, 0.01), // far from u0
+				exampleDC("near", 100, 150, 0.15, 9000, 0.03), // near u0
+			},
+			LatencyMs: [][]float64{{25, 5}, {5, 25}},
+		},
+		Params: model.DefaultParams(),
+	}
+
+	planner, err := core.New(state, core.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	plan, err := planner.SolveContext(ctx)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, a := range plan.Assignments {
+		fmt.Printf("%s -> %s\n", a.GroupID, a.PrimaryDC)
+	}
+	// Output:
+	// sensitive -> near
+	// insensitive -> cheap
+}

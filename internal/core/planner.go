@@ -1,27 +1,7 @@
-// Package core implements the eTransform transformation and consolidation
-// planner — the paper's primary contribution (§III–§IV). It converts an
-// as-is enterprise state into a mixed-integer linear program whose
-// solution is the "to-be" plan:
-//
-//	minimize  Σ_ij X_ij ( S_i(Q_j + αE_j + T_j/β) + D_i W_j + L_ij )
-//	s.t.      Σ_j X_ij = 1          (every group placed)
-//	          Σ_i S_i X_ij ≤ O_j    (capacity)
-//	          X_ij ∈ {0,1}
-//
-// with extensions for volume-discount space pricing (Schoomer-style step
-// functions, §III-B), dedicated-VPN WAN pricing, and integrated disaster
-// recovery (§IV-B: secondary sites, a shared single-failure backup pool
-// G_b = max_a Σ_c J_abc S_c, and the business-impact cap ω).
-//
-// Two DR formulations are provided: the paper's literal (X, Y, J, G)
-// linearization, and an equivalent pair-assignment formulation
-// (Z_{i,(a,b)} with M + N + N² + N rows) that scales far better; a
-// property test proves they agree. Identical application groups can be
-// aggregated into integer-count variables — an exact reformulation that
-// collapses the paper's largest (Federal) dataset to a tractable size.
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -200,14 +180,23 @@ func (p *Planner) WriteLP(w io.Writer) error {
 // plan's cost breakdown comes from the shared evaluator in package model;
 // a self-check verifies the LP objective agrees with it.
 func (p *Planner) Solve() (*model.Plan, error) {
-	plan, err := p.solveOnce(p.opts.CandidateK)
+	return p.SolveContext(context.Background())
+}
+
+// SolveContext is Solve with cancellation. The context is threaded into
+// the branch & bound search; on cancellation no plan is returned (plans
+// must certify end to end) and the error wraps ctx.Err(), so
+// errors.Is(err, context.Canceled) works. Options.Solver.TimeLimit
+// remains the graceful way to bound a solve and still get a plan.
+func (p *Planner) SolveContext(ctx context.Context) (*model.Plan, error) {
+	plan, err := p.solveOnce(ctx, p.opts.CandidateK)
 	if err == nil || p.opts.CandidateK <= 0 {
 		return plan, err
 	}
 	if _, pruned := err.(*prunedInfeasibleError); pruned {
 		// Candidate pruning can cut off every feasible packing; retry
 		// with full candidate sets before declaring defeat.
-		return p.solveOnce(0)
+		return p.solveOnce(ctx, 0)
 	}
 	return plan, err
 }
@@ -219,14 +208,14 @@ type prunedInfeasibleError struct{ inner error }
 func (e *prunedInfeasibleError) Error() string { return e.inner.Error() }
 func (e *prunedInfeasibleError) Unwrap() error { return e.inner }
 
-func (p *Planner) solveOnce(candidateK int) (*model.Plan, error) {
+func (p *Planner) solveOnce(ctx context.Context, candidateK int) (*model.Plan, error) {
 	b, err := p.build(candidateK)
 	if err != nil {
 		return nil, err
 	}
 	solver := p.opts.Solver
 	solver.WarmStarts = b.warmStarts()
-	sol, err := milp.Solve(b.m, &solver)
+	sol, err := milp.SolveContext(ctx, b.m, &solver)
 	if err != nil {
 		return nil, fmt.Errorf("core: solving %s: %w", b.m.Name, err)
 	}

@@ -5,10 +5,18 @@
 // space-vs-WAN packing studies. Each experiment is a plain function
 // returning a typed result that the benchmark harness, the etbench CLI
 // and EXPERIMENTS.md all share.
+//
+// Sweep experiments (Figure 7, 8 and 10) solve their independent points
+// concurrently across a bounded worker pool (Scale.SweepWorkers);
+// results are assembled by point index, so rendered output is identical
+// for any worker count. Per-solve branch & bound parallelism is
+// controlled separately through Scale.SolverWorkers and defaults to 1
+// inside a concurrent sweep to avoid oversubscription.
 package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
@@ -35,6 +43,15 @@ type Scale struct {
 	// CandidateKLarge prunes candidates per group on estates with more
 	// than 20 target DCs (0 = never prune).
 	CandidateKLarge int
+	// SweepWorkers bounds how many independent sweep points (Figure 7/8/10
+	// settings, etbench datasets) solve concurrently; 0 selects
+	// runtime.NumCPU(). Results are assembled by point index, so output is
+	// identical for any value.
+	SweepWorkers int
+	// SolverWorkers sets the branch & bound worker count per solve. 0
+	// picks a non-oversubscribing default: 1 inside a concurrent sweep
+	// (the sweep already saturates the cores), runtime.NumCPU() otherwise.
+	SolverWorkers int
 }
 
 // FullScale solves the case studies at paper size.
@@ -49,7 +66,20 @@ func BenchScale() Scale {
 }
 
 func (sc Scale) solver() milp.Options {
-	return milp.Options{GapTol: sc.GapTol, MaxNodes: sc.MaxNodes, TimeLimit: sc.TimeLimit}
+	workers := sc.SolverWorkers
+	if workers <= 0 && sc.sweepWorkers() > 1 {
+		// The sweep fan-out already keeps every core busy; nested
+		// parallel solves would only oversubscribe.
+		workers = 1
+	}
+	return milp.Options{GapTol: sc.GapTol, MaxNodes: sc.MaxNodes, TimeLimit: sc.TimeLimit, Workers: workers}
+}
+
+func (sc Scale) sweepWorkers() int {
+	if sc.SweepWorkers > 0 {
+		return sc.SweepWorkers
+	}
+	return runtime.NumCPU()
 }
 
 func (sc Scale) apply(cfg datagen.CaseStudyConfig) datagen.CaseStudyConfig {

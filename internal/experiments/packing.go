@@ -105,24 +105,29 @@ func Figure10(sc Scale) (*Figure10Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Figure10Result{GroupCounts: Fig10GroupCounts}
+	res := &Figure10Result{
+		GroupCounts: Fig10GroupCounts,
+		DCsUsed:     make([]int, len(Fig10GroupCounts)),
+		FillOrder:   make([][]int, len(Fig10GroupCounts)),
+	}
 	res.CostRank = rankByCost(fig9.TotalCost)
-	for _, n := range Fig10GroupCounts {
+	err = forEach(len(Fig10GroupCounts), sc.sweepWorkers(), func(i int) error {
+		n := Fig10GroupCounts[i]
 		cfg := datagen.Fig9Config()
 		cfg.Groups = n
 		s, err := cfg.Generate()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		planner, err := core.New(s, core.Options{Aggregate: true, Solver: sc.solver()})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		plan, err := planner.Solve()
 		if err != nil {
-			return nil, fmt.Errorf("experiments: figure 10 (%d groups): %w", n, err)
+			return fmt.Errorf("experiments: figure 10 (%d groups): %w", n, err)
 		}
-		res.DCsUsed = append(res.DCsUsed, plan.Cost.DCsUsed)
+		res.DCsUsed[i] = plan.Cost.DCsUsed
 		used := make(map[string]bool)
 		for _, a := range plan.Assignments {
 			used[a.PrimaryDC] = true
@@ -133,7 +138,11 @@ func Figure10(sc Scale) (*Figure10Result, error) {
 				order = append(order, d)
 			}
 		}
-		res.FillOrder = append(res.FillOrder, order)
+		res.FillOrder[i] = order
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

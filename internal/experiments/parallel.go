@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// forEach runs fn(0) … fn(n-1) across at most workers goroutines (0
+// selects runtime.NumCPU()). Callers write results into index i of a
+// preallocated slice inside fn, so assembly order — and therefore every
+// rendered table — is deterministic regardless of scheduling. All jobs
+// run even after a failure; the error for the smallest index wins, so
+// repeated runs report the same failure.
+func forEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					errs[i] = fn(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

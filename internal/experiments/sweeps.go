@@ -49,27 +49,39 @@ func Figure7(sc Scale) (*Figure7Result, error) {
 		SpaceCost: make(map[float64][]float64),
 		MeanLatMs: make(map[float64][]float64),
 	}
-	for _, split := range Fig7Splits {
-		for _, pen := range Fig7Penalties {
-			cfg := datagen.Fig7Config()
-			cfg.UserSplit = split
-			cfg.PenaltyPerUser = pen
-			s, err := cfg.Generate()
-			if err != nil {
-				return nil, err
-			}
-			planner, err := core.New(s, core.Options{Aggregate: true, Solver: sc.solver()})
-			if err != nil {
-				return nil, err
-			}
-			plan, err := planner.Solve()
-			if err != nil {
-				return nil, fmt.Errorf("experiments: figure 7 (split %v, penalty %v): %w", split, pen, err)
-			}
-			res.TotalCost[split] = append(res.TotalCost[split], plan.Cost.Total())
-			res.SpaceCost[split] = append(res.SpaceCost[split], plan.Cost.Space)
-			res.MeanLatMs[split] = append(res.MeanLatMs[split], meanUserLatency(s, plan))
+	// Flatten the (split, penalty) grid into an indexed job list and fan
+	// it out; each point is an independent dataset and solve.
+	type point struct{ total, space, lat float64 }
+	nPen := len(Fig7Penalties)
+	points := make([]point, len(Fig7Splits)*nPen)
+	err := forEach(len(points), sc.sweepWorkers(), func(i int) error {
+		split, pen := Fig7Splits[i/nPen], Fig7Penalties[i%nPen]
+		cfg := datagen.Fig7Config()
+		cfg.UserSplit = split
+		cfg.PenaltyPerUser = pen
+		s, err := cfg.Generate()
+		if err != nil {
+			return err
 		}
+		planner, err := core.New(s, core.Options{Aggregate: true, Solver: sc.solver()})
+		if err != nil {
+			return err
+		}
+		plan, err := planner.Solve()
+		if err != nil {
+			return fmt.Errorf("experiments: figure 7 (split %v, penalty %v): %w", split, pen, err)
+		}
+		points[i] = point{total: plan.Cost.Total(), space: plan.Cost.Space, lat: meanUserLatency(s, plan)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range points {
+		split := Fig7Splits[i/nPen]
+		res.TotalCost[split] = append(res.TotalCost[split], p.total)
+		res.SpaceCost[split] = append(res.SpaceCost[split], p.space)
+		res.MeanLatMs[split] = append(res.MeanLatMs[split], p.lat)
 	}
 	return res, nil
 }
@@ -103,13 +115,18 @@ type Figure8Result struct {
 // (2 sites, a full-estate pool); expensive DR servers favour spreading
 // primaries so a small shared pool covers any single failure.
 func Figure8(sc Scale) (*Figure8Result, error) {
-	res := &Figure8Result{DRServerCost: Fig8Costs}
-	for _, zeta := range Fig8Costs {
+	res := &Figure8Result{
+		DRServerCost: Fig8Costs,
+		DCsUsed:      make([]int, len(Fig8Costs)),
+		DRServers:    make([]int, len(Fig8Costs)),
+	}
+	err := forEach(len(Fig8Costs), sc.sweepWorkers(), func(i int) error {
+		zeta := Fig8Costs[i]
 		cfg := datagen.Fig7Config() // same topology, §VI-E: penalty 0
 		cfg.PenaltyPerUser = 0
 		s, err := cfg.Generate()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s.Params.DRServerCost = zeta
 		s.Params.SecondaryLatencyWeight = 0
@@ -125,14 +142,18 @@ func Figure8(sc Scale) (*Figure8Result, error) {
 		}
 		planner, err := core.New(s, core.Options{DR: true, Aggregate: true, Solver: solver})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		plan, err := planner.Solve()
 		if err != nil {
-			return nil, fmt.Errorf("experiments: figure 8 (ζ=%v): %w", zeta, err)
+			return fmt.Errorf("experiments: figure 8 (ζ=%v): %w", zeta, err)
 		}
-		res.DCsUsed = append(res.DCsUsed, plan.Cost.DCsUsed)
-		res.DRServers = append(res.DRServers, plan.Cost.TotalBackupServers)
+		res.DCsUsed[i] = plan.Cost.DCsUsed
+		res.DRServers[i] = plan.Cost.TotalBackupServers
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

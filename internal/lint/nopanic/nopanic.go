@@ -70,6 +70,54 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
+// Exemptions lists the functions in a package that carry the
+// invariant-violation-helper marker — the complete set of sanctioned
+// panic sites. cmd/etlint's -nopanic-exemptions audit prints these so
+// scripts/check.sh can diff them against the reviewed allowlist: a new
+// exemption (say, a panic smuggled into a branch & bound worker under a
+// marker comment) fails the gate until the allowlist is deliberately
+// updated. Out-of-scope packages return nil. Names are rendered as
+// pkgPath.Func or pkgPath.(Recv).Method, in file order.
+func Exemptions(pkgPath string, files []*ast.File) []string {
+	if !inScope(pkgPath) {
+		return nil
+	}
+	var out []string
+	for _, f := range files {
+		if analysis.IsGenerated(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil || !strings.Contains(fn.Doc.Text(), marker) {
+				continue
+			}
+			name := fn.Name.Name
+			if fn.Recv != nil && len(fn.Recv.List) == 1 {
+				name = "(" + recvTypeName(fn.Recv.List[0].Type) + ")." + name
+			}
+			out = append(out, pkgPath+"."+name)
+		}
+	}
+	return out
+}
+
+// recvTypeName renders a receiver type expression compactly.
+func recvTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		return "*" + recvTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(t.X)
+	default:
+		return "?"
+	}
+}
+
 // inScope reports whether pkgPath contains one of the Scopes aligned on
 // path-segment boundaries.
 func inScope(pkgPath string) bool {

@@ -1,6 +1,9 @@
 package lp
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Status reports the outcome of a solve.
 type Status int
@@ -23,6 +26,14 @@ const (
 	// StatusFeasible means a feasible but not provably optimal solution
 	// was returned (e.g. heuristic incumbent at a limit).
 	StatusFeasible
+	// StatusCanceled means the solve was interrupted by its
+	// context.Context before reaching any other terminal state. The
+	// solution may still carry the best incumbent found so far in X
+	// (callers must check X for nil — cancellation can strike before any
+	// feasible point exists), but HasSolution reports false so that no
+	// downstream consumer treats the partial result as a finished one
+	// without opting in.
+	StatusCanceled
 )
 
 // String implements fmt.Stringer.
@@ -40,6 +51,8 @@ func (s Status) String() string {
 		return "node-limit"
 	case StatusFeasible:
 		return "feasible"
+	case StatusCanceled:
+		return "canceled"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}
@@ -66,6 +79,26 @@ type Solution struct {
 	// DualValues holds one simplex multiplier per row for pure-LP solves;
 	// nil for MILP.
 	DualValues []float64
+
+	// Concurrency statistics, populated by branch & bound solves
+	// (package milp). All zero for pure simplex solves.
+
+	// Workers is the number of branch & bound worker goroutines the
+	// solve ran with (1 for a sequential solve).
+	Workers int
+	// NodesPerWorker counts the branch & bound nodes each worker
+	// LP-solved; its entries sum to Nodes minus the root. nil when the
+	// solve never entered the tree search.
+	NodesPerWorker []int
+	// PeakQueueDepth is the largest number of simultaneously open
+	// branch & bound nodes observed.
+	PeakQueueDepth int
+	// WallTime is the elapsed wall-clock duration of the solve.
+	WallTime time.Duration
+	// WorkTime is the summed busy time of all workers (LP solves,
+	// diving, branching). WorkTime/WallTime approximates the effective
+	// parallelism achieved; for Workers=1 it is at most WallTime.
+	WorkTime time.Duration
 }
 
 // Value returns the solution value of v, or 0 if no solution is present.

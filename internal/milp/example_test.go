@@ -1,0 +1,30 @@
+package milp_test
+
+import (
+	"fmt"
+
+	"github.com/etransform/etransform/internal/lp"
+	"github.com/etransform/etransform/internal/milp"
+)
+
+// ExampleSolve solves a small knapsack with an explicit worker count.
+// Workers: 1 selects the deterministic sequential search; any other
+// count returns the same certified objective (see the package docs).
+func ExampleSolve() {
+	m := lp.NewModel("knapsack")
+	a := m.AddBinary("a", -10)
+	b := m.AddBinary("b", -13)
+	c := m.AddBinary("c", -7)
+	m.AddRow("weight", []lp.Term{{Var: a, Coef: 3}, {Var: b, Coef: 4}, {Var: c, Coef: 2}}, lp.LE, 6)
+
+	sol, err := milp.Solve(m, &milp.Options{Workers: 1})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("status=%v objective=%v workers=%d\n", sol.Status, sol.Objective, sol.Workers)
+	fmt.Printf("take a=%v b=%v c=%v\n", sol.Value(a), sol.Value(b), sol.Value(c))
+	// Output:
+	// status=optimal objective=-20 workers=1
+	// take a=0 b=1 c=1
+}

@@ -1,19 +1,9 @@
-// Package milp implements a branch & bound mixed-integer linear-program
-// solver over the bounded-variable simplex in package simplex. Together
-// they form the repository's optimization engine — the substitute for the
-// CPLEX solver the paper invokes (§V).
-//
-// The search is best-first on the LP relaxation bound with most-fractional
-// branching and a diving primal heuristic that usually produces a strong
-// incumbent at the root. Termination is exact: when the node queue
-// empties, the incumbent is optimal; otherwise the reported Gap bounds the
-// distance to the optimum.
 package milp
 
 import (
-	"container/heap"
+	"context"
 	"fmt"
-	"math"
+	"runtime"
 	"time"
 
 	"github.com/etransform/etransform/internal/lp"
@@ -29,7 +19,10 @@ type Options struct {
 	GapTol float64
 	// MaxNodes caps explored nodes. Default 200000.
 	MaxNodes int
-	// TimeLimit caps wall-clock time; 0 means no limit.
+	// TimeLimit caps wall-clock time; 0 means no limit. Hitting it is a
+	// graceful stop: the best incumbent is returned with Status
+	// lp.StatusNodeLimit and no error (contrast with context
+	// cancellation, which returns an error).
 	TimeLimit time.Duration
 	// DisableDiving turns off the diving primal heuristic.
 	DisableDiving bool
@@ -42,6 +35,14 @@ type Options struct {
 	MaxDiveDepth int
 	// DisablePresolve turns off the bound-tightening presolve pass.
 	DisablePresolve bool
+	// Workers is the number of branch & bound worker goroutines that
+	// pull nodes from the shared best-bound queue. 0 selects
+	// runtime.NumCPU(). Workers=1 runs the fully sequential search and
+	// is bit-for-bit deterministic (identical node and iteration counts
+	// across runs). Any worker count yields the same certified objective
+	// within GapTol; see the package documentation's determinism
+	// argument.
+	Workers int
 	// Simplex carries options for the LP subproblems.
 	Simplex simplex.Options
 }
@@ -60,6 +61,9 @@ func (o *Options) withDefaults() Options {
 	if out.MaxDiveDepth <= 0 {
 		out.MaxDiveDepth = 200
 	}
+	if out.Workers <= 0 {
+		out.Workers = runtime.NumCPU()
+	}
 	return out
 }
 
@@ -74,7 +78,7 @@ type node struct {
 	bound   float64 // parent LP objective: lower bound for the subtree
 	changes []boundChange
 	depth   int
-	seq     int // FIFO tie-break for determinism
+	seq     int // FIFO tie-break so the claim order is total
 }
 
 type nodeQueue []*node
@@ -102,301 +106,38 @@ func (q *nodeQueue) Pop() any {
 // fractional values. The returned solution's Gap field reports the final
 // relative optimality gap (0 when proven optimal).
 func Solve(model *lp.Model, opts *Options) (*lp.Solution, error) {
+	return SolveContext(context.Background(), model, opts)
+}
+
+// SolveContext is Solve with cancellation. The context is observed
+// between nodes; on cancellation the returned solution carries the best
+// incumbent found so far (Status lp.StatusCanceled, X nil when no
+// incumbent exists) alongside ctx.Err(), so callers can salvage a
+// partial result. A nil ctx is treated as context.Background().
+func SolveContext(ctx context.Context, model *lp.Model, opts *Options) (*lp.Solution, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := model.Err(); err != nil {
 		return nil, fmt.Errorf("milp: invalid model: %w", err)
 	}
 	o := opts.withDefaults()
-	s := &solver{opts: o, model: model.Clone()}
+	c := newCoordinator(ctx, o, model.Clone())
 	for j := 0; j < model.NumVars(); j++ {
 		if model.Var(lp.VarID(j)).Type != lp.Continuous {
-			s.intVars = append(s.intVars, lp.VarID(j))
+			c.intVars = append(c.intVars, lp.VarID(j))
 		}
 	}
-	// The working model is continuous; integrality is enforced by
-	// branching. Presolve tightens its bounds (and the original's, so
-	// incumbent verification agrees) before the search begins.
+	// The working models are continuous; integrality is enforced by
+	// branching. Presolve tightens the shared model's bounds (used for
+	// incumbent verification) before the workers clone it.
 	if !o.DisablePresolve {
-		if _, infeasible := presolve(s.model, 10); infeasible {
+		if _, infeasible := presolve(c.model, 10); infeasible {
 			return &lp.Solution{Status: lp.StatusInfeasible}, nil
 		}
 	}
-	s.work = s.model.Relax()
 	if o.TimeLimit > 0 {
-		s.deadline = time.Now().Add(o.TimeLimit)
+		c.deadline = c.start.Add(o.TimeLimit)
 	}
-	return s.run()
-}
-
-type solver struct {
-	opts     Options
-	model    *lp.Model // original (with integrality markers)
-	work     *lp.Model // relaxed working copy whose bounds we mutate
-	intVars  []lp.VarID
-	deadline time.Time
-
-	incumbent    []float64
-	incumbentObj float64
-	haveInc      bool
-	iterations   int
-	nodes        int
-}
-
-func (s *solver) expired() bool {
-	return !s.deadline.IsZero() && time.Now().After(s.deadline)
-}
-
-// solveWith applies the node's bound changes, solves the LP relaxation,
-// and restores the working model.
-func (s *solver) solveWith(changes []boundChange) (*lp.Solution, error) {
-	saved := make([]boundChange, len(changes))
-	for i, c := range changes {
-		v := s.work.Var(c.v)
-		saved[i] = boundChange{v: c.v, lo: v.Lower, hi: v.Upper}
-		if c.lo > v.Upper || c.hi < v.Lower || c.lo > c.hi {
-			// The combined bounds are empty: infeasible without solving.
-			for k := i - 1; k >= 0; k-- {
-				s.work.SetBounds(saved[k].v, saved[k].lo, saved[k].hi)
-			}
-			return &lp.Solution{Status: lp.StatusInfeasible}, nil
-		}
-		s.work.SetBounds(c.v, math.Max(c.lo, v.Lower), math.Min(c.hi, v.Upper))
-	}
-	sol, err := simplex.Solve(s.work, &s.opts.Simplex)
-	for k := len(saved) - 1; k >= 0; k-- {
-		s.work.SetBounds(saved[k].v, saved[k].lo, saved[k].hi)
-	}
-	if err != nil {
-		return nil, err
-	}
-	s.iterations += sol.Iterations
-	return sol, nil
-}
-
-// mostFractional returns the integer variable whose LP value is farthest
-// from integral, or -1 if the point is integral on all integer variables.
-func (s *solver) mostFractional(x []float64) (lp.VarID, float64) {
-	best := lp.VarID(-1)
-	bestDist := lp.IntTol
-	bestVal := 0.0
-	for _, v := range s.intVars {
-		val := x[v]
-		dist := math.Abs(val - math.Round(val))
-		// Most fractional: maximize distance from nearest integer.
-		if dist > bestDist+tol.Tie {
-			best, bestDist, bestVal = v, dist, val
-		}
-	}
-	return best, bestVal
-}
-
-// accept records a new incumbent if it beats the current one.
-func (s *solver) accept(x []float64, obj float64) {
-	if s.haveInc && obj >= s.incumbentObj-tol.Tie {
-		return
-	}
-	// Snap integer variables exactly and verify against the original
-	// model before trusting the point.
-	snapped := make([]float64, len(x))
-	copy(snapped, x)
-	for _, v := range s.intVars {
-		snapped[v] = math.Round(snapped[v])
-	}
-	if err := s.model.CheckFeasible(snapped, tol.Accept); err != nil {
-		return
-	}
-	s.incumbent = snapped
-	s.incumbentObj = s.model.Objective(snapped)
-	s.haveInc = true
-}
-
-// dive is the primal heuristic: repeatedly fix every near-integral
-// integer variable and round the single most fractional one, re-solving
-// until the LP is integral or infeasible.
-func (s *solver) dive(base []boundChange, sol *lp.Solution) error {
-	changes := make([]boundChange, len(base))
-	copy(changes, base)
-	cur := sol
-	for depth := 0; depth < s.opts.MaxDiveDepth; depth++ {
-		if cur.Status != lp.StatusOptimal || s.expired() {
-			return nil
-		}
-		v, _ := s.mostFractional(cur.X)
-		if v < 0 {
-			s.accept(cur.X, cur.Objective)
-			return nil
-		}
-		// Fix integer vars that are (nearly) settled at a nonzero value —
-		// within tolerance of a positive integer, or within 0.3 of one
-		// (strong fractional lean) — plus the most fractional variable at
-		// its nearest integer. Near-zero vars stay free: locking them out
-		// on the first pass cripples symmetric assignment models where
-		// the LP leaves most columns at 0. Fixing the strong leans too
-		// makes the dive converge in a few passes on thousand-variable
-		// assignment models instead of one variable per pass.
-		next := changes[:len(changes):len(changes)]
-		for _, iv := range s.intVars {
-			value := cur.X[iv]
-			r := math.Round(value)
-			settled := math.Abs(value-r) <= lp.IntTol && r > 0
-			lean := r >= 1 && math.Abs(value-r) <= 0.3
-			if iv == v || settled || lean {
-				next = append(next, boundChange{v: iv, lo: r, hi: r})
-			}
-		}
-		var err error
-		cur, err = s.solveWith(next)
-		if err != nil {
-			return err
-		}
-		changes = next
-	}
-	return nil
-}
-
-func (s *solver) run() (*lp.Solution, error) {
-	for _, w := range s.opts.WarmStarts {
-		if len(w) == s.model.NumVars() {
-			s.accept(w, s.model.Objective(w))
-		}
-	}
-	root, err := s.solveWith(nil)
-	if err != nil {
-		return nil, err
-	}
-	switch root.Status {
-	case lp.StatusInfeasible:
-		return &lp.Solution{Status: lp.StatusInfeasible, Iterations: s.iterations}, nil
-	case lp.StatusUnbounded:
-		return &lp.Solution{Status: lp.StatusUnbounded, Iterations: s.iterations}, nil
-	case lp.StatusIterLimit:
-		return &lp.Solution{Status: lp.StatusIterLimit, Iterations: s.iterations}, nil
-	}
-
-	if len(s.intVars) == 0 {
-		root.Nodes = 1
-		return root, nil
-	}
-
-	if v, _ := s.mostFractional(root.X); v < 0 {
-		s.accept(root.X, root.Objective)
-		return s.finish(root.Objective, lp.StatusOptimal)
-	}
-	if !s.opts.DisableDiving {
-		if err := s.dive(nil, root); err != nil {
-			return nil, err
-		}
-	}
-
-	queue := &nodeQueue{}
-	heap.Init(queue)
-	seq := 0
-	push := func(bound float64, depth int, changes []boundChange) {
-		seq++
-		heap.Push(queue, &node{bound: bound, depth: depth, seq: seq, changes: changes})
-	}
-	branch := func(nd *node, sol *lp.Solution) {
-		v, val := s.mostFractional(sol.X)
-		if v < 0 {
-			return
-		}
-		floor := math.Floor(val)
-		varInfo := s.work.Var(v)
-		down := append(nd.changes[:len(nd.changes):len(nd.changes)],
-			boundChange{v: v, lo: varInfo.Lower, hi: floor})
-		up := append(nd.changes[:len(nd.changes):len(nd.changes)],
-			boundChange{v: v, lo: floor + 1, hi: varInfo.Upper})
-		push(sol.Objective, nd.depth+1, down)
-		push(sol.Objective, nd.depth+1, up)
-	}
-	branch(&node{}, root)
-
-	bestBound := root.Objective
-	for queue.Len() > 0 {
-		if s.nodes >= s.opts.MaxNodes || s.expired() {
-			return s.finish(bestBound, lp.StatusNodeLimit)
-		}
-		nd := heap.Pop(queue).(*node)
-		bestBound = nd.bound
-		if s.haveInc && nd.bound >= s.incumbentObj-s.pruneEps() {
-			// Best-first order: every remaining node is at least as bad.
-			return s.finish(nd.bound, lp.StatusOptimal)
-		}
-		s.nodes++
-		sol, err := s.solveWith(nd.changes)
-		if err != nil {
-			return nil, err
-		}
-		switch sol.Status {
-		case lp.StatusInfeasible:
-			continue
-		case lp.StatusIterLimit:
-			return s.finish(bestBound, lp.StatusNodeLimit)
-		case lp.StatusUnbounded:
-			return nil, fmt.Errorf("milp: child LP unbounded though root was bounded")
-		}
-		if s.haveInc && sol.Objective >= s.incumbentObj-s.pruneEps() {
-			continue
-		}
-		if v, _ := s.mostFractional(sol.X); v < 0 {
-			s.accept(sol.X, sol.Objective)
-			continue
-		}
-		// Occasional re-dive deeper in the tree keeps the incumbent fresh.
-		if !s.opts.DisableDiving && s.nodes%64 == 0 {
-			if err := s.dive(nd.changes, sol); err != nil {
-				return nil, err
-			}
-		}
-		if s.haveInc {
-			gap := (s.incumbentObj - nd.bound) / math.Max(1, math.Abs(s.incumbentObj))
-			if gap <= s.opts.GapTol {
-				return s.finish(nd.bound, lp.StatusOptimal)
-			}
-		}
-		branch(nd, sol)
-	}
-	if !s.haveInc {
-		return &lp.Solution{Status: lp.StatusInfeasible, Iterations: s.iterations, Nodes: s.nodes}, nil
-	}
-	return s.finish(s.incumbentObj, lp.StatusOptimal)
-}
-
-// pruneEps is the absolute slack used when comparing bounds against the
-// incumbent, derived from the relative gap tolerance.
-func (s *solver) pruneEps() float64 {
-	if !s.haveInc {
-		return 0
-	}
-	return s.opts.GapTol * math.Max(1, math.Abs(s.incumbentObj))
-}
-
-func (s *solver) finish(bound float64, status lp.Status) (*lp.Solution, error) {
-	sol := &lp.Solution{Iterations: s.iterations, Nodes: s.nodes}
-	if !s.haveInc {
-		if status == lp.StatusOptimal {
-			return nil, fmt.Errorf("milp: internal: optimal finish without incumbent")
-		}
-		sol.Status = status
-		sol.Gap = math.Inf(1)
-		return sol, nil
-	}
-	sol.X = s.incumbent
-	sol.Objective = s.incumbentObj
-	gap := (s.incumbentObj - bound) / math.Max(1, math.Abs(s.incumbentObj))
-	if gap < 0 {
-		gap = 0
-	}
-	sol.Gap = gap
-	if status == lp.StatusOptimal || gap <= s.opts.GapTol {
-		sol.Status = lp.StatusOptimal
-		if gap <= s.opts.GapTol {
-			sol.Gap = gap
-		}
-	} else {
-		sol.Status = lp.StatusFeasible
-		if status == lp.StatusNodeLimit {
-			sol.Status = lp.StatusNodeLimit
-		}
-	}
-	return sol, nil
+	return c.solve()
 }

@@ -314,11 +314,13 @@ func TestDeterministic(t *testing.T) {
 		m.AddRow("w", terms, lp.LE, 23)
 		return m
 	}
-	a, err := Solve(build(), nil)
+	// Workers=1 is the deterministic mode: node and iteration counts are
+	// only reproducible for a sequential search.
+	a, err := Solve(build(), &Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Solve(build(), nil)
+	b, err := Solve(build(), &Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,608 @@
+package milp
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"github.com/etransform/etransform/internal/lp"
+	"github.com/etransform/etransform/internal/simplex"
+	"github.com/etransform/etransform/internal/tol"
+)
+
+// coordinator owns the shared branch & bound state. Everything below mu
+// is guarded by it; workers claim nodes and commit results under the
+// lock and do all LP work outside it.
+type coordinator struct {
+	opts     Options
+	ctx      contextLike
+	model    *lp.Model // original (with integrality markers), presolved
+	intVars  []lp.VarID
+	deadline time.Time
+	start    time.Time
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	queue    nodeQueue
+	seq      int
+	inFlight int       // nodes claimed but not yet committed
+	flight   []float64 // per-worker bound of the claimed node; +Inf when idle
+
+	incumbent    []float64
+	incumbentObj float64
+	haveInc      bool
+
+	lastBound  float64 // monotone global lower bound
+	nodes      int
+	iterations int
+	nodesBy    []int
+	peakQueue  int
+
+	done        bool
+	finalStatus lp.Status // zero when the queue drained naturally
+	finalBound  float64
+	err         error
+	ctxErr      error
+
+	workTime time.Duration // summed per-worker busy time, set after join
+}
+
+// contextLike is the subset of context.Context the coordinator needs;
+// keeping it narrow makes the between-node polling cost explicit.
+type contextLike interface {
+	Err() error
+}
+
+func newCoordinator(ctx contextLike, opts Options, model *lp.Model) *coordinator {
+	c := &coordinator{
+		opts:      opts,
+		ctx:       ctx,
+		model:     model,
+		start:     time.Now(),
+		lastBound: math.Inf(-1),
+		nodesBy:   make([]int, opts.Workers),
+		flight:    make([]float64, opts.Workers),
+	}
+	for i := range c.flight {
+		c.flight[i] = math.Inf(1)
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// worker is one search goroutine: a private relaxed model clone whose
+// bounds it mutates, plus a reusable simplex engine.
+type worker struct {
+	id         int
+	c          *coordinator
+	work       *lp.Model
+	sx         *simplex.Solver
+	iterations int // folded into the coordinator at each commit
+	busy       time.Duration
+}
+
+func (c *coordinator) newWorker(id int) *worker {
+	return &worker{id: id, c: c, work: c.model.Relax(), sx: simplex.NewSolver(&c.opts.Simplex)}
+}
+
+func (c *coordinator) expired() bool {
+	return !c.deadline.IsZero() && time.Now().After(c.deadline)
+}
+
+func (c *coordinator) stopped() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.done
+}
+
+// pruneEps is the absolute slack used when comparing bounds against the
+// incumbent objective incObj, derived from the relative gap tolerance.
+func (c *coordinator) pruneEps(incObj float64) float64 {
+	return c.opts.GapTol * math.Max(1, math.Abs(incObj))
+}
+
+// globalBoundLocked is the proven lower bound on the optimum: the
+// smallest LP bound over queued and in-flight nodes. With no open nodes
+// the incumbent itself is the bound. Monotone via lastBound.
+func (c *coordinator) globalBoundLocked() float64 {
+	b := math.Inf(1)
+	if len(c.queue) > 0 {
+		b = c.queue[0].bound
+	}
+	for _, f := range c.flight {
+		if f < b {
+			b = f
+		}
+	}
+	if math.IsInf(b, 1) {
+		if c.haveInc {
+			b = c.incumbentObj
+		} else {
+			b = c.lastBound
+		}
+	}
+	if b > c.lastBound {
+		c.lastBound = b
+	}
+	return c.lastBound
+}
+
+func (c *coordinator) pushLocked(bound float64, depth int, changes []boundChange) {
+	c.seq++
+	heap.Push(&c.queue, &node{bound: bound, depth: depth, seq: c.seq, changes: changes})
+	if len(c.queue) > c.peakQueue {
+		c.peakQueue = len(c.queue)
+	}
+}
+
+// stopLocked ends the search with the given terminal status and bound.
+// The first stop wins; later calls are no-ops.
+func (c *coordinator) stopLocked(status lp.Status, bound float64) {
+	if c.done {
+		return
+	}
+	c.done = true
+	c.finalStatus = status
+	if bound > c.lastBound {
+		c.lastBound = bound
+	}
+	c.finalBound = c.lastBound
+	c.cond.Broadcast()
+}
+
+func (c *coordinator) failLocked(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+	c.done = true
+	c.cond.Broadcast()
+}
+
+// snapshotIncumbent returns the incumbent objective for pruning. A stale
+// snapshot only makes pruning less aggressive, never incorrect.
+func (c *coordinator) snapshotIncumbent() (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.incumbentObj, c.haveInc
+}
+
+// mostFractional returns the integer variable whose LP value is farthest
+// from integral, or -1 if the point is integral on all integer variables.
+// Read-only on coordinator state; safe without the lock.
+func (c *coordinator) mostFractional(x []float64) (lp.VarID, float64) {
+	best := lp.VarID(-1)
+	bestDist := lp.IntTol
+	bestVal := 0.0
+	for _, v := range c.intVars {
+		val := x[v]
+		dist := math.Abs(val - math.Round(val))
+		// Most fractional: maximize distance from nearest integer.
+		if dist > bestDist+tol.Tie {
+			best, bestDist, bestVal = v, dist, val
+		}
+	}
+	return best, bestVal
+}
+
+// tryAccept installs x as the incumbent if it verifies against the
+// original model and still beats the incumbent at install time. The
+// expensive feasibility check runs outside the lock; the install is
+// double-checked under it, so the incumbent objective only decreases.
+func (c *coordinator) tryAccept(x []float64, gateObj float64) {
+	c.mu.Lock()
+	if c.haveInc && gateObj >= c.incumbentObj-tol.Tie {
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	// Snap integer variables exactly and verify against the original
+	// model before trusting the point.
+	snapped := make([]float64, len(x))
+	copy(snapped, x)
+	for _, v := range c.intVars {
+		snapped[v] = math.Round(snapped[v])
+	}
+	if err := c.model.CheckFeasible(snapped, tol.Accept); err != nil {
+		return
+	}
+	obj := c.model.Objective(snapped)
+	c.mu.Lock()
+	if !c.haveInc || obj < c.incumbentObj-tol.Tie {
+		c.incumbent = snapped
+		c.incumbentObj = obj
+		c.haveInc = true
+	}
+	c.mu.Unlock()
+}
+
+// solveWith applies the node's bound changes, solves the LP relaxation
+// on the worker's private model, and restores the bounds.
+func (w *worker) solveWith(changes []boundChange) (*lp.Solution, error) {
+	saved := make([]boundChange, len(changes))
+	for i, ch := range changes {
+		v := w.work.Var(ch.v)
+		saved[i] = boundChange{v: ch.v, lo: v.Lower, hi: v.Upper}
+		if ch.lo > v.Upper || ch.hi < v.Lower || ch.lo > ch.hi {
+			// The combined bounds are empty: infeasible without solving.
+			for k := i - 1; k >= 0; k-- {
+				w.work.SetBounds(saved[k].v, saved[k].lo, saved[k].hi)
+			}
+			return &lp.Solution{Status: lp.StatusInfeasible}, nil
+		}
+		w.work.SetBounds(ch.v, math.Max(ch.lo, v.Lower), math.Min(ch.hi, v.Upper))
+	}
+	sol, err := w.sx.Solve(w.work)
+	for k := len(saved) - 1; k >= 0; k-- {
+		w.work.SetBounds(saved[k].v, saved[k].lo, saved[k].hi)
+	}
+	if err != nil {
+		return nil, err
+	}
+	w.iterations += sol.Iterations
+	return sol, nil
+}
+
+func (w *worker) takeIterations() int {
+	n := w.iterations
+	w.iterations = 0
+	return n
+}
+
+// branchChanges builds the down/up child bound-change lists for the most
+// fractional variable of sol. The three-index slice of nd.changes forces
+// append to copy, so siblings never share a backing array.
+func (w *worker) branchChanges(nd *node, sol *lp.Solution) (down, up []boundChange) {
+	v, val := w.c.mostFractional(sol.X)
+	if v < 0 {
+		return nil, nil
+	}
+	floor := math.Floor(val)
+	varInfo := w.work.Var(v)
+	down = append(nd.changes[:len(nd.changes):len(nd.changes)],
+		boundChange{v: v, lo: varInfo.Lower, hi: floor})
+	up = append(nd.changes[:len(nd.changes):len(nd.changes)],
+		boundChange{v: v, lo: floor + 1, hi: varInfo.Upper})
+	return down, up
+}
+
+// dive is the primal heuristic: repeatedly fix every near-integral
+// integer variable and round the single most fractional one, re-solving
+// until the LP is integral or infeasible.
+func (w *worker) dive(base []boundChange, sol *lp.Solution) error {
+	changes := make([]boundChange, len(base))
+	copy(changes, base)
+	cur := sol
+	for depth := 0; depth < w.c.opts.MaxDiveDepth; depth++ {
+		if cur.Status != lp.StatusOptimal || w.c.expired() || w.c.stopped() {
+			return nil
+		}
+		v, _ := w.c.mostFractional(cur.X)
+		if v < 0 {
+			w.c.tryAccept(cur.X, cur.Objective)
+			return nil
+		}
+		// Fix integer vars that are (nearly) settled at a nonzero value —
+		// within tolerance of a positive integer, or within 0.3 of one
+		// (strong fractional lean) — plus the most fractional variable at
+		// its nearest integer. Near-zero vars stay free: locking them out
+		// on the first pass cripples symmetric assignment models where
+		// the LP leaves most columns at 0. Fixing the strong leans too
+		// makes the dive converge in a few passes on thousand-variable
+		// assignment models instead of one variable per pass.
+		next := changes[:len(changes):len(changes)]
+		for _, iv := range w.c.intVars {
+			value := cur.X[iv]
+			r := math.Round(value)
+			settled := math.Abs(value-r) <= lp.IntTol && r > 0
+			lean := r >= 1 && math.Abs(value-r) <= 0.3
+			if iv == v || settled || lean {
+				next = append(next, boundChange{v: iv, lo: r, hi: r})
+			}
+		}
+		var err error
+		cur, err = w.solveWith(next)
+		if err != nil {
+			return err
+		}
+		changes = next
+	}
+	return nil
+}
+
+// claim blocks until a node is available, the search ends, or a limit
+// trips. It returns the claimed node and its 1-based claim index (the
+// sequential node counter, used to pace re-dives), or ok=false when the
+// worker should exit.
+func (c *coordinator) claim(w *worker) (nd *node, nodeIdx int, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		for !c.done && len(c.queue) == 0 && c.inFlight > 0 {
+			c.cond.Wait()
+		}
+		if c.done {
+			return nil, 0, false
+		}
+		if len(c.queue) == 0 {
+			// Queue drained with nothing in flight: the tree is exhausted
+			// and the incumbent (if any) is optimal.
+			c.done = true
+			c.cond.Broadcast()
+			return nil, 0, false
+		}
+		if c.nodes >= c.opts.MaxNodes || c.expired() {
+			c.stopLocked(lp.StatusNodeLimit, c.globalBoundLocked())
+			return nil, 0, false
+		}
+		if e := c.ctx.Err(); e != nil {
+			c.ctxErr = e
+			c.stopLocked(lp.StatusCanceled, c.globalBoundLocked())
+			return nil, 0, false
+		}
+		nd = heap.Pop(&c.queue).(*node)
+		if c.haveInc && nd.bound >= c.incumbentObj-c.pruneEps(c.incumbentObj) {
+			if c.inFlight == 0 {
+				// Best-first with nothing in flight: every remaining node
+				// is at least as bad, so the search is over.
+				c.stopLocked(lp.StatusOptimal, nd.bound)
+				return nil, 0, false
+			}
+			// In-flight nodes may still push improving children; just
+			// discard this one and wait for the next.
+			continue
+		}
+		c.nodes++
+		c.nodesBy[w.id]++
+		c.inFlight++
+		c.flight[w.id] = nd.bound
+		return nd, c.nodes, true
+	}
+}
+
+// commit folds a processed node back into the shared state: worker
+// iteration counts, child nodes, and the optimality-gap termination
+// test. Returns false when the worker should exit.
+func (c *coordinator) commit(w *worker, sol *lp.Solution, err error, closed bool, down, up []boundChange, depth int, childBound float64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	defer c.cond.Broadcast()
+	c.iterations += w.takeIterations()
+	c.flight[w.id] = math.Inf(1)
+	c.inFlight--
+	if c.done {
+		// A terminal state was reached while we were solving; our result
+		// can no longer change it (stats are already folded above).
+		return false
+	}
+	if err != nil {
+		c.failLocked(err)
+		return false
+	}
+	switch sol.Status {
+	case lp.StatusInfeasible:
+		return true
+	case lp.StatusIterLimit:
+		c.stopLocked(lp.StatusNodeLimit, c.globalBoundLocked())
+		return false
+	case lp.StatusUnbounded:
+		c.failLocked(fmt.Errorf("milp: child LP unbounded though root was bounded"))
+		return false
+	}
+	if !closed {
+		c.pushLocked(childBound, depth, down)
+		c.pushLocked(childBound, depth, up)
+	}
+	if c.haveInc {
+		bound := c.globalBoundLocked()
+		gap := (c.incumbentObj - bound) / math.Max(1, math.Abs(c.incumbentObj))
+		if gap <= c.opts.GapTol {
+			c.stopLocked(lp.StatusOptimal, bound)
+			return false
+		}
+	}
+	return true
+}
+
+// step runs one claim → LP solve → commit cycle. All LP work happens
+// between the two lock acquisitions.
+func (c *coordinator) step(w *worker) bool {
+	nd, nodeIdx, ok := c.claim(w)
+	if !ok {
+		return false
+	}
+	t0 := time.Now()
+	sol, err := w.solveWith(nd.changes)
+	closed := true
+	var down, up []boundChange
+	var childBound float64
+	if err == nil && sol.Status == lp.StatusOptimal {
+		incObj, haveInc := c.snapshotIncumbent()
+		switch {
+		case haveInc && sol.Objective >= incObj-c.pruneEps(incObj):
+			// Pruned against the incumbent snapshot.
+		case func() bool { v, _ := c.mostFractional(sol.X); return v < 0 }():
+			c.tryAccept(sol.X, sol.Objective)
+		default:
+			// Occasional re-dive deeper in the tree keeps the incumbent
+			// fresh. nodeIdx comes from the shared counter, so the pacing
+			// matches the sequential solver when Workers=1.
+			if !c.opts.DisableDiving && nodeIdx%64 == 0 {
+				err = w.dive(nd.changes, sol)
+			}
+			if err == nil {
+				down, up = w.branchChanges(nd, sol)
+				childBound = sol.Objective
+				closed = down == nil && up == nil
+			}
+		}
+	}
+	w.busy += time.Since(t0)
+	return c.commit(w, sol, err, closed, down, up, nd.depth+1, childBound)
+}
+
+// runWorker is a worker goroutine's main loop. A panic anywhere in the
+// search is converted into a coordinator error so it never crosses the
+// Solve API boundary.
+func (c *coordinator) runWorker(w *worker, wg *sync.WaitGroup) {
+	defer wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			c.mu.Lock()
+			c.failLocked(fmt.Errorf("milp: worker %d panicked: %v", w.id, r))
+			c.mu.Unlock()
+		}
+	}()
+	for c.step(w) {
+	}
+}
+
+// solve processes the root sequentially (warm starts, root LP, root
+// dive, first branch), then fans the open tree out over the worker pool
+// and assembles the final solution.
+func (c *coordinator) solve() (*lp.Solution, error) {
+	w0 := c.newWorker(0)
+	for _, ws := range c.opts.WarmStarts {
+		if len(ws) == c.model.NumVars() {
+			c.tryAccept(ws, c.model.Objective(ws))
+		}
+	}
+	t0 := time.Now()
+	root, err := w0.solveWith(nil)
+	c.iterations += w0.takeIterations()
+	if err != nil {
+		return nil, err
+	}
+	switch root.Status {
+	case lp.StatusInfeasible, lp.StatusUnbounded, lp.StatusIterLimit:
+		return &lp.Solution{Status: root.Status, Iterations: c.iterations}, nil
+	}
+
+	if len(c.intVars) == 0 {
+		root.Nodes = 1
+		c.workTime = time.Since(t0)
+		c.fillStats(root, 1)
+		return root, nil
+	}
+
+	if v, _ := c.mostFractional(root.X); v < 0 {
+		c.tryAccept(root.X, root.Objective)
+		w0.busy = time.Since(t0)
+		return c.assembleFinish(root.Objective, lp.StatusOptimal, []*worker{w0})
+	}
+	if !c.opts.DisableDiving {
+		if err := w0.dive(nil, root); err != nil {
+			return nil, err
+		}
+		c.iterations += w0.takeIterations()
+	}
+	down, up := w0.branchChanges(&node{}, root)
+	w0.busy = time.Since(t0)
+	c.mu.Lock()
+	c.lastBound = root.Objective
+	c.pushLocked(root.Objective, 1, down)
+	c.pushLocked(root.Objective, 1, up)
+	c.mu.Unlock()
+
+	workers := make([]*worker, c.opts.Workers)
+	workers[0] = w0
+	for i := 1; i < len(workers); i++ {
+		workers[i] = c.newWorker(i)
+	}
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go c.runWorker(w, &wg)
+	}
+	wg.Wait()
+
+	if c.err != nil {
+		return nil, c.err
+	}
+	if c.ctxErr != nil {
+		return c.canceledSolution(workers), c.ctxErr
+	}
+	if c.finalStatus != 0 {
+		return c.assembleFinish(c.finalBound, c.finalStatus, workers)
+	}
+	// Queue exhausted naturally.
+	if !c.haveInc {
+		sol := &lp.Solution{Status: lp.StatusInfeasible, Iterations: c.iterations, Nodes: c.nodes}
+		c.foldBusy(workers)
+		c.fillStats(sol, c.opts.Workers)
+		return sol, nil
+	}
+	return c.assembleFinish(c.incumbentObj, lp.StatusOptimal, workers)
+}
+
+func (c *coordinator) foldBusy(workers []*worker) {
+	for _, w := range workers {
+		c.workTime += w.busy
+	}
+}
+
+// assembleFinish maps a terminal (bound, status) pair to the returned
+// solution, mirroring the sequential solver's gap bookkeeping.
+func (c *coordinator) assembleFinish(bound float64, status lp.Status, workers []*worker) (*lp.Solution, error) {
+	c.foldBusy(workers)
+	sol := &lp.Solution{Iterations: c.iterations, Nodes: c.nodes}
+	c.fillStats(sol, c.opts.Workers)
+	if !c.haveInc {
+		if status == lp.StatusOptimal {
+			return nil, fmt.Errorf("milp: internal: optimal finish without incumbent")
+		}
+		sol.Status = status
+		sol.Gap = math.Inf(1)
+		return sol, nil
+	}
+	sol.X = c.incumbent
+	sol.Objective = c.incumbentObj
+	gap := (c.incumbentObj - bound) / math.Max(1, math.Abs(c.incumbentObj))
+	if gap < 0 {
+		gap = 0
+	}
+	sol.Gap = gap
+	if status == lp.StatusOptimal || gap <= c.opts.GapTol {
+		sol.Status = lp.StatusOptimal
+	} else {
+		sol.Status = lp.StatusFeasible
+		if status == lp.StatusNodeLimit {
+			sol.Status = lp.StatusNodeLimit
+		}
+	}
+	return sol, nil
+}
+
+// canceledSolution packages the partial result surrendered on context
+// cancellation: the incumbent if one exists, the proven bound, and the
+// search statistics so far.
+func (c *coordinator) canceledSolution(workers []*worker) *lp.Solution {
+	c.foldBusy(workers)
+	sol := &lp.Solution{Status: lp.StatusCanceled, Iterations: c.iterations, Nodes: c.nodes}
+	c.fillStats(sol, c.opts.Workers)
+	if !c.haveInc {
+		sol.Gap = math.Inf(1)
+		return sol
+	}
+	sol.X = c.incumbent
+	sol.Objective = c.incumbentObj
+	gap := (c.incumbentObj - c.finalBound) / math.Max(1, math.Abs(c.incumbentObj))
+	if gap < 0 {
+		gap = 0
+	}
+	sol.Gap = gap
+	return sol
+}
+
+// fillStats populates the solution's concurrency statistics.
+func (c *coordinator) fillStats(sol *lp.Solution, workers int) {
+	sol.Workers = workers
+	if c.nodes > 0 {
+		sol.NodesPerWorker = c.nodesBy
+	}
+	sol.PeakQueueDepth = c.peakQueue
+	sol.WallTime = time.Since(c.start)
+	sol.WorkTime = c.workTime
+}

@@ -84,6 +84,15 @@ type SolveStats struct {
 	CandidatesK int     `json:"candidates_k,omitempty"`
 	Aggregated  bool    `json:"aggregated,omitempty"`
 	Formulation string  `json:"formulation,omitempty"`
+	// Workers is the number of branch & bound worker goroutines the solve
+	// ran with; PeakQueueDepth is the largest number of simultaneously
+	// open nodes. WallMillis and WorkMillis are the solve's elapsed
+	// wall-clock time and the summed per-worker busy time — their ratio
+	// approximates the effective parallelism achieved.
+	Workers        int   `json:"workers,omitempty"`
+	PeakQueueDepth int   `json:"peak_queue_depth,omitempty"`
+	WallMillis     int64 `json:"wall_millis,omitempty"`
+	WorkMillis     int64 `json:"work_millis,omitempty"`
 	// Certificate is the independent feasibility certificate produced by
 	// internal/certify after the solve (empty for plans that were not
 	// certified, e.g. heuristic baselines).

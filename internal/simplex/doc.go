@@ -1,0 +1,46 @@
+// Package simplex implements a two-phase bounded-variable revised primal
+// simplex solver for the linear programs emitted by the eTransform
+// planner. It is the repository's substitute for the CPLEX LP engine used
+// in the paper (§V): the planner builds a standard LP/MILP and any exact
+// solver — this one, or an external one via the LP-file interchange in
+// package lp — produces the same optimum.
+//
+// Design notes:
+//
+//   - Every constraint row gets a slack variable (LE: s ∈ [0,∞),
+//     GE: s ∈ (−∞,0], EQ: s ∈ [0,0]) so the working system is Ax = b with
+//     individual variable bounds.
+//   - Phase 1 installs one artificial per row carrying the initial
+//     residual, giving a primal-feasible identity basis; minimizing the
+//     sum of artificials either reaches zero (proceed to phase 2 on the
+//     true costs) or proves infeasibility.
+//   - The basis inverse is maintained densely with product-form updates
+//     (O(m²) per pivot) and recomputed from scratch on numerical drift.
+//   - Pricing is Dantzig (most-negative reduced cost); after a run of
+//     degenerate pivots the solver falls back to Bland's rule, which
+//     guarantees termination.
+//
+// Integrality markers on the model are ignored: Solve always solves the
+// continuous relaxation. Package milp layers branch & bound on top.
+//
+// # Invariants
+//
+//   - Solve never mutates the model it is given; the model may be shared
+//     (read-only) between concurrent solves.
+//   - Results are deterministic: the same model and options always
+//     produce the same pivot sequence, iteration count and solution.
+//   - Solve returns a non-nil error only for malformed input or internal
+//     numerical failure; infeasible/unbounded/iteration-limit outcomes
+//     are reported through Solution.Status.
+//
+// # Goroutine safety
+//
+// The package-level Solve function is safe for concurrent use: every
+// call builds private working state. A Solver value is NOT goroutine
+// safe — it deliberately retains its scratch tableau between calls so
+// that hot loops (one branch & bound worker solving thousands of
+// same-shaped node LPs) avoid re-allocating the working arrays. Each
+// goroutine must own its own Solver; sharing one requires external
+// serialization. A Solver holds no reference to any model passed to a
+// completed Solve call.
+package simplex

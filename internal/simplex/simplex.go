@@ -1,27 +1,3 @@
-// Package simplex implements a two-phase bounded-variable revised primal
-// simplex solver for the linear programs emitted by the eTransform
-// planner. It is the repository's substitute for the CPLEX LP engine used
-// in the paper (§V): the planner builds a standard LP/MILP and any exact
-// solver — this one, or an external one via the LP-file interchange in
-// package lp — produces the same optimum.
-//
-// Design notes:
-//
-//   - Every constraint row gets a slack variable (LE: s ∈ [0,∞),
-//     GE: s ∈ (−∞,0], EQ: s ∈ [0,0]) so the working system is Ax = b with
-//     individual variable bounds.
-//   - Phase 1 installs one artificial per row carrying the initial
-//     residual, giving a primal-feasible identity basis; minimizing the
-//     sum of artificials either reaches zero (proceed to phase 2 on the
-//     true costs) or proves infeasibility.
-//   - The basis inverse is maintained densely with product-form updates
-//     (O(m²) per pivot) and recomputed from scratch on numerical drift.
-//   - Pricing is Dantzig (most-negative reduced cost); after a run of
-//     degenerate pivots the solver falls back to Bland's rule, which
-//     guarantees termination.
-//
-// Integrality markers on the model are ignored: Solve always solves the
-// continuous relaxation. Package milp layers branch & bound on top.
 package simplex
 
 import (
@@ -74,34 +50,12 @@ func (o *Options) withDefaults(rows int) Options {
 // per row. The returned error is non-nil only for malformed input or an
 // internal numerical failure; infeasible/unbounded outcomes are reported
 // through Solution.Status.
+//
+// Solve builds fresh working state per call and is safe for concurrent
+// use; callers that solve many models in a loop should hold a Solver
+// instead, which reuses its scratch state across calls.
 func Solve(model *lp.Model, opts *Options) (*lp.Solution, error) {
-	if err := model.Err(); err != nil {
-		return nil, fmt.Errorf("simplex: invalid model: %w", err)
-	}
-	if model.NumVars() == 0 {
-		// Trivial: no variables. Feasible iff every row accepts 0.
-		for r := 0; r < model.NumRows(); r++ {
-			row := model.Row(lp.RowID(r))
-			ok := false
-			switch row.Sense {
-			case lp.LE:
-				ok = tol.Geq(row.RHS, 0, lp.FeasTol)
-			case lp.GE:
-				ok = tol.Leq(row.RHS, 0, lp.FeasTol)
-			case lp.EQ:
-				ok = tol.Eq(row.RHS, 0, lp.FeasTol)
-			}
-			if !ok {
-				return &lp.Solution{Status: lp.StatusInfeasible}, nil
-			}
-		}
-		return &lp.Solution{Status: lp.StatusOptimal, X: []float64{}, DualValues: make([]float64, model.NumRows())}, nil
-	}
-	t, err := newTableau(model, opts)
-	if err != nil {
-		return nil, err
-	}
-	return t.solve()
+	return NewSolver(opts).Solve(model)
 }
 
 // Variable status within the tableau.
@@ -149,34 +103,55 @@ type tableau struct {
 	workCol    []float64 // FTRAN result w = Binv·A_j
 	workRow    []float64 // BTRAN result y
 	pricedCost []float64 // cost vector of the active phase
+	resid      []float64 // scratch: initial residuals
+	p1Cost     []float64 // scratch: phase-1 cost vector
 }
 
-func newTableau(model *lp.Model, opts *Options) (*tableau, error) {
+// reset (re)initializes the tableau for a solve of model, reusing every
+// scratch slice whose capacity suffices. After reset the tableau holds
+// no reference to model and is byte-for-byte equivalent to a freshly
+// allocated one, so reuse cannot change results.
+func (t *tableau) reset(model *lp.Model, opts *Options) error {
 	m := model.NumRows()
 	n := model.NumVars()
-	t := &tableau{
-		opts:    opts.withDefaults(m),
-		m:       m,
-		nStruct: n,
-		nTotal:  n + 2*m,
+	t.opts = opts.withDefaults(m)
+	t.m = m
+	t.nStruct = n
+	t.nTotal = n + 2*m
+	t.phase = 0
+	t.iters = 0
+	t.degenRun = 0
+	t.blandMode = false
+	t.refactors = 0
+	t.pricedCost = nil
+
+	if cap(t.cols) < t.nTotal {
+		t.cols = make([]sparseCol, t.nTotal)
+	} else {
+		t.cols = t.cols[:t.nTotal]
+		for i := range t.cols {
+			t.cols[i].rows = t.cols[i].rows[:0]
+			t.cols[i].coefs = t.cols[i].coefs[:0]
+		}
 	}
-	t.cols = make([]sparseCol, t.nTotal)
-	t.lower = make([]float64, t.nTotal)
-	t.upper = make([]float64, t.nTotal)
-	t.cost = make([]float64, t.nTotal)
-	t.b = make([]float64, m)
-	t.status = make([]varStatus, t.nTotal)
-	t.value = make([]float64, t.nTotal)
-	t.basicIn = make([]int32, m)
-	t.inRow = make([]int32, t.nTotal)
-	t.workCol = make([]float64, m)
-	t.workRow = make([]float64, m)
+	t.lower = reuseF64(t.lower, t.nTotal)
+	t.upper = reuseF64(t.upper, t.nTotal)
+	t.cost = reuseF64(t.cost, t.nTotal)
+	t.b = reuseF64(t.b, m)
+	t.status = reuseStatus(t.status, t.nTotal)
+	t.value = reuseF64(t.value, t.nTotal)
+	t.basicIn = reuseI32(t.basicIn, m)
+	t.inRow = reuseI32(t.inRow, t.nTotal)
+	t.workCol = reuseF64(t.workCol, m)
+	t.workRow = reuseF64(t.workRow, m)
+	t.binv = reuseF64(t.binv, m*m)
+	t.xB = reuseF64(t.xB, m)
 
 	// Structural columns.
 	for j := 0; j < n; j++ {
 		v := model.Var(lp.VarID(j))
 		if math.IsInf(v.Cost, 0) {
-			return nil, fmt.Errorf("simplex: variable %q has infinite cost", v.Name)
+			return fmt.Errorf("simplex: variable %q has infinite cost", v.Name)
 		}
 		t.lower[j] = v.Lower
 		t.upper[j] = v.Upper
@@ -192,7 +167,9 @@ func newTableau(model *lp.Model, opts *Options) (*tableau, error) {
 		t.b[r] = row.RHS
 		// Slack column j = n + r.
 		s := n + r
-		t.cols[s] = sparseCol{rows: []int32{int32(r)}, coefs: []float64{1}}
+		sc := &t.cols[s]
+		sc.rows = append(sc.rows, int32(r))
+		sc.coefs = append(sc.coefs, 1)
 		switch row.Sense {
 		case lp.LE:
 			t.lower[s], t.upper[s] = 0, math.Inf(1)
@@ -204,10 +181,12 @@ func newTableau(model *lp.Model, opts *Options) (*tableau, error) {
 		// Artificial column j = n + m + r (coefficient set after residuals
 		// are known).
 		a := n + m + r
-		t.cols[a] = sparseCol{rows: []int32{int32(r)}, coefs: []float64{1}}
+		ac := &t.cols[a]
+		ac.rows = append(ac.rows, int32(r))
+		ac.coefs = append(ac.coefs, 1)
 		t.lower[a], t.upper[a] = 0, math.Inf(1)
 	}
-	return t, nil
+	return nil
 }
 
 // initialValue picks the starting value for a nonbasic column.
@@ -237,7 +216,8 @@ func (t *tableau) solve() (*lp.Solution, error) {
 		t.inRow[j] = -1
 	}
 	// Residuals determine artificial orientation and value.
-	resid := make([]float64, m)
+	t.resid = reuseF64(t.resid, m)
+	resid := t.resid
 	copy(resid, t.b)
 	for j := 0; j < n+m; j++ {
 		if tol.IsZero(t.value[j]) {
@@ -249,8 +229,6 @@ func (t *tableau) solve() (*lp.Solution, error) {
 		}
 	}
 	needPhase1 := false
-	t.binv = make([]float64, m*m)
-	t.xB = make([]float64, m)
 	for r := 0; r < m; r++ {
 		a := n + m + r
 		if resid[r] < 0 {
@@ -271,11 +249,11 @@ func (t *tableau) solve() (*lp.Solution, error) {
 
 	if needPhase1 {
 		t.phase = 1
-		p1 := make([]float64, t.nTotal)
+		t.p1Cost = reuseF64(t.p1Cost, t.nTotal)
 		for r := 0; r < m; r++ {
-			p1[n+m+r] = 1
+			t.p1Cost[n+m+r] = 1
 		}
-		t.pricedCost = p1
+		t.pricedCost = t.p1Cost
 		st, err := t.iterate()
 		if err != nil {
 			return nil, err

@@ -1,0 +1,30 @@
+#!/bin/sh
+# bench.sh — regenerate the checked-in benchmark artifact
+# docs/benchmarks/etbench_bench.txt: the full etbench run at -scale
+# bench (x0.25 datasets), the source of the README's Performance table.
+#
+# Usage:
+#
+#   scripts/bench.sh [extra etbench flags...]
+#
+# Extra flags pass straight through to etbench, e.g.
+#   scripts/bench.sh -sweep-workers 1 -workers 1   # sequential baseline
+# The artifact header records the flags, Go version, CPU count and date
+# so numbers in the repo are never context-free.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=docs/benchmarks/etbench_bench.txt
+mkdir -p docs/benchmarks
+
+{
+    echo "# etbench -scale bench $*"
+    echo "# $(go version)"
+    echo "# CPUs: $(getconf _NPROCESSORS_ONLN)"
+    echo "# date: $(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    echo
+    go run ./cmd/etbench -scale bench "$@"
+} | tee "$out.tmp"
+mv "$out.tmp" "$out"
+echo "wrote $out"

@@ -3,7 +3,11 @@
 #
 #   1. go vet      standard toolchain checks
 #   2. etlint      repo-specific analyzers (floatcmp, toldef, nopanic)
-#   3. go test     full suite under the race detector
+#   3. audit       nopanic exemptions must match the reviewed allowlist
+#                  (scripts/nopanic_exemptions.txt); worker panics must
+#                  convert to coordinator errors, not earn new markers
+#   4. go test     full suite under the race detector
+#   5. milp race   the parallel branch & bound, twice, under -race
 #
 # Run from anywhere; it operates on the repo root. Exits non-zero on the
 # first failing stage.
@@ -17,7 +21,21 @@ go vet ./...
 echo "==> etlint ./..."
 go run ./cmd/etlint ./...
 
+echo "==> etlint -nopanic-exemptions (audit against scripts/nopanic_exemptions.txt)"
+go run ./cmd/etlint -nopanic-exemptions ./... > /tmp/nopanic_exemptions.$$ || {
+    rm -f /tmp/nopanic_exemptions.$$; exit 1; }
+if ! diff -u scripts/nopanic_exemptions.txt /tmp/nopanic_exemptions.$$; then
+    rm -f /tmp/nopanic_exemptions.$$
+    echo "nopanic exemption set changed: review the new invariant-violation" >&2
+    echo "helpers and update scripts/nopanic_exemptions.txt deliberately." >&2
+    exit 1
+fi
+rm -f /tmp/nopanic_exemptions.$$
+
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> go test -race -count=2 ./internal/milp/..."
+go test -race -count=2 ./internal/milp/...
 
 echo "==> all checks passed"
