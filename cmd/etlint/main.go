@@ -5,7 +5,11 @@
 //   - toldef: forbids tolerance-sized float literals (exponent ≤ -4)
 //     outside internal/tol,
 //   - nopanic: forbids panic in internal/{simplex,milp,lp,core} except
-//     documented invariant-violation helpers.
+//     documented invariant-violation helpers,
+//   - ctxfirst: requires exported Solve…/Plan… entry points in the
+//     solver packages to take context.Context first (or to have a
+//     …Context sibling that does), so cancellation and deadlines can
+//     always be threaded through.
 //
 // Usage:
 //
@@ -32,6 +36,7 @@ import (
 	"sort"
 
 	"github.com/etransform/etransform/internal/lint/analysis"
+	"github.com/etransform/etransform/internal/lint/ctxfirst"
 	"github.com/etransform/etransform/internal/lint/driver"
 	"github.com/etransform/etransform/internal/lint/floatcmp"
 	"github.com/etransform/etransform/internal/lint/nopanic"
@@ -43,6 +48,7 @@ var suite = []*analysis.Analyzer{
 	floatcmp.Analyzer,
 	toldef.Analyzer,
 	nopanic.Analyzer,
+	ctxfirst.Analyzer,
 }
 
 func main() {

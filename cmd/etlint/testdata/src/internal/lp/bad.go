@@ -41,3 +41,25 @@ func mustPositive(x float64) {
 func invariant(msg string) {
 	panic("lp: " + msg) // sanctioned: documented helper
 }
+
+// SolveDirect takes its context first: compliant.
+func SolveDirect(ctx context.Context, n int) int { return n }
+
+// Solve has a SolveContext sibling carrying the context: compliant.
+func Solve(n int) int { return n }
+
+// SolveContext is Solve's context-aware sibling.
+func SolveContext(ctx context.Context, n int) int { return n }
+
+// SolveOrphan has neither a context parameter nor a …Context sibling.
+func SolveOrphan(n int) int { return n } // want ctxfirst
+
+// PlanSwappedContext names the Context variant but buries the context.
+func PlanSwappedContext(n int, ctx context.Context) int { return n } // want ctxfirst
+
+// Solver is not an entry point: the word boundary after "Solve" is
+// lowercase, and entry-point matching must not fire on it.
+func Solver(n int) int { return n }
+
+// solvePrivate is unexported and exempt.
+func solvePrivate(n int) int { return n }

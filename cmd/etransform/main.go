@@ -14,6 +14,11 @@
 //	etransform -state asis.json -dr -omega 0.4 -plan tobe.json
 //	etransform -state asis.json -lp model.lp        # export for CPLEX
 //	etransform -state asis.json -pin ag-0012=target-3 -forbid ag-0040=target-1
+//
+// Exit codes: 0 — plan solved to proven optimality (or recovered to it by
+// a retry); 3 — a degraded-but-feasible plan was produced by a budget
+// surrender or a fallback stage (the report names the stage and reason);
+// 1 — failure: no certified plan.
 package main
 
 import (
@@ -25,15 +30,21 @@ import (
 	"time"
 
 	"github.com/etransform/etransform/internal/core"
+	"github.com/etransform/etransform/internal/lp"
 	"github.com/etransform/etransform/internal/milp"
 	"github.com/etransform/etransform/internal/model"
 	"github.com/etransform/etransform/internal/report"
+	"github.com/etransform/etransform/internal/resilience/faultinject"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	degraded, err := run(os.Args[1:])
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "etransform:", err)
 		os.Exit(1)
+	}
+	if degraded {
+		os.Exit(3)
 	}
 }
 
@@ -43,7 +54,9 @@ type multiFlag []string
 func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
 func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
-func run(args []string) error {
+// run plans the transformation. degraded reports that the plan came from
+// a budget surrender or a fallback stage (exit code 3).
+func run(args []string) (degraded bool, err error) {
 	fs := flag.NewFlagSet("etransform", flag.ContinueOnError)
 	statePath := fs.String("state", "", "path to the as-is state JSON (required)")
 	dr := fs.Bool("dr", false, "plan disaster recovery (secondary sites + shared backup pool)")
@@ -60,20 +73,27 @@ func run(args []string) error {
 	mpsOut := fs.String("mps", "", "write the MILP in MPS format to this file and exit")
 	planOut := fs.String("plan", "", "write the to-be plan JSON to this file")
 	showReport := fs.Bool("report", true, "print the human-readable plan report")
+	memBudget := fs.Int64("membudget", 0, "open-node queue memory budget in bytes (0 = unlimited)")
+	faults := fs.String("faults", "", `fault-injection spec, e.g. "pivot@5x2,corrupt" (testing only)`)
+	faultSeed := fs.Int64("faultseed", 1, "seed for probabilistic fault injection")
 	var pins, forbids multiFlag
 	fs.Var(&pins, "pin", "pin GROUP=DC (repeatable): force a group's primary site")
 	fs.Var(&forbids, "forbid", "forbid GROUP=DC (repeatable): exclude a site for a group")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return false, err
 	}
 	if *statePath == "" {
 		fs.Usage()
-		return fmt.Errorf("-state is required")
+		return false, fmt.Errorf("-state is required")
+	}
+	inject, err := faultinject.ParseSpec(*faults, *faultSeed)
+	if err != nil {
+		return false, err
 	}
 
 	state, err := model.LoadState(*statePath)
 	if err != nil {
-		return err
+		return false, err
 	}
 	var form core.Formulation
 	switch *formulation {
@@ -82,7 +102,7 @@ func run(args []string) error {
 	case "paper":
 		form = core.FormulationPaper
 	default:
-		return fmt.Errorf("unknown formulation %q", *formulation)
+		return false, fmt.Errorf("unknown formulation %q", *formulation)
 	}
 
 	planner, err := core.New(state, core.Options{
@@ -97,34 +117,36 @@ func run(args []string) error {
 			GapTol:    *gap,
 			MaxNodes:  *nodes,
 			TimeLimit: *timeLimit,
+			Budget:    milp.Budget{MemoryBytes: *memBudget},
+			Inject:    inject,
 		},
 	})
 	if err != nil {
-		return err
+		return false, err
 	}
 	for _, p := range pins {
 		g, dc, err := splitPair(p)
 		if err != nil {
-			return fmt.Errorf("-pin %q: %w", p, err)
+			return false, fmt.Errorf("-pin %q: %w", p, err)
 		}
 		if err := planner.Pin(g, dc); err != nil {
-			return err
+			return false, err
 		}
 	}
 	for _, f := range forbids {
 		g, dc, err := splitPair(f)
 		if err != nil {
-			return fmt.Errorf("-forbid %q: %w", f, err)
+			return false, fmt.Errorf("-forbid %q: %w", f, err)
 		}
 		if err := planner.Forbid(g, dc); err != nil {
-			return err
+			return false, err
 		}
 	}
 
 	if *lpOut != "" || *mpsOut != "" {
 		m, err := planner.BuildModel()
 		if err != nil {
-			return err
+			return false, err
 		}
 		write := func(path string, enc func(*os.File) error) error {
 			if path == "" {
@@ -145,21 +167,22 @@ func run(args []string) error {
 			return nil
 		}
 		if err := write(*lpOut, func(f *os.File) error { return m.WriteLP(f) }); err != nil {
-			return err
+			return false, err
 		}
-		return write(*mpsOut, func(f *os.File) error { return m.WriteMPS(f) })
+		return false, write(*mpsOut, func(f *os.File) error { return m.WriteMPS(f) })
 	}
 
 	asIs, err := model.EvaluateAsIs(state)
 	if err != nil {
-		return err
+		return false, err
 	}
 	start := time.Now()
 	plan, err := planner.Solve()
 	if err != nil {
-		return err
+		return false, err
 	}
 	elapsed := time.Since(start)
+	degraded = printDegradation(plan.Stats.Degradation)
 
 	if *showReport {
 		fmt.Print(report.PlanReport(state, plan))
@@ -185,18 +208,49 @@ func run(args []string) error {
 	if *planOut != "" {
 		f, err := os.Create(*planOut)
 		if err != nil {
-			return err
+			return false, err
 		}
 		if err := model.WritePlan(f, plan); err != nil {
 			f.Close()
-			return err
+			return false, err
 		}
 		if err := f.Close(); err != nil {
-			return err
+			return false, err
 		}
 		fmt.Printf("wrote plan to %s\n", *planOut)
 	}
-	return nil
+	return degraded, nil
+}
+
+// printDegradation summarizes a degradation report on stdout and reports
+// whether the plan is degraded (exit code 3). A report with Degraded
+// false records a recovered retry: worth a line, but still exit 0.
+func printDegradation(d *lp.DegradationReport) bool {
+	if d == nil {
+		return false
+	}
+	if !d.Degraded {
+		fmt.Printf("recovered: stage %s reached the exact optimum after %d attempts\n", d.Stage, len(d.Attempts))
+		return false
+	}
+	fmt.Printf("DEGRADED plan: produced by stage %d (%s)\n", d.StageIndex, d.Stage)
+	fmt.Printf("  reason: %s\n", d.Reason)
+	if d.Limit != "" {
+		fmt.Printf("  limit: %s\n", d.Limit)
+	}
+	if d.Gap >= 0 {
+		fmt.Printf("  certified optimality gap: %.3g\n", d.Gap)
+	} else {
+		fmt.Println("  certified optimality gap: unknown")
+	}
+	for _, a := range d.Attempts {
+		line := fmt.Sprintf("  attempt %d: %s %s (%dms)", a.Attempt, a.Stage, a.Outcome, a.Millis)
+		if a.Error != "" {
+			line += ": " + a.Error
+		}
+		fmt.Println(line)
+	}
+	return true
 }
 
 func splitPair(s string) (group, dc string, err error) {

@@ -27,7 +27,7 @@ func writeTestState(t *testing.T) string {
 func TestRunPlan(t *testing.T) {
 	state := writeTestState(t)
 	planPath := filepath.Join(t.TempDir(), "plan.json")
-	if err := run([]string{"-state", state, "-plan", planPath, "-report=false", "-timelimit", "30s"}); err != nil {
+	if _, err := run([]string{"-state", state, "-plan", planPath, "-report=false", "-timelimit", "30s"}); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(planPath)
@@ -48,7 +48,7 @@ func TestRunLPExport(t *testing.T) {
 	state := writeTestState(t)
 	lpPath := filepath.Join(t.TempDir(), "m.lp")
 	mpsPath := filepath.Join(t.TempDir(), "m.mps")
-	if err := run([]string{"-state", state, "-lp", lpPath, "-mps", mpsPath}); err != nil {
+	if _, err := run([]string{"-state", state, "-lp", lpPath, "-mps", mpsPath}); err != nil {
 		t.Fatal(err)
 	}
 	for _, p := range []string{lpPath, mpsPath} {
@@ -68,7 +68,7 @@ func TestRunLPExport(t *testing.T) {
 func TestRunPinForbid(t *testing.T) {
 	state := writeTestState(t)
 	planPath := filepath.Join(t.TempDir(), "plan.json")
-	err := run([]string{"-state", state, "-plan", planPath, "-report=false",
+	_, err := run([]string{"-state", state, "-plan", planPath, "-report=false",
 		"-pin", "ag-0000=target-3", "-timelimit", "30s"})
 	if err != nil {
 		t.Fatal(err)
@@ -87,21 +87,53 @@ func TestRunPinForbid(t *testing.T) {
 	}
 }
 
+// TestRunFaultsDegraded: forcing every simplex pivot to fail defeats the
+// exact stage; the CLI must still write a plan from a fallback stage and
+// report it as degraded (exit code 3 path).
+func TestRunFaultsDegraded(t *testing.T) {
+	state := writeTestState(t)
+	planPath := filepath.Join(t.TempDir(), "plan.json")
+	degraded, err := run([]string{"-state", state, "-plan", planPath, "-report=false",
+		"-faults", "pivotxall", "-timelimit", "30s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !degraded {
+		t.Error("fault-forced fallback plan not reported degraded")
+	}
+	f, err := os.Open(planPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	plan, err := model.ReadPlan(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := plan.Stats.Degradation
+	if d == nil || !d.Degraded || d.Stage == "" || d.Reason == "" {
+		t.Errorf("written plan lacks a degradation report: %+v", d)
+	}
+	if _, err := run([]string{"-state", state, "-faults", "bogus-kind"}); err == nil {
+		t.Error("malformed fault spec accepted")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run([]string{}); err == nil {
+	if _, err := run([]string{}); err == nil {
 		t.Error("missing -state accepted")
 	}
-	if err := run([]string{"-state", "/nonexistent.json"}); err == nil {
+	if _, err := run([]string{"-state", "/nonexistent.json"}); err == nil {
 		t.Error("missing file accepted")
 	}
 	state := writeTestState(t)
-	if err := run([]string{"-state", state, "-formulation", "bogus"}); err == nil {
+	if _, err := run([]string{"-state", state, "-formulation", "bogus"}); err == nil {
 		t.Error("bad formulation accepted")
 	}
-	if err := run([]string{"-state", state, "-pin", "nonsense"}); err == nil {
+	if _, err := run([]string{"-state", state, "-pin", "nonsense"}); err == nil {
 		t.Error("malformed pin accepted")
 	}
-	if err := run([]string{"-state", state, "-pin", "nope=target-0", "-report=false"}); err == nil {
+	if _, err := run([]string{"-state", state, "-pin", "nope=target-0", "-report=false"}); err == nil {
 		t.Error("unknown pin group accepted")
 	}
 }

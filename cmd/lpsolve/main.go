@@ -11,6 +11,11 @@
 // deterministic sequential search). Ctrl-C cancels the solve gracefully:
 // the best incumbent found so far is printed, marked as a partial
 // (uncertified-optimal) result.
+//
+// Exit codes: 0 — solved to proven (gap-tolerance) optimality, or a
+// conclusive infeasible/unbounded verdict; 3 — a budget or limit stopped
+// the search but a certified feasible incumbent was surrendered
+// (degraded-but-feasible); 1 — failure: no usable answer.
 package main
 
 import (
@@ -26,34 +31,48 @@ import (
 	"github.com/etransform/etransform/internal/certify"
 	"github.com/etransform/etransform/internal/lp"
 	"github.com/etransform/etransform/internal/milp"
+	"github.com/etransform/etransform/internal/resilience/faultinject"
 	"github.com/etransform/etransform/internal/tol"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	degraded, err := run(os.Args[1:])
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "lpsolve:", err)
 		os.Exit(1)
 	}
+	if degraded {
+		os.Exit(3)
+	}
 }
 
-func run(args []string) error {
+// run solves the model. degraded reports that a limit stopped the search
+// and a feasible-but-unproven incumbent was printed (exit code 3).
+func run(args []string) (degraded bool, err error) {
 	fs := flag.NewFlagSet("lpsolve", flag.ContinueOnError)
 	gap := fs.Float64("gap", tol.Gap, "MILP relative optimality gap")
 	nodes := fs.Int("nodes", 200000, "branch & bound node limit")
 	timeLimit := fs.Duration("timelimit", 10*time.Minute, "wall-clock limit")
+	memBudget := fs.Int64("membudget", 0, "open-node queue memory budget in bytes (0 = unlimited)")
 	workers := fs.Int("workers", 0, "branch & bound worker goroutines (0 = all CPUs, 1 = deterministic)")
+	faults := fs.String("faults", "", `fault-injection spec, e.g. "pivot@5x2,corrupt" (testing only)`)
+	faultSeed := fs.Int64("faultseed", 1, "seed for probabilistic fault injection")
 	verbose := fs.Bool("v", false, "print every nonzero variable (default: first 50)")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return false, err
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
-		return fmt.Errorf("want exactly one LP file argument")
+		return false, fmt.Errorf("want exactly one LP file argument")
+	}
+	inject, err := faultinject.ParseSpec(*faults, *faultSeed)
+	if err != nil {
+		return false, err
 	}
 	path := fs.Arg(0)
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return false, err
 	}
 	var m *lp.Model
 	if strings.HasSuffix(strings.ToLower(path), ".mps") {
@@ -63,7 +82,7 @@ func run(args []string) error {
 	}
 	f.Close()
 	if err != nil {
-		return err
+		return false, err
 	}
 	fmt.Printf("model: %s\n", m.Stats())
 
@@ -75,10 +94,12 @@ func run(args []string) error {
 	start := time.Now()
 	sol, err := milp.SolveContext(ctx, m, &milp.Options{
 		GapTol: *gap, MaxNodes: *nodes, TimeLimit: *timeLimit, Workers: *workers,
+		Budget: milp.Budget{MemoryBytes: *memBudget},
+		Inject: inject,
 	})
 	canceled := err != nil && errors.Is(err, context.Canceled) && sol != nil
 	if err != nil && !canceled {
-		return err
+		return false, err
 	}
 	fmt.Printf("status: %v in %v (%d simplex iterations, %d nodes, gap %.3g)\n",
 		sol.Status, time.Since(start).Round(time.Millisecond), sol.Iterations, sol.Nodes, sol.Gap)
@@ -89,12 +110,24 @@ func run(args []string) error {
 	}
 	if canceled {
 		if sol.X == nil {
-			fmt.Println("canceled before any feasible point was found")
-			return nil
+			return false, fmt.Errorf("canceled before any feasible point was found")
 		}
 		fmt.Printf("canceled: best incumbent so far follows (bound gap %.3g, NOT proven optimal)\n", sol.Gap)
+		degraded = true
+	} else if sol.Status == lp.StatusNodeLimit {
+		if sol.X == nil {
+			limit := sol.Limit
+			if limit == "" {
+				limit = "limit"
+			}
+			return false, fmt.Errorf("search stopped by %s before any feasible point was found", limit)
+		}
+		fmt.Printf("degraded: search stopped by %s; best incumbent follows (bound gap %.3g, NOT proven optimal)\n",
+			sol.Limit, sol.Gap)
+		degraded = true
 	} else if !sol.Status.HasSolution() || sol.X == nil {
-		return nil
+		// Infeasible / unbounded: a conclusive verdict, exit 0.
+		return false, nil
 	}
 	// Every printed solution ships with an independent feasibility
 	// certificate: certify re-checks all rows, bounds and integrality
@@ -110,12 +143,12 @@ func run(args []string) error {
 		cert, err = certify.CheckSolution(m, sol, certOpts)
 	}
 	if err != nil {
-		return err
+		return false, err
 	}
 	if cert != nil {
 		fmt.Printf("certificate: %s\n", cert.Summary())
 		if err := cert.Err(); err != nil {
-			return err
+			return false, err
 		}
 	}
 	fmt.Printf("objective: %.8g\n", sol.Objective)
@@ -132,7 +165,7 @@ func run(args []string) error {
 		fmt.Printf("  %s = %g\n", m.Var(lp.VarID(j)).Name, v)
 		printed++
 	}
-	return nil
+	return degraded, nil
 }
 
 func countNonzero(x []float64) int {

@@ -15,17 +15,23 @@ func writeFile(t *testing.T, name, content string) string {
 	return path
 }
 
-func TestRunLPFile(t *testing.T) {
-	path := writeFile(t, "m.lp", `Minimize
+const knapsackLP = `Minimize
  obj: -1 x - 2 y
 Subject To
  c: x + y <= 4
 Bounds
  0 <= x <= 3
  0 <= y <= 3
-End`)
-	if err := run([]string{path}); err != nil {
+End`
+
+func TestRunLPFile(t *testing.T) {
+	path := writeFile(t, "m.lp", knapsackLP)
+	degraded, err := run([]string{path})
+	if err != nil {
 		t.Fatal(err)
+	}
+	if degraded {
+		t.Error("clean solve reported degraded")
 	}
 }
 
@@ -42,20 +48,57 @@ RHS
 BOUNDS
  UP BND x 10
 ENDATA`)
-	if err := run([]string{path}); err != nil {
+	if _, err := run([]string{path}); err != nil {
 		t.Fatal(err)
 	}
 }
 
+// TestRunFaultSpec: an always-on corruption fault must turn a clean solve
+// into an error (exit 1 path), and a malformed spec must be rejected.
+func TestRunFaultSpec(t *testing.T) {
+	path := writeFile(t, "m.lp", knapsackLP)
+	if _, err := run([]string{"-faults", "corruptxall", path}); err == nil {
+		t.Error("corrupted solve succeeded")
+	}
+	if _, err := run([]string{"-faults", "bogus-kind", path}); err == nil {
+		t.Error("malformed fault spec accepted")
+	}
+}
+
+// TestRunDegradedExit: a node budget too small to close the gap but
+// large enough to find an incumbent must surrender it as degraded (exit
+// code 3 path). Workers=1 makes the search — and so the incumbent's
+// existence at this node count — deterministic.
+func TestRunDegradedExit(t *testing.T) {
+	path := writeFile(t, "m.lp", `Maximize
+ obj: 8 a + 11 b + 6 c + 4 d + 7 e + 9 f + 5 g + 10 h
+Subject To
+ w: 5 a + 7 b + 4 c + 3 d + 5 e + 6 f + 4 g + 7 h <= 14
+Binaries
+ a b c d e f g h
+End`)
+	degraded, err := run([]string{"-nodes", "30", "-workers", "1", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !degraded {
+		t.Error("limit-stopped solve with incumbent not reported degraded")
+	}
+	// Too few nodes for any incumbent: a clean failure, not a bogus plan.
+	if _, err := run([]string{"-nodes", "1", "-workers", "1", path}); err == nil {
+		t.Error("no-incumbent limit stop did not fail")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run([]string{}); err == nil {
+	if _, err := run([]string{}); err == nil {
 		t.Error("no args accepted")
 	}
-	if err := run([]string{"/nonexistent.lp"}); err == nil {
+	if _, err := run([]string{"/nonexistent.lp"}); err == nil {
 		t.Error("missing file accepted")
 	}
 	bad := writeFile(t, "bad.lp", "garbage ] [")
-	if err := run([]string{bad}); err == nil {
+	if _, err := run([]string{bad}); err == nil {
 		t.Error("garbage accepted")
 	}
 }

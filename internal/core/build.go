@@ -664,7 +664,7 @@ func (b *builder) decode(sol *lp.Solution) (*model.Plan, error) {
 			Nonzeros:    b.m.NumNonzeros(),
 			Iterations:  sol.Iterations,
 			Nodes:       sol.Nodes,
-			Gap:         sol.Gap,
+			Gap:         jsonSafeGap(sol.Gap),
 			CandidatesK: b.candidateK,
 			Aggregated:  b.p.opts.Aggregate,
 

@@ -6,11 +6,9 @@ import (
 	"io"
 	"sort"
 
-	"github.com/etransform/etransform/internal/certify"
 	"github.com/etransform/etransform/internal/lp"
 	"github.com/etransform/etransform/internal/milp"
 	"github.com/etransform/etransform/internal/model"
-	"github.com/etransform/etransform/internal/tol"
 )
 
 // Formulation selects how disaster recovery is linearized.
@@ -188,15 +186,25 @@ func (p *Planner) Solve() (*model.Plan, error) {
 // must certify end to end) and the error wraps ctx.Err(), so
 // errors.Is(err, context.Canceled) works. Options.Solver.TimeLimit
 // remains the graceful way to bound a solve and still get a plan.
+//
+// Solves run through the resilient pipeline (see fallback.go): when the
+// exact MILP stage fails — a solver error, a corrupted result that fails
+// certification — it is retried once on a perturbed trajectory and then
+// replaced by the LP-rounding and greedy fallback stages. Plans produced
+// by anything other than a clean first-attempt exact solve carry a
+// machine-readable report in Plan.Stats.Degradation.
 func (p *Planner) SolveContext(ctx context.Context) (*model.Plan, error) {
-	plan, err := p.solveOnce(ctx, p.opts.CandidateK)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	plan, err := p.solvePipeline(ctx, p.opts.CandidateK)
 	if err == nil || p.opts.CandidateK <= 0 {
 		return plan, err
 	}
 	if _, pruned := err.(*prunedInfeasibleError); pruned {
 		// Candidate pruning can cut off every feasible packing; retry
 		// with full candidate sets before declaring defeat.
-		return p.solveOnce(ctx, 0)
+		return p.solvePipeline(ctx, 0)
 	}
 	return plan, err
 }
@@ -207,54 +215,6 @@ type prunedInfeasibleError struct{ inner error }
 
 func (e *prunedInfeasibleError) Error() string { return e.inner.Error() }
 func (e *prunedInfeasibleError) Unwrap() error { return e.inner }
-
-func (p *Planner) solveOnce(ctx context.Context, candidateK int) (*model.Plan, error) {
-	b, err := p.build(candidateK)
-	if err != nil {
-		return nil, err
-	}
-	solver := p.opts.Solver
-	solver.WarmStarts = b.warmStarts()
-	sol, err := milp.SolveContext(ctx, b.m, &solver)
-	if err != nil {
-		return nil, fmt.Errorf("core: solving %s: %w", b.m.Name, err)
-	}
-	switch sol.Status {
-	case lp.StatusInfeasible:
-		err := fmt.Errorf("core: no feasible plan: the application groups cannot be packed into the target data centers under the given constraints")
-		if candidateK > 0 {
-			return nil, &prunedInfeasibleError{inner: err}
-		}
-		return nil, err
-	case lp.StatusUnbounded:
-		return nil, fmt.Errorf("core: internal: consolidation MILP unbounded")
-	}
-	if sol.X == nil {
-		return nil, fmt.Errorf("core: solver stopped (%v) before finding any feasible plan; raise Solver.MaxNodes or TimeLimit", sol.Status)
-	}
-	// Independently certify the solver's point against the full MILP
-	// before trusting it: every row activity, bound and integrality
-	// requirement is re-checked by internal/certify, so a solver bug
-	// cannot silently ship an infeasible plan. The tolerance matches the
-	// incumbent-acceptance tolerance used inside branch & bound.
-	cert, err := certify.CheckSolution(b.m, sol, &certify.Options{FeasTol: tol.Accept, IntTol: tol.Accept})
-	if err != nil {
-		return nil, fmt.Errorf("core: certifying %s: %w", b.m.Name, err)
-	}
-	if cert != nil {
-		if err := cert.Err(); err != nil {
-			return nil, fmt.Errorf("core: plan for %s failed certification: %w", b.m.Name, err)
-		}
-	}
-	plan, err := b.decode(sol)
-	if err != nil {
-		return nil, err
-	}
-	if cert != nil {
-		plan.Stats.Certificate = cert.Summary()
-	}
-	return plan, nil
-}
 
 // sortedIndices returns 0..n-1 ordered by the given cost function
 // (ascending), tie-broken by index for determinism.

@@ -1,0 +1,158 @@
+// Package ctxfirst implements the etlint analyzer that enforces the
+// solver stack's cancellation contract: every exported Solve… or Plan…
+// function in the solver packages must either take a context.Context as
+// its first parameter or have a …Context sibling (same receiver, name +
+// "Context") that does. The resilient pipeline threads deadlines and
+// cancellation through contexts; an entry point that cannot receive one
+// silently opts its callers out of graceful degradation.
+package ctxfirst
+
+import (
+	"go/ast"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"github.com/etransform/etransform/internal/lint/analysis"
+)
+
+// Analyzer flags exported Solve*/Plan* entry points without a context.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxfirst",
+	Doc: "exported Solve…/Plan… functions in solver packages must take context.Context " +
+		"as the first parameter or have a …Context sibling that does",
+	Run: run,
+}
+
+// Scopes lists the package-path segments whose exported entry points are
+// held to the contract (path-segment-aligned, as in nopanic).
+var Scopes = []string{
+	"internal/simplex",
+	"internal/milp",
+	"internal/lp",
+	"internal/core",
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg == nil || !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	// Index every top-level function by (receiver type, name) so sibling
+	// lookups work across the package's files.
+	decls := make(map[string]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		if analysis.IsGenerated(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok {
+				decls[declKey(fn)] = fn
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		if analysis.IsGenerated(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || !isEntryPoint(fn.Name.Name) || !ast.IsExported(fn.Name.Name) {
+				continue
+			}
+			if ctxFirst(fn) {
+				continue
+			}
+			if strings.HasSuffix(fn.Name.Name, "Context") {
+				pass.Reportf(fn.Pos(),
+					"exported "+fn.Name.Name+" must take context.Context as its first parameter")
+				continue
+			}
+			sibling := decls[siblingKey(fn)]
+			if sibling == nil || !ctxFirst(sibling) {
+				pass.Reportf(fn.Pos(),
+					"exported "+fn.Name.Name+" must take context.Context as its first parameter "+
+						"or have a "+fn.Name.Name+"Context sibling that does")
+			}
+		}
+	}
+	return nil
+}
+
+// isEntryPoint reports whether name is a Solve… or Plan… entry point:
+// the bare verb or the verb followed by an exported-style word boundary
+// (so Solver and Planner do not match).
+func isEntryPoint(name string) bool {
+	for _, verb := range []string{"Solve", "Plan"} {
+		if name == verb {
+			return true
+		}
+		if rest, ok := strings.CutPrefix(name, verb); ok {
+			r, _ := utf8.DecodeRuneInString(rest)
+			if !unicode.IsLower(r) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ctxFirst reports whether fn's first parameter is written as
+// context.Context. The check is syntactic: testdata fixtures type-check
+// without import resolution, and the repository never aliases the
+// context import.
+func ctxFirst(fn *ast.FuncDecl) bool {
+	params := fn.Type.Params
+	if params == nil || len(params.List) == 0 {
+		return false
+	}
+	sel, ok := params.List[0].Type.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Context" {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "context"
+}
+
+// declKey identifies a function by receiver base type and name.
+func declKey(fn *ast.FuncDecl) string {
+	return recvBase(fn) + "." + fn.Name.Name
+}
+
+// siblingKey is the key of fn's expected …Context variant.
+func siblingKey(fn *ast.FuncDecl) string {
+	return recvBase(fn) + "." + fn.Name.Name + "Context"
+}
+
+// recvBase returns the receiver's base type name ("" for plain
+// functions), ignoring pointers and type parameters.
+func recvBase(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) != 1 {
+		return ""
+	}
+	e := fn.Recv.List[0].Type
+	for {
+		switch t := e.(type) {
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.IndexListExpr:
+			e = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return "?"
+		}
+	}
+}
+
+// inScope reports whether pkgPath contains one of the Scopes aligned on
+// path-segment boundaries.
+func inScope(pkgPath string) bool {
+	for _, s := range Scopes {
+		if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) || strings.Contains(pkgPath, "/"+s+"/") || strings.HasPrefix(pkgPath, s+"/") {
+			return true
+		}
+	}
+	return false
+}

@@ -79,6 +79,10 @@ type Solution struct {
 	// DualValues holds one simplex multiplier per row for pure-LP solves;
 	// nil for MILP.
 	DualValues []float64
+	// Limit names the budget dimension that ended the search when Status
+	// is a limit status (LimitWallClock, LimitNodes, LimitMemory,
+	// LimitIterations); empty otherwise.
+	Limit string
 
 	// Concurrency statistics, populated by branch & bound solves
 	// (package milp). All zero for pure simplex solves.

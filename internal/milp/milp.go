@@ -3,13 +3,35 @@ package milp
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"time"
 
 	"github.com/etransform/etransform/internal/lp"
+	"github.com/etransform/etransform/internal/resilience/faultinject"
 	"github.com/etransform/etransform/internal/simplex"
 	"github.com/etransform/etransform/internal/tol"
 )
+
+// Budget bounds a whole solve across several dimensions at once. Hitting
+// any dimension is a graceful stop: the best incumbent is surrendered
+// with its certified gap, Status lp.StatusNodeLimit, and Solution.Limit
+// naming the dimension that tripped. The zero value imposes no extra
+// bounds beyond Options.MaxNodes/TimeLimit.
+type Budget struct {
+	// Wall caps wall-clock time; it composes with Options.TimeLimit (the
+	// earlier of the two wins). 0 means no wall budget.
+	Wall time.Duration
+	// Nodes caps explored branch & bound nodes; it composes with
+	// Options.MaxNodes (the smaller wins). 0 means no extra node budget.
+	Nodes int
+	// MemoryBytes caps the estimated memory held by *open* nodes (the
+	// frontier queue — the only part of the search whose footprint grows
+	// without bound). 0 means no memory budget. The estimate counts node
+	// structs and their bound-change lists, not the fixed per-worker
+	// model clones.
+	MemoryBytes int64
+}
 
 // Options control a branch & bound solve. The zero value applies
 // defaults suitable for the planner's models.
@@ -22,8 +44,29 @@ type Options struct {
 	// TimeLimit caps wall-clock time; 0 means no limit. Hitting it is a
 	// graceful stop: the best incumbent is returned with Status
 	// lp.StatusNodeLimit and no error (contrast with context
-	// cancellation, which returns an error).
+	// cancellation, which returns an error). When the context passed to
+	// SolveContext also carries a deadline, the earlier of the two wins,
+	// and the terminal status is deterministic: a context deadline that
+	// is strictly earlier than the option limit always yields
+	// lp.StatusCanceled with context.DeadlineExceeded, while an option
+	// limit at or before the context deadline always yields the graceful
+	// lp.StatusNodeLimit — regardless of scheduling jitter at expiry.
 	TimeLimit time.Duration
+	// Budget bounds the solve across wall clock, nodes and open-node
+	// memory at once; see Budget. Each dimension composes with the
+	// corresponding single-dimension option (earlier/smaller wins).
+	Budget Budget
+	// PerturbSeed, when nonzero, deterministically permutes the order
+	// integer variables are scanned for branching (and therefore the
+	// whole tree shape). The fallback pipeline uses it to retry a failed
+	// solve on a different — but replayable — search trajectory. 0 keeps
+	// the natural model order.
+	PerturbSeed int64
+	// Inject, when non-nil, arms the deterministic fault-injection
+	// harness (worker panics, forced deadline expiry) and is handed down
+	// to the per-worker simplex engines for their own sites. Production
+	// callers leave it nil.
+	Inject *faultinject.Injector
 	// DisableDiving turns off the diving primal heuristic.
 	DisableDiving bool
 	// WarmStarts are candidate feasible points (len = model variables)
@@ -122,11 +165,23 @@ func SolveContext(ctx context.Context, model *lp.Model, opts *Options) (*lp.Solu
 		return nil, fmt.Errorf("milp: invalid model: %w", err)
 	}
 	o := opts.withDefaults()
+	if o.Budget.Nodes > 0 && o.Budget.Nodes < o.MaxNodes {
+		o.MaxNodes = o.Budget.Nodes
+	}
 	c := newCoordinator(ctx, o, model.Clone())
 	for j := 0; j < model.NumVars(); j++ {
 		if model.Var(lp.VarID(j)).Type != lp.Continuous {
 			c.intVars = append(c.intVars, lp.VarID(j))
 		}
+	}
+	if o.PerturbSeed != 0 {
+		// Deterministically re-seed the branching order: ties in the
+		// most-fractional rule resolve to different variables, steering
+		// the search onto a different — but replayable — trajectory.
+		rng := rand.New(rand.NewSource(o.PerturbSeed))
+		rng.Shuffle(len(c.intVars), func(i, j int) {
+			c.intVars[i], c.intVars[j] = c.intVars[j], c.intVars[i]
+		})
 	}
 	// The working models are continuous; integrality is enforced by
 	// branching. Presolve tightens the shared model's bounds (used for
@@ -136,8 +191,34 @@ func SolveContext(ctx context.Context, model *lp.Model, opts *Options) (*lp.Solu
 			return &lp.Solution{Status: lp.StatusInfeasible}, nil
 		}
 	}
-	if o.TimeLimit > 0 {
-		c.deadline = c.start.Add(o.TimeLimit)
+	// Unify the option wall limits with the context deadline: the
+	// earliest wins, and *which* configured source is earliest decides
+	// the terminal status up front (StatusNodeLimit for option limits,
+	// StatusCanceled for a strictly earlier context deadline), so expiry
+	// races cannot flip the outcome between runs.
+	wall := o.TimeLimit
+	if o.Budget.Wall > 0 && (wall <= 0 || o.Budget.Wall < wall) {
+		wall = o.Budget.Wall
+	}
+	if wall > 0 {
+		c.deadline = c.start.Add(wall)
+	}
+	if ctxDeadline, ok := ctx.Deadline(); ok {
+		if c.deadline.IsZero() || ctxDeadline.Before(c.deadline) {
+			c.deadline = ctxDeadline
+			c.deadlineIsCtx = true
+		}
+	}
+	c.memLimit = o.Budget.MemoryBytes
+	if !c.deadline.IsZero() {
+		// Per-worker simplex engines observe the same wall deadline, so a
+		// single long node LP cannot overrun the solve-wide budget.
+		c.opts.Simplex.Deadline = c.deadline
+	}
+	if o.Inject != nil {
+		// Hand the harness down so the simplex sites (pivot, corrupt,
+		// stall) fire inside node LPs too.
+		c.opts.Simplex.Inject = o.Inject
 	}
 	return c.solve()
 }

@@ -2,12 +2,14 @@ package milp
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"sync"
 	"time"
 
 	"github.com/etransform/etransform/internal/lp"
+	"github.com/etransform/etransform/internal/resilience/faultinject"
 	"github.com/etransform/etransform/internal/simplex"
 	"github.com/etransform/etransform/internal/tol"
 )
@@ -21,15 +23,21 @@ type coordinator struct {
 	model    *lp.Model // original (with integrality markers), presolved
 	intVars  []lp.VarID
 	deadline time.Time
-	start    time.Time
+	// deadlineIsCtx records, at configuration time, that the effective
+	// deadline came from the context rather than an option limit; expiry
+	// then maps to StatusCanceled instead of the graceful StatusNodeLimit.
+	deadlineIsCtx bool
+	memLimit      int64 // open-node memory budget; 0 = unlimited
+	start         time.Time
 
 	mu   sync.Mutex
 	cond *sync.Cond
 
-	queue    nodeQueue
-	seq      int
-	inFlight int       // nodes claimed but not yet committed
-	flight   []float64 // per-worker bound of the claimed node; +Inf when idle
+	queue      nodeQueue
+	queueBytes int64 // estimated heap footprint of queued nodes
+	seq        int
+	inFlight   int       // nodes claimed but not yet committed
+	flight     []float64 // per-worker bound of the claimed node; +Inf when idle
 
 	incumbent    []float64
 	incumbentObj float64
@@ -44,6 +52,7 @@ type coordinator struct {
 	done        bool
 	finalStatus lp.Status // zero when the queue drained naturally
 	finalBound  float64
+	limit       string // budget dimension behind a limit stop (lp.Limit*)
 	err         error
 	ctxErr      error
 
@@ -89,6 +98,9 @@ func (c *coordinator) newWorker(id int) *worker {
 }
 
 func (c *coordinator) expired() bool {
+	if c.opts.Inject.Fire(faultinject.SiteDeadline) {
+		return true
+	}
 	return !c.deadline.IsZero() && time.Now().After(c.deadline)
 }
 
@@ -132,20 +144,32 @@ func (c *coordinator) globalBoundLocked() float64 {
 
 func (c *coordinator) pushLocked(bound float64, depth int, changes []boundChange) {
 	c.seq++
-	heap.Push(&c.queue, &node{bound: bound, depth: depth, seq: c.seq, changes: changes})
+	nd := &node{bound: bound, depth: depth, seq: c.seq, changes: changes}
+	heap.Push(&c.queue, nd)
+	c.queueBytes += nodeBytes(nd)
 	if len(c.queue) > c.peakQueue {
 		c.peakQueue = len(c.queue)
 	}
 }
 
+// nodeBytes estimates the heap footprint of one open node: the node
+// struct plus its bound-change list. The frontier queue is the only part
+// of the search whose memory grows without bound, so this is what
+// Budget.MemoryBytes meters.
+func nodeBytes(nd *node) int64 {
+	return 64 + 24*int64(cap(nd.changes))
+}
+
 // stopLocked ends the search with the given terminal status and bound.
-// The first stop wins; later calls are no-ops.
-func (c *coordinator) stopLocked(status lp.Status, bound float64) {
+// limit names the budget dimension behind a limit stop ("" for natural
+// termination). The first stop wins; later calls are no-ops.
+func (c *coordinator) stopLocked(status lp.Status, bound float64, limit string) {
 	if c.done {
 		return
 	}
 	c.done = true
 	c.finalStatus = status
+	c.limit = limit
 	if bound > c.lastBound {
 		c.lastBound = bound
 	}
@@ -333,21 +357,39 @@ func (c *coordinator) claim(w *worker) (nd *node, nodeIdx int, ok bool) {
 			c.cond.Broadcast()
 			return nil, 0, false
 		}
-		if c.nodes >= c.opts.MaxNodes || c.expired() {
-			c.stopLocked(lp.StatusNodeLimit, c.globalBoundLocked())
+		if c.nodes >= c.opts.MaxNodes {
+			c.stopLocked(lp.StatusNodeLimit, c.globalBoundLocked(), lp.LimitNodes)
+			return nil, 0, false
+		}
+		if c.memLimit > 0 && c.queueBytes > c.memLimit {
+			c.stopLocked(lp.StatusNodeLimit, c.globalBoundLocked(), lp.LimitMemory)
+			return nil, 0, false
+		}
+		if c.expired() {
+			// The effective deadline passed. Which status that means was
+			// decided at configuration time (deadlineIsCtx), not by racing
+			// time.Now against the context's own timer: an option limit at
+			// or before the context deadline is always the graceful stop.
+			if c.deadlineIsCtx {
+				c.ctxErr = context.DeadlineExceeded
+				c.stopLocked(lp.StatusCanceled, c.globalBoundLocked(), "")
+			} else {
+				c.stopLocked(lp.StatusNodeLimit, c.globalBoundLocked(), lp.LimitWallClock)
+			}
 			return nil, 0, false
 		}
 		if e := c.ctx.Err(); e != nil {
 			c.ctxErr = e
-			c.stopLocked(lp.StatusCanceled, c.globalBoundLocked())
+			c.stopLocked(lp.StatusCanceled, c.globalBoundLocked(), "")
 			return nil, 0, false
 		}
 		nd = heap.Pop(&c.queue).(*node)
+		c.queueBytes -= nodeBytes(nd)
 		if c.haveInc && nd.bound >= c.incumbentObj-c.pruneEps(c.incumbentObj) {
 			if c.inFlight == 0 {
 				// Best-first with nothing in flight: every remaining node
 				// is at least as bad, so the search is over.
-				c.stopLocked(lp.StatusOptimal, nd.bound)
+				c.stopLocked(lp.StatusOptimal, nd.bound, "")
 				return nil, 0, false
 			}
 			// In-flight nodes may still push improving children; just
@@ -385,7 +427,13 @@ func (c *coordinator) commit(w *worker, sol *lp.Solution, err error, closed bool
 	case lp.StatusInfeasible:
 		return true
 	case lp.StatusIterLimit:
-		c.stopLocked(lp.StatusNodeLimit, c.globalBoundLocked())
+		// The node LP ran out of its own budget (iterations, or the
+		// propagated wall deadline); surrender the incumbent gracefully.
+		lim := sol.Limit
+		if lim == "" {
+			lim = lp.LimitIterations
+		}
+		c.stopLocked(lp.StatusNodeLimit, c.globalBoundLocked(), lim)
 		return false
 	case lp.StatusUnbounded:
 		c.failLocked(fmt.Errorf("milp: child LP unbounded though root was bounded"))
@@ -399,7 +447,7 @@ func (c *coordinator) commit(w *worker, sol *lp.Solution, err error, closed bool
 		bound := c.globalBoundLocked()
 		gap := (c.incumbentObj - bound) / math.Max(1, math.Abs(c.incumbentObj))
 		if gap <= c.opts.GapTol {
-			c.stopLocked(lp.StatusOptimal, bound)
+			c.stopLocked(lp.StatusOptimal, bound, "")
 			return false
 		}
 	}
@@ -413,8 +461,18 @@ func (c *coordinator) step(w *worker) bool {
 	if !ok {
 		return false
 	}
+	// Fault-injection site: a worker dying mid-search with a claimed node
+	// in flight. runWorker's recover converts it into a solver error.
+	c.opts.Inject.MaybePanic(faultinject.SitePanic)
 	t0 := time.Now()
 	sol, err := w.solveWith(nd.changes)
+	if err == nil && sol.Status == lp.StatusOptimal && !finiteSolution(sol) {
+		// A NaN/Inf LP result would silently poison branching (every
+		// comparison against NaN is false, so the node just closes and the
+		// tree drains into a bogus "infeasible"). Surface it as a solver
+		// error instead so the planner's retry/fallback chain engages.
+		err = fmt.Errorf("milp: node LP returned non-finite values (objective %v)", sol.Objective)
+	}
 	closed := true
 	var down, up []boundChange
 	var childBound float64
@@ -476,8 +534,25 @@ func (c *coordinator) solve() (*lp.Solution, error) {
 		return nil, err
 	}
 	switch root.Status {
-	case lp.StatusInfeasible, lp.StatusUnbounded, lp.StatusIterLimit:
+	case lp.StatusInfeasible, lp.StatusUnbounded:
 		return &lp.Solution{Status: root.Status, Iterations: c.iterations}, nil
+	case lp.StatusIterLimit:
+		w0.busy = time.Since(t0)
+		if root.Limit == lp.LimitWallClock {
+			// The solve-wide deadline expired inside the root LP itself.
+			// Map it to the same terminal state the between-node checks
+			// produce, so callers see one consistent deadline contract.
+			if c.deadlineIsCtx {
+				c.ctxErr = context.DeadlineExceeded
+				return c.canceledSolution([]*worker{w0}), c.ctxErr
+			}
+			c.limit = lp.LimitWallClock
+			return c.assembleFinish(c.lastBound, lp.StatusNodeLimit, []*worker{w0})
+		}
+		return &lp.Solution{Status: root.Status, Iterations: c.iterations, Limit: root.Limit}, nil
+	}
+	if !finiteSolution(root) {
+		return nil, fmt.Errorf("milp: root LP returned non-finite values (objective %v)", root.Objective)
 	}
 
 	if len(c.intVars) == 0 {
@@ -554,6 +629,9 @@ func (c *coordinator) assembleFinish(bound float64, status lp.Status, workers []
 			return nil, fmt.Errorf("milp: internal: optimal finish without incumbent")
 		}
 		sol.Status = status
+		if status == lp.StatusNodeLimit {
+			sol.Limit = c.limit
+		}
 		sol.Gap = math.Inf(1)
 		return sol, nil
 	}
@@ -570,6 +648,7 @@ func (c *coordinator) assembleFinish(bound float64, status lp.Status, workers []
 		sol.Status = lp.StatusFeasible
 		if status == lp.StatusNodeLimit {
 			sol.Status = lp.StatusNodeLimit
+			sol.Limit = c.limit
 		}
 	}
 	return sol, nil
@@ -594,6 +673,20 @@ func (c *coordinator) canceledSolution(workers []*worker) *lp.Solution {
 	}
 	sol.Gap = gap
 	return sol
+}
+
+// finiteSolution reports whether an LP result is numerically sane: a
+// finite objective and finite primal values.
+func finiteSolution(sol *lp.Solution) bool {
+	if math.IsNaN(sol.Objective) || math.IsInf(sol.Objective, 0) {
+		return false
+	}
+	for _, v := range sol.X {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
 }
 
 // fillStats populates the solution's concurrency statistics.

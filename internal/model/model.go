@@ -192,9 +192,24 @@ func (s *AsIsState) Validate() error {
 	if err := s.validateEstate("target", &s.Target, r, true); err != nil {
 		return err
 	}
-	if s.Params.ServerPowerKW < 0 || s.Params.ServersPerAdmin <= 0 || s.Params.HoursPerMonth <= 0 {
-		return fmt.Errorf("model: invalid cost params: power %v kW, %v servers/admin, %v h/month",
-			s.Params.ServerPowerKW, s.Params.ServersPerAdmin, s.Params.HoursPerMonth)
+	for _, f := range []struct {
+		path     string
+		v        float64
+		positive bool // must be strictly positive, not merely non-negative
+	}{
+		{"params.server_power_kw", s.Params.ServerPowerKW, false},
+		{"params.servers_per_admin", s.Params.ServersPerAdmin, true},
+		{"params.hours_per_month", s.Params.HoursPerMonth, true},
+		{"params.vpn_link_capacity_mb", s.Params.VPNLinkCapacityMb, false},
+		{"params.dr_server_cost", s.Params.DRServerCost, false},
+		{"params.secondary_latency_weight", s.Params.SecondaryLatencyWeight, false},
+	} {
+		if err := checkFinite(f.path, f.v); err != nil {
+			return err
+		}
+		if f.positive && f.v <= 0 {
+			return fmt.Errorf("model: %s = %v: must be positive", f.path, f.v)
+		}
 	}
 	seen := make(map[string]bool, len(s.Groups))
 	maxCap := 0
@@ -219,8 +234,8 @@ func (s *AsIsState) Validate() error {
 			return fmt.Errorf("model: group %q needs %d servers but the largest target data center holds %d; split it first (see §II)",
 				g.ID, g.Servers, maxCap)
 		}
-		if g.DataMbPerMonth < 0 || math.IsNaN(g.DataMbPerMonth) {
-			return fmt.Errorf("model: group %q has invalid data volume %v", g.ID, g.DataMbPerMonth)
+		if err := checkFinite(fmt.Sprintf("groups[%d].data_mb_per_month", i), g.DataMbPerMonth); err != nil {
+			return fmt.Errorf("%w (group %q)", err, g.ID)
 		}
 		if len(g.UsersByLocation) != r {
 			return fmt.Errorf("model: group %q has %d user-location entries, want %d", g.ID, len(g.UsersByLocation), r)
@@ -267,6 +282,21 @@ func (s *AsIsState) Validate() error {
 
 func (s *AsIsState) hasVPN(e *Estate) bool { return len(e.VPNLinkMonthly) > 0 }
 
+// checkFinite rejects NaN, ±Inf and negative values, naming the field by
+// its JSON path so a bad record in a large dataset can be located
+// directly. NaN needs the explicit check: NaN < 0 is false, so a plain
+// negativity test silently admits it — and one NaN cost poisons every
+// objective coefficient it touches downstream.
+func checkFinite(path string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("model: %s = %v: must be finite", path, v)
+	}
+	if v < 0 {
+		return fmt.Errorf("model: %s = %v: must not be negative", path, v)
+	}
+	return nil
+}
+
 func (s *AsIsState) validateEstate(label string, e *Estate, r int, required bool) error {
 	if len(e.DCs) == 0 {
 		if required {
@@ -287,8 +317,17 @@ func (s *AsIsState) validateEstate(label string, e *Estate, r int, required bool
 		if dc.CapacityServers <= 0 {
 			return fmt.Errorf("model: %s DC %q has capacity %d", label, dc.ID, dc.CapacityServers)
 		}
-		if dc.PowerCostPerKWh < 0 || dc.LaborCostPerAdmin < 0 || dc.WANCostPerMb < 0 {
-			return fmt.Errorf("model: %s DC %q has negative cost", label, dc.ID)
+		for _, f := range []struct {
+			field string
+			v     float64
+		}{
+			{"power_cost_per_kwh", dc.PowerCostPerKWh},
+			{"labor_cost_per_admin", dc.LaborCostPerAdmin},
+			{"wan_cost_per_mb", dc.WANCostPerMb},
+		} {
+			if err := checkFinite(fmt.Sprintf("%s.dcs[%d].%s", label, j, f.field), f.v); err != nil {
+				return fmt.Errorf("%w (DC %q)", err, dc.ID)
+			}
 		}
 	}
 	if len(e.LatencyMs) != r {

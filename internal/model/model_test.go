@@ -108,6 +108,52 @@ func TestValidateCatchesProblems(t *testing.T) {
 	}
 }
 
+// TestValidateRejectsNonFinite covers the NaN/Inf/negative hardening:
+// every numeric cost or capacity field must reject non-finite values, and
+// the error must carry the JSON field path so the offending record in a
+// large dataset can be located without a debugger.
+func TestValidateRejectsNonFinite(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name     string
+		mut      func(*AsIsState)
+		wantPath string
+	}{
+		{"nan-power", func(s *AsIsState) { s.Target.DCs[0].PowerCostPerKWh = nan }, "target.dcs[0].power_cost_per_kwh"},
+		{"inf-power", func(s *AsIsState) { s.Target.DCs[1].PowerCostPerKWh = inf }, "target.dcs[1].power_cost_per_kwh"},
+		{"nan-labor", func(s *AsIsState) { s.Current.DCs[0].LaborCostPerAdmin = nan }, "current.dcs[0].labor_cost_per_admin"},
+		{"neg-labor", func(s *AsIsState) { s.Target.DCs[0].LaborCostPerAdmin = -1 }, "target.dcs[0].labor_cost_per_admin"},
+		{"inf-wan", func(s *AsIsState) { s.Target.DCs[0].WANCostPerMb = inf }, "target.dcs[0].wan_cost_per_mb"},
+		{"nan-wan", func(s *AsIsState) { s.Current.DCs[1].WANCostPerMb = nan }, "current.dcs[1].wan_cost_per_mb"},
+		{"inf-data", func(s *AsIsState) { s.Groups[1].DataMbPerMonth = inf }, "groups[1].data_mb_per_month"},
+		{"nan-data", func(s *AsIsState) { s.Groups[0].DataMbPerMonth = nan }, "groups[0].data_mb_per_month"},
+		{"nan-server-power", func(s *AsIsState) { s.Params.ServerPowerKW = nan }, "params.server_power_kw"},
+		{"neg-server-power", func(s *AsIsState) { s.Params.ServerPowerKW = -0.1 }, "params.server_power_kw"},
+		{"inf-servers-per-admin", func(s *AsIsState) { s.Params.ServersPerAdmin = inf }, "params.servers_per_admin"},
+		{"zero-servers-per-admin", func(s *AsIsState) { s.Params.ServersPerAdmin = 0 }, "params.servers_per_admin"},
+		{"nan-hours", func(s *AsIsState) { s.Params.HoursPerMonth = nan }, "params.hours_per_month"},
+		{"zero-hours", func(s *AsIsState) { s.Params.HoursPerMonth = 0 }, "params.hours_per_month"},
+		{"inf-vpn-capacity", func(s *AsIsState) { s.Params.VPNLinkCapacityMb = inf }, "params.vpn_link_capacity_mb"},
+		{"neg-dr-cost", func(s *AsIsState) { s.Params.DRServerCost = -5 }, "params.dr_server_cost"},
+		{"nan-dr-cost", func(s *AsIsState) { s.Params.DRServerCost = nan }, "params.dr_server_cost"},
+		{"neg-secondary-weight", func(s *AsIsState) { s.Params.SecondaryLatencyWeight = -1 }, "params.secondary_latency_weight"},
+		{"inf-secondary-weight", func(s *AsIsState) { s.Params.SecondaryLatencyWeight = inf }, "params.secondary_latency_weight"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			s := testState(t)
+			tt.mut(s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted a non-finite or negative value")
+			}
+			if !strings.Contains(err.Error(), tt.wantPath) {
+				t.Errorf("error %q does not name field path %q", err, tt.wantPath)
+			}
+		})
+	}
+}
+
 func TestAvgLatency(t *testing.T) {
 	s := testState(t)
 	g := &s.Groups[2] // 10 users at each location

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"github.com/etransform/etransform/internal/lp"
 )
 
 // Assignment places one application group: a primary data center and,
@@ -97,6 +99,11 @@ type SolveStats struct {
 	// internal/certify after the solve (empty for plans that were not
 	// certified, e.g. heuristic baselines).
 	Certificate string `json:"certificate,omitempty"`
+	// Degradation, when non-nil, is the resilient solve pipeline's account
+	// of how this plan was produced: which fallback stage delivered it and
+	// why earlier stages failed. nil means the exact MILP stage succeeded
+	// on its first attempt with no budget pressure.
+	Degradation *lp.DegradationReport `json:"degradation,omitempty"`
 }
 
 // Plan is a complete "to-be" state: placements, backup pools and costs.

@@ -1,0 +1,366 @@
+// Package faultinject is a deterministic fault-injection harness for the
+// solve pipeline. Instrumented code declares named injection *sites*
+// (simplex pivot selection, worker loops, deadline checks, …) and asks an
+// Injector whether an armed fault fires at each hit. Faults are selected
+// by site and hit count, so a given (spec, seed) pair replays the exact
+// same failure sequence on every run — every degradation path in the
+// fallback chain has a test that actually exercises it, and a field
+// failure reproduced from a spec string replays locally.
+//
+// The zero cost path matters: all methods are safe on a nil *Injector
+// and reduce to a single pointer comparison, so production code carries
+// the instrumentation permanently and pays nothing when no faults are
+// armed.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Kind is a class of injected fault. Each kind maps to one injection
+// site in the solver stack; the instrumented layer decides what "firing"
+// means there (returning an error, corrupting a value, panicking, …).
+type Kind int
+
+// Fault classes.
+const (
+	// KindPivot makes the simplex engine report a numerically unusable
+	// pivot (an internal solve error) at a pivot-selection step.
+	KindPivot Kind = iota + 1
+	// KindCorrupt overwrites the simplex solution's objective and first
+	// variable with NaN after an otherwise successful solve, modelling a
+	// numerically sour subproblem.
+	KindCorrupt
+	// KindStall simulates endless degenerate cycling: the simplex
+	// iteration loop gives up with an iteration-limit status.
+	KindStall
+	// KindPanic panics inside a branch & bound worker goroutine.
+	KindPanic
+	// KindDeadline makes the branch & bound coordinator's budget check
+	// report expiry regardless of the actual clock.
+	KindDeadline
+)
+
+// String implements fmt.Stringer; the names double as spec tokens.
+func (k Kind) String() string {
+	switch k {
+	case KindPivot:
+		return "pivot"
+	case KindCorrupt:
+		return "corrupt"
+	case KindStall:
+		return "stall"
+	case KindPanic:
+		return "panic"
+	case KindDeadline:
+		return "deadline"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Injection sites. Instrumented packages pass these to Fire; the mapping
+// from fault class to site is fixed so spec strings stay stable.
+const (
+	// SitePivot is hit once per simplex pivot selection.
+	SitePivot = "simplex.pivot"
+	// SiteCorrupt is hit once per completed simplex solve, just before
+	// the solution is returned.
+	SiteCorrupt = "simplex.solution"
+	// SiteStall is hit once per simplex iteration.
+	SiteStall = "simplex.stall"
+	// SitePanic is hit once per branch & bound node claim, inside the
+	// worker goroutine.
+	SitePanic = "milp.worker"
+	// SiteDeadline is hit once per coordinator budget check.
+	SiteDeadline = "milp.deadline"
+)
+
+// siteOf maps a fault class to the site it arms.
+func siteOf(k Kind) string {
+	switch k {
+	case KindPivot:
+		return SitePivot
+	case KindCorrupt:
+		return SiteCorrupt
+	case KindStall:
+		return SiteStall
+	case KindPanic:
+		return SitePanic
+	case KindDeadline:
+		return SiteDeadline
+	default:
+		return ""
+	}
+}
+
+// Fault arms one fault class. The zero After/Count values mean "fire on
+// the first hit" and "fire once".
+type Fault struct {
+	// Kind is the fault class.
+	Kind Kind
+	// After is the 1-based hit index of the fault's site at which the
+	// fault starts firing; 0 behaves like 1 (the first hit).
+	After int
+	// Count is how many consecutive hits fire once started; 0 means 1,
+	// negative means every hit forever.
+	Count int
+	// Prob, when in (0,1), gates each would-be firing on a seeded coin
+	// flip, for randomized soak tests. 0 (and ≥ 1) fire unconditionally.
+	// The Injector's seed makes the flip sequence replayable.
+	Prob float64
+}
+
+// Event records one fired fault, for assertions and replay logs.
+type Event struct {
+	// Site is the injection site that fired.
+	Site string
+	// Kind is the armed fault class.
+	Kind Kind
+	// Hit is the 1-based hit count of the site at firing time.
+	Hit int
+}
+
+// Injector decides, per site hit, whether an armed fault fires. It is
+// safe for concurrent use (branch & bound workers hit sites from many
+// goroutines) and safe to use as a nil pointer, in which case every
+// method is a no-op reporting "no fault".
+type Injector struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	hits   map[string]int
+	armed  map[string][]*armedFault
+	events []Event
+}
+
+type armedFault struct {
+	f     Fault
+	fired int // hits that actually fired
+}
+
+// New returns an Injector arming the given faults, with seed driving the
+// probability gates (irrelevant when no fault sets Prob).
+func New(seed int64, faults ...Fault) *Injector {
+	in := &Injector{
+		rng:   rand.New(rand.NewSource(seed)),
+		hits:  make(map[string]int),
+		armed: make(map[string][]*armedFault),
+	}
+	for _, f := range faults {
+		if site := siteOf(f.Kind); site != "" {
+			in.armed[site] = append(in.armed[site], &armedFault{f: f})
+		}
+	}
+	return in
+}
+
+// Fire records one hit of site and reports whether an armed fault fires
+// there. Nil-receiver safe; the nil fast path is a single comparison.
+func (in *Injector) Fire(site string) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.hits[site]++
+	hit := in.hits[site]
+	for _, af := range in.armed[site] {
+		after := af.f.After
+		if after <= 0 {
+			after = 1
+		}
+		count := af.f.Count
+		if count == 0 {
+			count = 1
+		}
+		if hit < after {
+			continue
+		}
+		if count > 0 && af.fired >= count {
+			continue
+		}
+		if p := af.f.Prob; p > 0 && p < 1 && in.rng.Float64() >= p {
+			continue
+		}
+		af.fired++
+		in.events = append(in.events, Event{Site: site, Kind: af.f.Kind, Hit: hit})
+		return true
+	}
+	return false
+}
+
+// MaybePanic fires the site and, when a fault fires, panics with an
+// identifiable message. The panic lives here so instrumented solver
+// packages (which forbid panic statically) only ever call a function.
+func (in *Injector) MaybePanic(site string) {
+	if in.Fire(site) {
+		panic(fmt.Sprintf("faultinject: injected panic at %s", site))
+	}
+}
+
+// Hits returns how many times site has been hit so far.
+func (in *Injector) Hits(site string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.hits[site]
+}
+
+// Events returns a copy of every fired event, in firing order.
+func (in *Injector) Events() []Event {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Event(nil), in.events...)
+}
+
+// Fired reports whether any fault of the given kind has fired.
+func (in *Injector) Fired(k Kind) bool {
+	for _, e := range in.Events() {
+		if e.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the armed fault set as a parseable spec.
+func (in *Injector) String() string {
+	if in == nil {
+		return ""
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var parts []string
+	for _, afs := range in.armed {
+		for _, af := range afs {
+			parts = append(parts, formatFault(af.f))
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func formatFault(f Fault) string {
+	s := f.Kind.String()
+	if f.After > 1 {
+		s += "@" + strconv.Itoa(f.After)
+	}
+	if f.Count < 0 {
+		s += "xall"
+	} else if f.Count > 1 {
+		s += "x" + strconv.Itoa(f.Count)
+	}
+	return s
+}
+
+// ParseSpec parses a comma-separated fault list into an Injector. Each
+// element is
+//
+//	kind[@AFTER][xCOUNT|xall]
+//
+// where kind ∈ {pivot, corrupt, stall, panic, deadline}, AFTER is the
+// 1-based site hit at which the fault starts firing (default 1) and
+// COUNT is how many consecutive hits fire ("xall" = every hit, default
+// 1). Examples:
+//
+//	pivot            fail the first simplex pivot selection
+//	stall@3x2        stall the 3rd and 4th simplex iterations
+//	panic,deadline   panic a worker, then force budget expiry
+//
+// An empty spec returns a nil Injector (injection fully disabled).
+func ParseSpec(spec string, seed int64) (*Injector, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var faults []Fault
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		f, err := parseFault(part)
+		if err != nil {
+			return nil, err
+		}
+		faults = append(faults, f)
+	}
+	if len(faults) == 0 {
+		return nil, nil
+	}
+	return New(seed, faults...), nil
+}
+
+func parseFault(s string) (Fault, error) {
+	name := s
+	var f Fault
+	if i := strings.IndexAny(name, "@x"); i >= 0 {
+		name = s[:i]
+	}
+	switch name {
+	case "pivot":
+		f.Kind = KindPivot
+	case "corrupt":
+		f.Kind = KindCorrupt
+	case "stall":
+		f.Kind = KindStall
+	case "panic":
+		f.Kind = KindPanic
+	case "deadline":
+		f.Kind = KindDeadline
+	default:
+		return Fault{}, fmt.Errorf("faultinject: unknown fault class %q (want pivot|corrupt|stall|panic|deadline)", name)
+	}
+	rest := s[len(name):]
+	for rest != "" {
+		switch {
+		case strings.HasPrefix(rest, "@"):
+			rest = rest[1:]
+			n, tail, err := leadingInt(rest)
+			if err != nil {
+				return Fault{}, fmt.Errorf("faultinject: bad @AFTER in %q: %w", s, err)
+			}
+			if n < 1 {
+				return Fault{}, fmt.Errorf("faultinject: @AFTER must be ≥ 1 in %q", s)
+			}
+			f.After, rest = n, tail
+		case strings.HasPrefix(rest, "xall"):
+			f.Count, rest = -1, rest[len("xall"):]
+		case strings.HasPrefix(rest, "x"):
+			rest = rest[1:]
+			n, tail, err := leadingInt(rest)
+			if err != nil {
+				return Fault{}, fmt.Errorf("faultinject: bad xCOUNT in %q: %w", s, err)
+			}
+			if n < 1 {
+				return Fault{}, fmt.Errorf("faultinject: xCOUNT must be ≥ 1 in %q", s)
+			}
+			f.Count, rest = n, tail
+		default:
+			return Fault{}, fmt.Errorf("faultinject: trailing %q in fault %q", rest, s)
+		}
+	}
+	return f, nil
+}
+
+func leadingInt(s string) (n int, rest string, err error) {
+	i := 0
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		i++
+	}
+	if i == 0 {
+		return 0, s, fmt.Errorf("want digits, have %q", s)
+	}
+	n, err = strconv.Atoi(s[:i])
+	return n, s[i:], err
+}

@@ -1,0 +1,186 @@
+package faultinject
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in.Fire(SitePivot) {
+		t.Error("nil injector fired")
+	}
+	in.MaybePanic(SitePanic) // must not panic
+	if in.Hits(SitePivot) != 0 || in.Events() != nil || in.String() != "" {
+		t.Error("nil injector reported state")
+	}
+}
+
+func TestAfterAndCount(t *testing.T) {
+	in := New(1, Fault{Kind: KindPivot, After: 3, Count: 2})
+	var fired []bool
+	for i := 0; i < 6; i++ {
+		fired = append(fired, in.Fire(SitePivot))
+	}
+	want := []bool{false, false, true, true, false, false}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("hit %d: fired=%v, want %v (all: %v)", i+1, fired[i], want[i], fired)
+		}
+	}
+	ev := in.Events()
+	if len(ev) != 2 || ev[0].Hit != 3 || ev[1].Hit != 4 || ev[0].Kind != KindPivot {
+		t.Errorf("events = %+v", ev)
+	}
+	if !in.Fired(KindPivot) || in.Fired(KindStall) {
+		t.Error("Fired misreports")
+	}
+}
+
+func TestCountForever(t *testing.T) {
+	in := New(1, Fault{Kind: KindStall, Count: -1})
+	for i := 0; i < 10; i++ {
+		if !in.Fire(SiteStall) {
+			t.Fatalf("hit %d did not fire under Count=-1", i+1)
+		}
+	}
+}
+
+func TestSitesAreIndependent(t *testing.T) {
+	in := New(1, Fault{Kind: KindPanic})
+	if in.Fire(SitePivot) || in.Fire(SiteDeadline) {
+		t.Error("unarmed site fired")
+	}
+	if !in.Fire(SitePanic) {
+		t.Error("armed site did not fire")
+	}
+}
+
+func TestProbReplaysWithSeed(t *testing.T) {
+	run := func(seed int64) []bool {
+		in := New(seed, Fault{Kind: KindDeadline, Count: -1, Prob: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.Fire(SiteDeadline)
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i+1)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical 64-flip sequences (suspicious)")
+	}
+}
+
+func TestConcurrentFire(t *testing.T) {
+	in := New(1, Fault{Kind: KindPanic, After: 50, Count: 3})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fired := 0
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if in.Fire(SitePanic) {
+					mu.Lock()
+					fired++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fired != 3 {
+		t.Errorf("fired %d times, want exactly 3", fired)
+	}
+	if in.Hits(SitePanic) != 800 {
+		t.Errorf("hits = %d, want 800", in.Hits(SitePanic))
+	}
+}
+
+func TestMaybePanic(t *testing.T) {
+	in := New(1, Fault{Kind: KindPanic})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("MaybePanic did not panic")
+		}
+		if !strings.Contains(r.(string), SitePanic) {
+			t.Errorf("panic value %q does not name the site", r)
+		}
+	}()
+	in.MaybePanic(SitePanic)
+}
+
+func TestParseSpec(t *testing.T) {
+	tests := []struct {
+		spec    string
+		want    string // round-tripped String(); "" means nil injector
+		wantErr bool
+	}{
+		{spec: "", want: ""},
+		{spec: "  ", want: ""},
+		{spec: "pivot", want: "pivot"},
+		{spec: "pivot@3", want: "pivot@3"},
+		{spec: "stall@3x2", want: "stall@3x2"},
+		{spec: "corruptxall", want: "corruptxall"},
+		{spec: "panic,deadline@10", want: "deadline@10,panic"},
+		{spec: "pivot, stall", want: "pivot,stall"},
+		{spec: "bogus", wantErr: true},
+		{spec: "pivot@", wantErr: true},
+		{spec: "pivot@0", wantErr: true},
+		{spec: "pivotx0", wantErr: true},
+		{spec: "pivot@2junk", wantErr: true},
+	}
+	for _, tt := range tests {
+		in, err := ParseSpec(tt.spec, 1)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("ParseSpec(%q): want error, got %v", tt.spec, in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tt.spec, err)
+			continue
+		}
+		got := in.String()
+		if got != tt.want {
+			t.Errorf("ParseSpec(%q).String() = %q, want %q", tt.spec, got, tt.want)
+		}
+		if (in == nil) != (tt.want == "") {
+			t.Errorf("ParseSpec(%q): nil-ness mismatch", tt.spec)
+		}
+	}
+}
+
+func TestParseSpecRoundTripFires(t *testing.T) {
+	in, err := ParseSpec("stall@2x3", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []bool{}
+	for i := 0; i < 6; i++ {
+		got = append(got, in.Fire(SiteStall))
+	}
+	want := []bool{false, true, true, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("firing sequence %v, want %v", got, want)
+		}
+	}
+}

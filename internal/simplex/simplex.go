@@ -1,10 +1,13 @@
 package simplex
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"github.com/etransform/etransform/internal/lp"
+	"github.com/etransform/etransform/internal/resilience/faultinject"
 	"github.com/etransform/etransform/internal/tol"
 )
 
@@ -23,6 +26,16 @@ type Options struct {
 	// StallLimit is the number of consecutive degenerate pivots tolerated
 	// before switching to Bland's rule. Default 60.
 	StallLimit int
+	// Deadline, when set, bounds the solve's wall clock: the iteration
+	// loop polls it every 128 pivots and surrenders with
+	// lp.StatusIterLimit (Solution.Limit = lp.LimitWallClock) once
+	// passed. This is what keeps one enormous subproblem LP from eating
+	// an entire solve-wide budget.
+	Deadline time.Time
+	// Inject, when non-nil, arms the deterministic fault-injection
+	// harness (pivot failures, stall, solution corruption). Production
+	// callers leave it nil, which costs one pointer comparison per site.
+	Inject *faultinject.Injector
 }
 
 func (o *Options) withDefaults(rows int) Options {
@@ -56,6 +69,15 @@ func (o *Options) withDefaults(rows int) Options {
 // instead, which reuses its scratch state across calls.
 func Solve(model *lp.Model, opts *Options) (*lp.Solution, error) {
 	return NewSolver(opts).Solve(model)
+}
+
+// SolveContext is Solve with cancellation: the iteration loop polls the
+// context every 128 pivots and returns ctx.Err() (no solution — a half-
+// pivoted tableau carries no usable point) once it is done. A nil ctx is
+// treated as context.Background(). Options.Deadline remains the graceful
+// way to bound a solve and still get an iteration-limit status back.
+func SolveContext(ctx context.Context, model *lp.Model, opts *Options) (*lp.Solution, error) {
+	return NewSolver(opts).SolveContext(ctx, model)
 }
 
 // Variable status within the tableau.
@@ -100,6 +122,8 @@ type tableau struct {
 	degenRun   int
 	blandMode  bool
 	refactors  int
+	ctx        context.Context // nil when the solve is not cancellable
+	limit      string          // lp.Limit* cause when iterate stops early
 	workCol    []float64 // FTRAN result w = Binv·A_j
 	workRow    []float64 // BTRAN result y
 	pricedCost []float64 // cost vector of the active phase
@@ -123,6 +147,7 @@ func (t *tableau) reset(model *lp.Model, opts *Options) error {
 	t.degenRun = 0
 	t.blandMode = false
 	t.refactors = 0
+	t.limit = ""
 	t.pricedCost = nil
 
 	if cap(t.cols) < t.nTotal {
@@ -259,7 +284,7 @@ func (t *tableau) solve() (*lp.Solution, error) {
 			return nil, err
 		}
 		if st == lp.StatusIterLimit {
-			return &lp.Solution{Status: lp.StatusIterLimit, Iterations: t.iters}, nil
+			return &lp.Solution{Status: lp.StatusIterLimit, Iterations: t.iters, Limit: t.limit}, nil
 		}
 		t.recomputeXB()
 		if t.phaseObjective() > t.opts.FeasTol*math.Max(1, t.bScale()) {
@@ -294,6 +319,7 @@ func (t *tableau) solve() (*lp.Solution, error) {
 		return sol, nil
 	case lp.StatusIterLimit:
 		sol.Status = lp.StatusIterLimit
+		sol.Limit = t.limit
 	default:
 		return nil, fmt.Errorf("simplex: unexpected terminal status %v", st)
 	}
@@ -315,6 +341,15 @@ func (t *tableau) solve() (*lp.Solution, error) {
 	duals := make([]float64, m)
 	copy(duals, t.workRow)
 	sol.DualValues = duals
+	if t.opts.Inject.Fire(faultinject.SiteCorrupt) {
+		// Injected numerical corruption: a NaN objective and primal entry,
+		// as a sour factorization would produce. Downstream layers must
+		// detect this and treat the subproblem as failed.
+		sol.Objective = math.NaN()
+		if len(sol.X) > 0 {
+			sol.X[0] = math.NaN()
+		}
+	}
 	return sol, nil
 }
 
@@ -398,6 +433,27 @@ func (t *tableau) iterate() (lp.Status, error) {
 	y := t.workRow
 	for {
 		if t.iters >= t.opts.MaxIters {
+			t.limit = lp.LimitIterations
+			return lp.StatusIterLimit, nil
+		}
+		// Cancellation and deadline are polled coarsely: the checks cost a
+		// clock read (deadline) or an atomic load (ctx), and 128 pivots is
+		// far below any caller-visible latency budget.
+		if t.iters&127 == 0 {
+			if t.ctx != nil {
+				if err := t.ctx.Err(); err != nil {
+					return 0, fmt.Errorf("simplex: canceled after %d iterations: %w", t.iters, err)
+				}
+			}
+			if !t.opts.Deadline.IsZero() && time.Now().After(t.opts.Deadline) {
+				t.limit = lp.LimitWallClock
+				return lp.StatusIterLimit, nil
+			}
+		}
+		if t.opts.Inject.Fire(faultinject.SiteStall) {
+			// Injected cycling: behave exactly like a stall that exhausted
+			// the iteration budget.
+			t.limit = lp.LimitIterations
 			return lp.StatusIterLimit, nil
 		}
 		t.computeDuals(y)
@@ -445,6 +501,9 @@ func (t *tableau) iterate() (lp.Status, error) {
 		}
 		if enter < 0 {
 			return lp.StatusOptimal, nil
+		}
+		if t.opts.Inject.Fire(faultinject.SitePivot) {
+			return 0, fmt.Errorf("simplex: injected pivot failure at iteration %d (fault injection)", t.iters)
 		}
 
 		t.ftran(enter)

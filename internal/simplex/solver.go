@@ -1,6 +1,7 @@
 package simplex
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/etransform/etransform/internal/lp"
@@ -36,6 +37,19 @@ func NewSolver(opts *Options) *Solver {
 // Solve solves the continuous relaxation of model exactly like the
 // package-level Solve, reusing the Solver's scratch state.
 func (s *Solver) Solve(model *lp.Model) (*lp.Solution, error) {
+	return s.solve(nil, model)
+}
+
+// SolveContext is Solve with cancellation (see the package-level
+// SolveContext). A nil ctx is treated as context.Background().
+func (s *Solver) SolveContext(ctx context.Context, model *lp.Model) (*lp.Solution, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return s.solve(ctx, model)
+}
+
+func (s *Solver) solve(ctx context.Context, model *lp.Model) (*lp.Solution, error) {
 	if err := model.Err(); err != nil {
 		return nil, fmt.Errorf("simplex: invalid model: %w", err)
 	}
@@ -61,6 +75,7 @@ func (s *Solver) Solve(model *lp.Model) (*lp.Solution, error) {
 	if err := s.t.reset(model, &s.opts); err != nil {
 		return nil, err
 	}
+	s.t.ctx = ctx
 	return s.t.solve()
 }
 

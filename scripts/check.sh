@@ -8,6 +8,10 @@
 #                  convert to coordinator errors, not earn new markers
 #   4. go test     full suite under the race detector
 #   5. milp race   the parallel branch & bound, twice, under -race
+#   6. fault smoke each injectable fault class forced against a small
+#                  dataset end to end: the planner must exit 0 (recovered)
+#                  or 3 (degraded-but-feasible), never crash; a corrupted
+#                  standalone solve must fail cleanly with exit 1
 #
 # Run from anywhere; it operates on the repo root. Exits non-zero on the
 # first failing stage.
@@ -37,5 +41,54 @@ go test -race ./...
 
 echo "==> go test -race -count=2 ./internal/milp/..."
 go test -race -count=2 ./internal/milp/...
+
+echo "==> fault-injection smoke matrix"
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+go build -o "$SMOKE_DIR/etransform" ./cmd/etransform
+go build -o "$SMOKE_DIR/lpsolve" ./cmd/lpsolve
+go run ./cmd/etdatagen -dataset enterprise1 -scale 0.05 -o "$SMOKE_DIR/asis.json"
+
+# Every fault class, forced persistently against the planner: the
+# resilient pipeline must deliver a plan — exit 0 (retry recovered) or
+# exit 3 (degraded-but-feasible via budget surrender or fallback stage).
+for spec in pivotxall corruptxall stallxall panicxall deadlinexall; do
+    rc=0
+    "$SMOKE_DIR/etransform" -state "$SMOKE_DIR/asis.json" -report=false \
+        -faults "$spec" -timelimit 60s > "$SMOKE_DIR/out.txt" 2>&1 || rc=$?
+    case $rc in
+    0|3) echo "    etransform -faults $spec: exit $rc (ok)" ;;
+    *)
+        echo "etransform -faults $spec: exit $rc, want 0 or 3" >&2
+        cat "$SMOKE_DIR/out.txt" >&2
+        exit 1
+        ;;
+    esac
+done
+
+# The standalone solver has no fallback chain: a persistently corrupted
+# solve must fail cleanly (exit 1), never report a bogus optimum.
+cat > "$SMOKE_DIR/m.lp" <<'EOF'
+Minimize
+ obj: -1 x - 2 y
+Subject To
+ c: x + y <= 4
+Bounds
+ 0 <= x <= 3
+ 0 <= y <= 3
+End
+EOF
+rc=0
+"$SMOKE_DIR/lpsolve" -faults corruptxall "$SMOKE_DIR/m.lp" > /dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 1 ]; then
+    echo "lpsolve -faults corruptxall: exit $rc, want 1" >&2
+    exit 1
+fi
+rc=0
+"$SMOKE_DIR/lpsolve" "$SMOKE_DIR/m.lp" > /dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 0 ]; then
+    echo "lpsolve (clean): exit $rc, want 0" >&2
+    exit 1
+fi
 
 echo "==> all checks passed"
