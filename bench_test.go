@@ -11,6 +11,7 @@ package etransform_test
 
 import (
 	"bytes"
+	"io"
 	"testing"
 	"time"
 
@@ -20,6 +21,7 @@ import (
 	"github.com/etransform/etransform/internal/lp"
 	"github.com/etransform/etransform/internal/milp"
 	"github.com/etransform/etransform/internal/model"
+	"github.com/etransform/etransform/internal/obs"
 	"github.com/etransform/etransform/internal/simplex"
 	"github.com/etransform/etransform/internal/stepwise"
 )
@@ -340,6 +342,51 @@ func BenchmarkMILP_Enterprise1NonDR(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchObsSimplex solves the medium assignment LP with a given
+// observability configuration; the off/metrics/trace spread is the
+// instrumentation overhead quoted in DESIGN.md's Observability chapter
+// (acceptance bar: tracer off must stay within 2% of the pre-obs hot
+// path — a nil Tracer/Metrics costs one pointer compare per fold site).
+func benchObsSimplex(b *testing.B, opts *simplex.Options) {
+	s, err := datagen.Enterprise1().Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.New(s, core.Options{Aggregate: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := p.BuildModel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	relaxed := m.Relax()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := simplex.Solve(relaxed, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Status != lp.StatusOptimal {
+			b.Fatalf("status %v", sol.Status)
+		}
+		b.ReportMetric(float64(sol.Iterations), "pivots")
+	}
+}
+
+func BenchmarkObs_Simplex_Off(b *testing.B) { benchObsSimplex(b, nil) }
+
+func BenchmarkObs_Simplex_Metrics(b *testing.B) {
+	benchObsSimplex(b, &simplex.Options{Metrics: obs.NewMetrics()})
+}
+
+func BenchmarkObs_Simplex_Trace(b *testing.B) {
+	benchObsSimplex(b, &simplex.Options{
+		Metrics: obs.NewMetrics(),
+		Trace:   obs.New(obs.NewJSONLSink(io.Discard)),
+	})
 }
 
 func BenchmarkLPFormat_WriteParse(b *testing.B) {

@@ -6,7 +6,12 @@
 // Usage:
 //
 //	etbench [-experiment all|table2|fig4|fig6|fig7|fig8|fig9|fig10] [-scale full|bench]
-//	        [-sweep-workers N] [-workers N]
+//	        [-sweep-workers N] [-workers N] [-json FILE -json-pr N]
+//
+// -json additionally writes a machine-readable report (schema
+// etransform-bench/v1, one record per case-study solve: problem size,
+// nodes, iterations, workers, certified gap, wall/busy time and plan
+// cost); -json-pr stamps the PR number the artifact belongs to.
 //
 // At -scale bench the Federal dataset is shrunk (the shrink factor
 // appears in the output) so a full run fits a laptop budget; -scale full
@@ -23,12 +28,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"sync"
 	"time"
 
 	"github.com/etransform/etransform/internal/datagen"
 	"github.com/etransform/etransform/internal/experiments"
+	"github.com/etransform/etransform/internal/obs"
 	"github.com/etransform/etransform/internal/report"
 )
 
@@ -47,8 +54,13 @@ func run(args []string) error {
 	csvDir := fs.String("csv", "", "also write each experiment's data as CSV into this directory")
 	sweepWorkers := fs.Int("sweep-workers", 0, "concurrent sweep points / datasets (0 = all CPUs)")
 	solverWorkers := fs.Int("workers", 0, "branch & bound workers per solve (0 = auto)")
+	jsonOut := fs.String("json", "", "write a BENCH_<pr>.json perf report of the fig4/fig6 solves to this file")
+	jsonPR := fs.Int("json-pr", 0, "PR number stamped into the -json report (required with -json)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *jsonOut != "" && *jsonPR <= 0 {
+		return fmt.Errorf("-json needs a positive -json-pr")
 	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -95,6 +107,11 @@ func run(args []string) error {
 		return nil
 	}
 
+	// The -json report accumulates one scenario per fig4/fig6 case-study
+	// solve, appended in the fixed render order so the artifact is as
+	// deterministic as the text output.
+	var benchScenarios []obs.BenchScenario
+
 	caseStudies := func(fig string, dr bool) error {
 		var cfgs []datagen.CaseStudyConfig
 		for _, cfg := range []datagen.CaseStudyConfig{datagen.Enterprise1(), datagen.Florida(), datagen.Federal()} {
@@ -123,6 +140,14 @@ func run(args []string) error {
 			fmt.Printf("solver: %d rows × %d cols, %d nodes, gap %.2g, %d workers, wall %dms (busy %dms)\n\n",
 				res.Stats.Rows, res.Stats.Cols, res.Stats.Nodes, res.Stats.Gap,
 				res.Stats.Workers, res.Stats.WallMillis, res.Stats.WorkMillis)
+			benchScenarios = append(benchScenarios, obs.BenchScenario{
+				Name: fig + "/" + cfg.Name, DR: dr,
+				Rows: res.Stats.Rows, Cols: res.Stats.Cols,
+				Nodes: res.Stats.Nodes, Iterations: res.Stats.Iterations,
+				Workers: res.Stats.Workers, Gap: res.Stats.Gap,
+				WallMillis: res.Stats.WallMillis, WorkMillis: res.Stats.WorkMillis,
+				Cost: res.Cost("ETRANSFORM"),
+			})
 			var rows [][]string
 			for _, algo := range experiments.AlgorithmNames {
 				b, ok := res.Breakdowns[algo]
@@ -239,6 +264,26 @@ func run(args []string) error {
 		if err := run(s.name, s.f); err != nil {
 			return err
 		}
+	}
+	if *jsonOut != "" {
+		rep := &obs.BenchReport{
+			Schema: obs.BenchSchema, PR: *jsonPR,
+			GoVersion: runtime.Version(), CPUs: runtime.NumCPU(),
+			CreatedAt: time.Now().UTC().Format(time.RFC3339),
+			Scenarios: benchScenarios,
+		}
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteBenchReport(f, rep); err != nil {
+			f.Close()
+			return fmt.Errorf("writing %s: %w", *jsonOut, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote bench report to %s\n", *jsonOut)
 	}
 	return nil
 }

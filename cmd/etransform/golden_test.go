@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/etransform/etransform/internal/datagen"
+	"github.com/etransform/etransform/internal/model"
+)
+
+var update = flag.Bool("update", false, "regenerate the golden fixtures under testdata/golden")
+
+// goldenCases are the end-to-end fixtures: each pins the full plan JSON
+// (timing fields normalized) and the exit-code class for a seeded
+// etdatagen scenario at -workers 1. Run with -update after an intended
+// output change; any other byte drift is a regression.
+var goldenCases = []struct {
+	name  string
+	scale float64
+	args  []string
+}{
+	{"enterprise1", 0.1, nil},
+	{"enterprise1-dr", 0.08, []string{"-dr", "-omega", "0.6"}},
+}
+
+// normalizePlan zeroes the wall-clock fields — the only
+// machine-dependent bytes in a -workers 1 plan — and re-encodes, so
+// golden comparisons are exact on everything else.
+func normalizePlan(t *testing.T, path string) []byte {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	plan, err := model.ReadPlan(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Stats.WallMillis = 0
+	plan.Stats.WorkMillis = 0
+	if d := plan.Stats.Degradation; d != nil {
+		for i := range d.Attempts {
+			d.Attempts[i].Millis = 0
+		}
+	}
+	var buf bytes.Buffer
+	if err := model.WritePlan(&buf, plan); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestGoldenPlans(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "golden", tc.name)
+			statePath := filepath.Join(dir, "state.json")
+			goldenPath := filepath.Join(dir, "plan.json")
+			exitPath := filepath.Join(dir, "exit_code")
+
+			if *update {
+				if err := os.MkdirAll(dir, 0o755); err != nil {
+					t.Fatal(err)
+				}
+				s, err := datagen.Enterprise1().Scaled(tc.scale).Generate()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := model.SaveState(statePath, s); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			planPath := filepath.Join(t.TempDir(), "plan.json")
+			args := append([]string{"-state", statePath, "-plan", planPath,
+				"-report=false", "-workers", "1", "-timelimit", "60s"}, tc.args...)
+			degraded, err := run(args)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exitCode := 0
+			if degraded {
+				exitCode = 3
+			}
+			got := normalizePlan(t, planPath)
+
+			if *update {
+				if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(exitPath, []byte(fmt.Sprintf("%d\n", exitCode)), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("updated %s (exit %d)", goldenPath, exitCode)
+				return
+			}
+
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("%v (run with -update to generate)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("plan JSON drifted from %s\n(run with -update if the change is intended)\ngot:\n%s\nwant:\n%s",
+					goldenPath, got, want)
+			}
+			wantExit, err := os.ReadFile(exitPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotExit := fmt.Sprintf("%d\n", exitCode); gotExit != string(wantExit) {
+				t.Errorf("exit code %q, golden %q", gotExit, wantExit)
+			}
+		})
+	}
+}

@@ -14,6 +14,13 @@
 //	etransform -state asis.json -dr -omega 0.4 -plan tobe.json
 //	etransform -state asis.json -lp model.lp        # export for CPLEX
 //	etransform -state asis.json -pin ag-0012=target-3 -forbid ag-0040=target-1
+//	etransform -state asis.json -workers 1 -trace solve.jsonl -metrics m.json
+//
+// Observability (all off by default, zero cost when off): -trace streams
+// structured solve events as JSONL (byte-stable across runs at
+// -workers 1); -metrics writes the solve metrics snapshot JSON and
+// embeds it in the plan's stats; -profile writes cpu.pprof and
+// heap.pprof into a directory.
 //
 // Exit codes: 0 — plan solved to proven optimality (or recovered to it by
 // a retry); 3 — a degraded-but-feasible plan was produced by a budget
@@ -33,6 +40,7 @@ import (
 	"github.com/etransform/etransform/internal/lp"
 	"github.com/etransform/etransform/internal/milp"
 	"github.com/etransform/etransform/internal/model"
+	"github.com/etransform/etransform/internal/obs"
 	"github.com/etransform/etransform/internal/report"
 	"github.com/etransform/etransform/internal/resilience/faultinject"
 )
@@ -74,6 +82,10 @@ func run(args []string) (degraded bool, err error) {
 	planOut := fs.String("plan", "", "write the to-be plan JSON to this file")
 	showReport := fs.Bool("report", true, "print the human-readable plan report")
 	memBudget := fs.Int64("membudget", 0, "open-node queue memory budget in bytes (0 = unlimited)")
+	workers := fs.Int("workers", 0, "branch & bound worker goroutines (0 = all CPUs, 1 = deterministic)")
+	traceOut := fs.String("trace", "", "write a structured JSONL solve trace to this file (byte-stable at -workers 1)")
+	metricsOut := fs.String("metrics", "", "write the solve metrics snapshot JSON to this file")
+	profileDir := fs.String("profile", "", "write cpu.pprof and heap.pprof profiles into this directory")
 	faults := fs.String("faults", "", `fault-injection spec, e.g. "pivot@5x2,corrupt" (testing only)`)
 	faultSeed := fs.Int64("faultseed", 1, "seed for probabilistic fault injection")
 	var pins, forbids multiFlag
@@ -90,6 +102,15 @@ func run(args []string) (degraded bool, err error) {
 	if err != nil {
 		return false, err
 	}
+	obsrv, err := obs.OpenFileObserver(*traceOut, *metricsOut, *profileDir, *workers == 1)
+	if err != nil {
+		return false, err
+	}
+	defer func() {
+		if cerr := obsrv.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 
 	state, err := model.LoadState(*statePath)
 	if err != nil {
@@ -117,8 +138,11 @@ func run(args []string) (degraded bool, err error) {
 			GapTol:    *gap,
 			MaxNodes:  *nodes,
 			TimeLimit: *timeLimit,
+			Workers:   *workers,
 			Budget:    milp.Budget{MemoryBytes: *memBudget},
 			Inject:    inject,
+			Trace:     obsrv.Tracer,
+			Metrics:   obsrv.Metrics,
 		},
 	})
 	if err != nil {

@@ -5,12 +5,18 @@
 //
 // Usage:
 //
-//	lpsolve [-gap G] [-nodes N] [-timelimit D] [-workers N] model.lp|model.mps
+//	lpsolve [-gap G] [-nodes N] [-timelimit D] [-workers N]
+//	        [-trace FILE] [-metrics FILE] [-profile DIR] model.lp|model.mps
 //
 // The branch & bound search runs -workers goroutines (0 = all CPUs; 1 =
 // deterministic sequential search). Ctrl-C cancels the solve gracefully:
 // the best incumbent found so far is printed, marked as a partial
 // (uncertified-optimal) result.
+//
+// Observability (all off by default, zero cost when off): -trace streams
+// structured solve events as JSONL (byte-stable across runs at
+// -workers 1); -metrics writes the solve metrics snapshot JSON;
+// -profile writes cpu.pprof and heap.pprof into a directory.
 //
 // Exit codes: 0 — solved to proven (gap-tolerance) optimality, or a
 // conclusive infeasible/unbounded verdict; 3 — a budget or limit stopped
@@ -31,6 +37,7 @@ import (
 	"github.com/etransform/etransform/internal/certify"
 	"github.com/etransform/etransform/internal/lp"
 	"github.com/etransform/etransform/internal/milp"
+	"github.com/etransform/etransform/internal/obs"
 	"github.com/etransform/etransform/internal/resilience/faultinject"
 	"github.com/etransform/etransform/internal/tol"
 )
@@ -55,6 +62,9 @@ func run(args []string) (degraded bool, err error) {
 	timeLimit := fs.Duration("timelimit", 10*time.Minute, "wall-clock limit")
 	memBudget := fs.Int64("membudget", 0, "open-node queue memory budget in bytes (0 = unlimited)")
 	workers := fs.Int("workers", 0, "branch & bound worker goroutines (0 = all CPUs, 1 = deterministic)")
+	traceOut := fs.String("trace", "", "write a structured JSONL solve trace to this file (byte-stable at -workers 1)")
+	metricsOut := fs.String("metrics", "", "write the solve metrics snapshot JSON to this file")
+	profileDir := fs.String("profile", "", "write cpu.pprof and heap.pprof profiles into this directory")
 	faults := fs.String("faults", "", `fault-injection spec, e.g. "pivot@5x2,corrupt" (testing only)`)
 	faultSeed := fs.Int64("faultseed", 1, "seed for probabilistic fault injection")
 	verbose := fs.Bool("v", false, "print every nonzero variable (default: first 50)")
@@ -69,6 +79,15 @@ func run(args []string) (degraded bool, err error) {
 	if err != nil {
 		return false, err
 	}
+	obsrv, err := obs.OpenFileObserver(*traceOut, *metricsOut, *profileDir, *workers == 1)
+	if err != nil {
+		return false, err
+	}
+	defer func() {
+		if cerr := obsrv.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	path := fs.Arg(0)
 	f, err := os.Open(path)
 	if err != nil {
@@ -94,8 +113,10 @@ func run(args []string) (degraded bool, err error) {
 	start := time.Now()
 	sol, err := milp.SolveContext(ctx, m, &milp.Options{
 		GapTol: *gap, MaxNodes: *nodes, TimeLimit: *timeLimit, Workers: *workers,
-		Budget: milp.Budget{MemoryBytes: *memBudget},
-		Inject: inject,
+		Budget:  milp.Budget{MemoryBytes: *memBudget},
+		Inject:  inject,
+		Trace:   obsrv.Tracer,
+		Metrics: obsrv.Metrics,
 	})
 	canceled := err != nil && errors.Is(err, context.Canceled) && sol != nil
 	if err != nil && !canceled {

@@ -11,6 +11,7 @@ import (
 	"github.com/etransform/etransform/internal/lp"
 	"github.com/etransform/etransform/internal/milp"
 	"github.com/etransform/etransform/internal/model"
+	"github.com/etransform/etransform/internal/obs"
 	"github.com/etransform/etransform/internal/simplex"
 	"github.com/etransform/etransform/internal/tol"
 )
@@ -54,6 +55,32 @@ func (p *Planner) solvePipeline(ctx context.Context, candidateK int) (*model.Pla
 	report := &lp.DegradationReport{Gap: unknownGap}
 	warm := b.warmStarts()
 
+	// Per-attempt observability spans: stage_start/stage_end trace
+	// events bracketing every try, and per-stage wall-clock counters
+	// whose sum stays within the pipeline total. All hooks are nil-safe
+	// no-ops when observability is off.
+	tr := p.opts.Solver.Trace
+	met := p.opts.Solver.Metrics
+	pipeStart := time.Now()
+	defer func() {
+		met.Add(obs.MetricPipelineMicros, time.Since(pipeStart).Microseconds())
+	}()
+	span := func(stage string, attempt int, t0 time.Time) func(outcome, detail string) {
+		if tr != nil {
+			tr.Emit(obs.Event{Kind: obs.KindStageStart, Name: stage, Attempt: attempt})
+		}
+		return func(outcome, detail string) {
+			met.Add(obs.MetricStageAttempts, 1)
+			met.Add(obs.MetricStageMicrosPrefix+stage, time.Since(t0).Microseconds())
+			if tr != nil {
+				tr.Emit(obs.Event{
+					Kind: obs.KindStageEnd, Name: stage, Attempt: attempt,
+					Status: outcome, Detail: detail,
+				})
+			}
+		}
+	}
+
 	var firstErr error
 	fail := func(stage string, attempt int, t0 time.Time, err error) {
 		report.Attempts = append(report.Attempts, lp.StageAttempt{
@@ -74,8 +101,10 @@ func (p *Planner) solvePipeline(ctx context.Context, candidateK int) (*model.Pla
 			solver.Simplex.Bland = true
 		}
 		t0 := time.Now()
+		end := span(lp.StageExact, attempt, t0)
 		sol, err := milp.SolveContext(ctx, b.m, &solver)
 		if err != nil {
+			end("error", err.Error())
 			if ctx.Err() != nil {
 				// Cancellation is the caller's decision, not a solver
 				// failure; the chain has no budget left to spend.
@@ -84,6 +113,7 @@ func (p *Planner) solvePipeline(ctx context.Context, candidateK int) (*model.Pla
 			fail(lp.StageExact, attempt, t0, err)
 			continue
 		}
+		end(sol.Status.String(), "")
 		switch sol.Status {
 		case lp.StatusInfeasible:
 			// A genuine answer, not a failure: no stage can place groups
@@ -159,14 +189,17 @@ func (p *Planner) solvePipeline(ctx context.Context, candidateK int) (*model.Pla
 
 	// Stage 2: LP-relaxation rounding with greedy repair.
 	t0 := time.Now()
+	end := span(lp.StageRounding, 1, t0)
 	plan, err := fb.lpRoundingPlan(ctx, p.stageDeadline())
 	if err == nil {
+		end("ok", "")
 		report.Attempts = append(report.Attempts, lp.StageAttempt{
 			Stage: lp.StageRounding, Attempt: 1, Outcome: "ok",
 			Millis: time.Since(t0).Milliseconds(),
 		})
 		return p.degradedPlan(plan, report, lp.StageRounding, 2, firstErr), nil
 	}
+	end("failed", err.Error())
 	fail(lp.StageRounding, 1, t0, err)
 	if ctx.Err() != nil {
 		return nil, fmt.Errorf("core: solving %s: %w", b.m.Name, ctx.Err())
@@ -174,14 +207,17 @@ func (p *Planner) solvePipeline(ctx context.Context, candidateK int) (*model.Pla
 
 	// Stage 3: greedy baseline.
 	t0 = time.Now()
+	end = span(lp.StageGreedy, 1, t0)
 	plan, err = fb.greedyPlan()
 	if err == nil {
+		end("ok", "")
 		report.Attempts = append(report.Attempts, lp.StageAttempt{
 			Stage: lp.StageGreedy, Attempt: 1, Outcome: "ok",
 			Millis: time.Since(t0).Milliseconds(),
 		})
 		return p.degradedPlan(plan, report, lp.StageGreedy, 3, firstErr), nil
 	}
+	end("failed", err.Error())
 	fail(lp.StageGreedy, 1, t0, err)
 
 	return nil, fmt.Errorf("core: all solve stages failed (exact, lp-rounding, greedy); first failure: %w", firstErr)
@@ -282,6 +318,11 @@ func (b *builder) lpRoundingPlan(ctx context.Context, deadline time.Time) (*mode
 	if !deadline.IsZero() {
 		opts.Deadline = deadline
 	}
+	// The relaxation bypasses milp.SolveContext (which normally hands the
+	// observer down), so wire the stage-2 LP into the same tracer/registry
+	// here: its pivots and phase events count toward the solve totals.
+	opts.Trace = b.p.opts.Solver.Trace
+	opts.Metrics = b.p.opts.Solver.Metrics
 	rel, err := simplex.SolveContext(ctx, b.m.Relax(), &opts)
 	if err != nil {
 		return nil, fmt.Errorf("core: lp-rounding relaxation: %w", err)

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/etransform/etransform/internal/datagen"
+	"github.com/etransform/etransform/internal/milp"
+	"github.com/etransform/etransform/internal/model"
+	"github.com/etransform/etransform/internal/stepwise"
+)
+
+// Metamorphic tests: transformations of the input with a known effect on
+// the certified optimum. Every plan here passes through internal/certify
+// (the planner certifies unconditionally), so an objective match is a
+// statement about the true optimum, not about two runs sharing a bug.
+//
+//   - scaling every cost input by k scales the optimum by exactly k;
+//   - permuting DC and group indices leaves the optimum (and each
+//     group's placement) unchanged;
+//   - adding a strictly dominated (costlier, no closer) data center
+//     changes nothing.
+//
+// Each property is checked at Workers 1 and 4: the parallel search must
+// land on the same certified objective.
+
+// metamorphicState is the seeded base scenario: enterprise1 shrunk to a
+// size where 2×4 exact solves stay fast.
+func metamorphicState(t *testing.T) *model.AsIsState {
+	t.Helper()
+	s, err := datagen.Enterprise1().Scaled(0.08).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// copyState deep-copies a state through its JSON codec — the same bytes
+// a user's -state file would carry.
+func copyState(t *testing.T, s *model.AsIsState) *model.AsIsState {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := model.WriteState(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	out, err := model.ReadState(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// scaleCurve multiplies every tier price of a space-cost curve by k.
+func scaleCurve(t *testing.T, c stepwise.Curve, k float64) stepwise.Curve {
+	t.Helper()
+	segs := c.Segments()
+	if len(segs) == 0 {
+		return c
+	}
+	for i := range segs {
+		segs[i].UnitCost *= k
+	}
+	out, err := stepwise.NewCurve(segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// scalePenalty multiplies every penalty step of a latency penalty by k.
+func scalePenalty(t *testing.T, p stepwise.LatencyPenalty, k float64) stepwise.LatencyPenalty {
+	t.Helper()
+	steps := p.Steps()
+	if len(steps) == 0 {
+		return p
+	}
+	for i := range steps {
+		steps[i].PenaltyPerUser *= k
+	}
+	out, err := stepwise.NewLatencyPenalty(steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// scaleEstate multiplies every cost input of an estate by k.
+func scaleEstate(t *testing.T, e *model.Estate, k float64) {
+	t.Helper()
+	for j := range e.DCs {
+		dc := &e.DCs[j]
+		dc.SpaceCost = scaleCurve(t, dc.SpaceCost, k)
+		dc.PowerCostPerKWh *= k
+		dc.LaborCostPerAdmin *= k
+		dc.WANCostPerMb *= k
+	}
+	for j := range e.VPNLinkMonthly {
+		for r := range e.VPNLinkMonthly[j] {
+			e.VPNLinkMonthly[j][r] *= k
+		}
+	}
+}
+
+// scaleCosts multiplies every cost input of the whole state by k,
+// leaving all physical quantities (capacities, latencies, demand) alone.
+func scaleCosts(t *testing.T, s *model.AsIsState, k float64) {
+	t.Helper()
+	scaleEstate(t, &s.Current, k)
+	scaleEstate(t, &s.Target, k)
+	for i := range s.Groups {
+		s.Groups[i].LatencyPenalty = scalePenalty(t, s.Groups[i].LatencyPenalty, k)
+	}
+	s.Params.DRServerCost *= k
+}
+
+func solveWithWorkers(t *testing.T, s *model.AsIsState, workers int) *model.Plan {
+	t.Helper()
+	p, err := New(s, Options{Solver: milp.Options{Workers: workers, GapTol: 1e-9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Stats.Degradation != nil {
+		t.Fatalf("metamorphic solve degraded: %+v", plan.Stats.Degradation)
+	}
+	return plan
+}
+
+func relDiff(a, b float64) float64 {
+	return math.Abs(a-b) / math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestMetamorphicCostScaling(t *testing.T) {
+	const k = 3.5
+	base := metamorphicState(t)
+	for _, workers := range []int{1, 4} {
+		ref := solveWithWorkers(t, copyState(t, base), workers)
+		scaled := copyState(t, base)
+		scaleCosts(t, scaled, k)
+		got := solveWithWorkers(t, scaled, workers)
+		if d := relDiff(got.Cost.Total(), k*ref.Cost.Total()); d > 1e-6 {
+			t.Errorf("workers=%d: scaled optimum %v, want %v × %v = %v (rel diff %g)",
+				workers, got.Cost.Total(), k, ref.Cost.Total(), k*ref.Cost.Total(), d)
+		}
+	}
+}
+
+// permuteState returns a copy with target DCs and groups in a seeded
+// random order (latency columns and VPN rows permuted consistently).
+func permuteState(t *testing.T, s *model.AsIsState, seed int64) *model.AsIsState {
+	t.Helper()
+	out := copyState(t, s)
+	rng := rand.New(rand.NewSource(seed))
+
+	n := len(out.Target.DCs)
+	perm := rng.Perm(n) // new index i holds old DC perm[i]
+	dcs := make([]model.DataCenter, n)
+	for i, old := range perm {
+		dcs[i] = out.Target.DCs[old]
+	}
+	out.Target.DCs = dcs
+	for r := range out.Target.LatencyMs {
+		row := make([]float64, n)
+		for i, old := range perm {
+			row[i] = out.Target.LatencyMs[r][old]
+		}
+		out.Target.LatencyMs[r] = row
+	}
+	if len(out.Target.VPNLinkMonthly) > 0 {
+		vpn := make([][]float64, n)
+		for i, old := range perm {
+			vpn[i] = out.Target.VPNLinkMonthly[old]
+		}
+		out.Target.VPNLinkMonthly = vpn
+	}
+
+	rng.Shuffle(len(out.Groups), func(i, j int) {
+		out.Groups[i], out.Groups[j] = out.Groups[j], out.Groups[i]
+	})
+	if err := out.Validate(); err != nil {
+		t.Fatalf("permuted state invalid: %v", err)
+	}
+	return out
+}
+
+func TestMetamorphicIndexPermutation(t *testing.T) {
+	base := metamorphicState(t)
+	for _, workers := range []int{1, 4} {
+		ref := solveWithWorkers(t, copyState(t, base), workers)
+		for seed := int64(1); seed <= 3; seed++ {
+			got := solveWithWorkers(t, permuteState(t, base, seed), workers)
+			if d := relDiff(got.Cost.Total(), ref.Cost.Total()); d > 1e-6 {
+				t.Errorf("workers=%d seed=%d: permuted optimum %v, want %v (rel diff %g)",
+					workers, seed, got.Cost.Total(), ref.Cost.Total(), d)
+			}
+			// Placements are identified by DC ID, so they must survive
+			// the index shuffle group by group.
+			for _, a := range ref.Assignments {
+				pa := got.AssignmentFor(a.GroupID)
+				if pa == nil || pa.PrimaryDC != a.PrimaryDC {
+					t.Errorf("workers=%d seed=%d: group %q moved from %q to %v",
+						workers, seed, a.GroupID, a.PrimaryDC, pa)
+				}
+			}
+		}
+	}
+}
+
+// dominatedState appends a clone of the first target DC whose every cost
+// is ×1000 at identical latency: no group can prefer it, so the optimum
+// must not move.
+func dominatedState(t *testing.T, s *model.AsIsState) *model.AsIsState {
+	t.Helper()
+	out := copyState(t, s)
+	dc := out.Target.DCs[0]
+	dc.ID = "dominated"
+	dc.Location.ID = "loc-dominated"
+	dc.SpaceCost = scaleCurve(t, dc.SpaceCost, 1000)
+	dc.PowerCostPerKWh *= 1000
+	dc.LaborCostPerAdmin *= 1000
+	dc.WANCostPerMb *= 1000
+	out.Target.DCs = append(out.Target.DCs, dc)
+	for r := range out.Target.LatencyMs {
+		out.Target.LatencyMs[r] = append(out.Target.LatencyMs[r], out.Target.LatencyMs[r][0])
+	}
+	if len(out.Target.VPNLinkMonthly) > 0 {
+		row := append([]float64(nil), out.Target.VPNLinkMonthly[0]...)
+		for i := range row {
+			row[i] *= 1000
+		}
+		out.Target.VPNLinkMonthly = append(out.Target.VPNLinkMonthly, row)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatalf("dominated state invalid: %v", err)
+	}
+	return out
+}
+
+func TestMetamorphicDominatedDC(t *testing.T) {
+	base := metamorphicState(t)
+	for _, workers := range []int{1, 4} {
+		ref := solveWithWorkers(t, copyState(t, base), workers)
+		got := solveWithWorkers(t, dominatedState(t, base), workers)
+		if d := relDiff(got.Cost.Total(), ref.Cost.Total()); d > 1e-6 {
+			t.Errorf("workers=%d: optimum moved from %v to %v after adding a dominated DC (rel diff %g)",
+				workers, ref.Cost.Total(), got.Cost.Total(), d)
+		}
+		for _, a := range got.Assignments {
+			if a.PrimaryDC == "dominated" || a.SecondaryDC == "dominated" {
+				t.Errorf("workers=%d: group %q assigned to the dominated DC", workers, a.GroupID)
+			}
+		}
+	}
+}

@@ -198,13 +198,18 @@ func (p *Planner) SolveContext(ctx context.Context) (*model.Plan, error) {
 		ctx = context.Background()
 	}
 	plan, err := p.solvePipeline(ctx, p.opts.CandidateK)
-	if err == nil || p.opts.CandidateK <= 0 {
-		return plan, err
+	if err != nil && p.opts.CandidateK > 0 {
+		if _, pruned := err.(*prunedInfeasibleError); pruned {
+			// Candidate pruning can cut off every feasible packing; retry
+			// with full candidate sets before declaring defeat.
+			plan, err = p.solvePipeline(ctx, 0)
+		}
 	}
-	if _, pruned := err.(*prunedInfeasibleError); pruned {
-		// Candidate pruning can cut off every feasible packing; retry
-		// with full candidate sets before declaring defeat.
-		return p.solvePipeline(ctx, 0)
+	if plan != nil && err == nil {
+		// Fold the solve's counters into the plan so -metrics and the
+		// property tests see the registry state as of this plan. nil when
+		// collection is off, keeping default output byte-identical.
+		plan.Stats.Metrics = p.opts.Solver.Metrics.Snapshot()
 	}
 	return plan, err
 }

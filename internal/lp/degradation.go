@@ -1,17 +1,50 @@
 package lp
 
 // Limit names, recorded in Solution.Limit when a budget dimension ends a
-// branch & bound search before optimality is proven.
+// search before optimality is proven. This is the single authoritative
+// set: Solution.Limit, DegradationReport.Limit and milp.Budget all speak
+// these strings and no others.
 const (
-	// LimitWallClock means the solve-wide wall-clock budget expired.
+	// LimitWallClock means a wall-clock budget expired: the solve-wide
+	// deadline in branch & bound, or Options.Deadline inside a simplex
+	// solve.
 	LimitWallClock = "wall-clock"
 	// LimitNodes means the branch & bound node budget was exhausted.
 	LimitNodes = "nodes"
 	// LimitMemory means the open-node memory estimate exceeded its budget.
 	LimitMemory = "memory"
-	// LimitIterations means a subproblem LP hit its iteration limit.
+	// LimitIterations means a simplex solve hit its iteration limit
+	// (directly, or inside a branch & bound node LP).
 	LimitIterations = "iterations"
 )
+
+// Limits returns every Limit* constant, in a fixed order — handy for
+// tests sweeping the full budget-dimension set.
+func Limits() []string {
+	return []string{LimitWallClock, LimitNodes, LimitMemory, LimitIterations}
+}
+
+// ValidLimit reports whether the (status, limit) pair is one a solver in
+// this repository can actually produce:
+//
+//   - StatusIterLimit pairs with LimitIterations or LimitWallClock (a
+//     simplex solve stopped by its own iteration budget or deadline,
+//     possibly passed through by branch & bound from the root LP);
+//   - StatusNodeLimit pairs with exactly one of the four dimensions
+//     (branch & bound's graceful budget stop always names what tripped,
+//     including a node LP's iteration limit surrendered solve-wide);
+//   - every other status carries an empty Limit.
+func ValidLimit(status Status, limit string) bool {
+	switch status {
+	case StatusIterLimit:
+		return limit == LimitIterations || limit == LimitWallClock
+	case StatusNodeLimit:
+		return limit == LimitWallClock || limit == LimitNodes ||
+			limit == LimitMemory || limit == LimitIterations
+	default:
+		return limit == ""
+	}
+}
 
 // StageAttempt records one attempt of one stage of the fallback solver
 // chain: which stage ran, how it ended, and how long it took. The solve

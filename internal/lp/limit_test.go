@@ -1,0 +1,55 @@
+package lp
+
+import "testing"
+
+// TestValidLimitTable enumerates every (Status, Limit) combination and
+// checks ValidLimit against the documented contract: StatusIterLimit
+// pairs with the two simplex-reachable dimensions, StatusNodeLimit with
+// exactly one of the four, and every other status with the empty string.
+func TestValidLimitTable(t *testing.T) {
+	statuses := []Status{
+		StatusOptimal, StatusInfeasible, StatusUnbounded,
+		StatusIterLimit, StatusNodeLimit, StatusFeasible, StatusCanceled,
+	}
+	valid := map[Status]map[string]bool{
+		StatusIterLimit: {LimitIterations: true, LimitWallClock: true},
+		StatusNodeLimit: {
+			LimitWallClock: true, LimitNodes: true,
+			LimitMemory: true, LimitIterations: true,
+		},
+	}
+	limits := append([]string{""}, Limits()...)
+	for _, st := range statuses {
+		for _, lim := range limits {
+			want := valid[st][lim]
+			if _, hasRow := valid[st]; !hasRow {
+				want = lim == ""
+			}
+			if got := ValidLimit(st, lim); got != want {
+				t.Errorf("ValidLimit(%v, %q) = %v, want %v", st, lim, got, want)
+			}
+		}
+	}
+	// Unknown strings never validate, whatever the status.
+	for _, st := range statuses {
+		if ValidLimit(st, "gremlins") {
+			t.Errorf("ValidLimit(%v, gremlins) accepted an unknown limit", st)
+		}
+	}
+}
+
+// TestLimitsStable pins the authoritative limit-name set: these strings
+// appear in plan JSON and trace events, so changing one is a format
+// break, not a refactor.
+func TestLimitsStable(t *testing.T) {
+	want := []string{"wall-clock", "nodes", "memory", "iterations"}
+	got := Limits()
+	if len(got) != len(want) {
+		t.Fatalf("Limits() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Limits()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

@@ -80,8 +80,13 @@ type Solution struct {
 	// nil for MILP.
 	DualValues []float64
 	// Limit names the budget dimension that ended the search when Status
-	// is a limit status (LimitWallClock, LimitNodes, LimitMemory,
-	// LimitIterations); empty otherwise.
+	// is a limit status, and is empty for every other status. The value
+	// is always one of the Limit* constants in degradation.go, and the
+	// reachable (Status, Limit) combinations are exactly the ones
+	// ValidLimit accepts: simplex solves stop with StatusIterLimit and
+	// LimitIterations or LimitWallClock; branch & bound stops with
+	// StatusNodeLimit and any of the four dimensions, or passes a root
+	// LP's StatusIterLimit through unchanged.
 	Limit string
 
 	// Concurrency statistics, populated by branch & bound solves
@@ -91,8 +96,10 @@ type Solution struct {
 	// solve ran with (1 for a sequential solve).
 	Workers int
 	// NodesPerWorker counts the branch & bound nodes each worker
-	// LP-solved; its entries sum to Nodes minus the root. nil when the
-	// solve never entered the tree search.
+	// LP-solved; its entries sum to exactly Nodes (the root is counted
+	// by the worker that solved it). nil when the solve never entered
+	// the tree search — e.g. a pure-LP passthrough, which reports
+	// Nodes=1 with no per-worker attribution.
 	NodesPerWorker []int
 	// PeakQueueDepth is the largest number of simultaneously open
 	// branch & bound nodes observed.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/etransform/etransform/internal/lp"
+	"github.com/etransform/etransform/internal/obs"
 	"github.com/etransform/etransform/internal/resilience/faultinject"
 	"github.com/etransform/etransform/internal/simplex"
 	"github.com/etransform/etransform/internal/tol"
@@ -78,6 +79,18 @@ type Options struct {
 	MaxDiveDepth int
 	// DisablePresolve turns off the bound-tightening presolve pass.
 	DisablePresolve bool
+	// Trace, when non-nil, receives structured solve events: solve
+	// start/end, incumbent installs, global-bound improvements, plus the
+	// per-LP phase events from the simplex layer (the tracer is handed
+	// down to the node-LP engines). Events are totally ordered by the
+	// tracer; at Workers=1 the stream is deterministic.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, receives the solve's counters and gauges
+	// (nodes, per-worker node counts, incumbents, bound improvements,
+	// wall/work time) and is handed down to the simplex engines for
+	// their pivot counters. Production callers leave both nil: every
+	// instrumentation site is then a single pointer comparison.
+	Metrics *obs.Metrics
 	// Workers is the number of branch & bound worker goroutines that
 	// pull nodes from the shared best-bound queue. 0 selects
 	// runtime.NumCPU(). Workers=1 runs the fully sequential search and
@@ -217,8 +230,26 @@ func SolveContext(ctx context.Context, model *lp.Model, opts *Options) (*lp.Solu
 	}
 	if o.Inject != nil {
 		// Hand the harness down so the simplex sites (pivot, corrupt,
-		// stall) fire inside node LPs too.
+		// stall) fire inside node LPs too, and let it report firings to
+		// the observability layer when one is armed.
 		c.opts.Simplex.Inject = o.Inject
+		if o.Trace != nil || o.Metrics != nil {
+			o.Inject.Observe(o.Trace, o.Metrics)
+		}
 	}
-	return c.solve()
+	// Hand observability down the same way: node LPs fold their pivot
+	// counters and phase events into the solve-wide tracer/registry.
+	c.opts.Simplex.Trace = o.Trace
+	c.opts.Simplex.Metrics = o.Metrics
+	if o.Trace != nil {
+		o.Trace.Emit(obs.Event{
+			Kind: obs.KindSolveStart, Name: model.Name,
+			Detail: fmt.Sprintf("rows=%d cols=%d int=%d workers=%d",
+				model.NumRows(), model.NumVars(), len(c.intVars), o.Workers),
+		})
+	}
+	sol, err := c.solve()
+	c.emitSolveEnd(sol, err)
+	c.foldMetrics(sol)
+	return sol, err
 }

@@ -5,10 +5,12 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
 	"time"
 
 	"github.com/etransform/etransform/internal/lp"
+	"github.com/etransform/etransform/internal/obs"
 	"github.com/etransform/etransform/internal/resilience/faultinject"
 	"github.com/etransform/etransform/internal/simplex"
 	"github.com/etransform/etransform/internal/tol"
@@ -136,10 +138,21 @@ func (c *coordinator) globalBoundLocked() float64 {
 			b = c.lastBound
 		}
 	}
-	if b > c.lastBound {
-		c.lastBound = b
-	}
+	c.advanceBoundLocked(b)
 	return c.lastBound
+}
+
+// advanceBoundLocked raises the monotone global bound and records the
+// improvement in the observability layer. Called under c.mu.
+func (c *coordinator) advanceBoundLocked(b float64) {
+	if b <= c.lastBound {
+		return
+	}
+	c.lastBound = b
+	c.opts.Metrics.Add(obs.MetricMILPBoundImprove, 1)
+	if c.opts.Trace != nil && !math.IsInf(b, 0) {
+		c.opts.Trace.Emit(obs.Event{Kind: obs.KindBound, Value: b, Nodes: c.nodes})
+	}
 }
 
 func (c *coordinator) pushLocked(bound float64, depth int, changes []boundChange) {
@@ -215,7 +228,9 @@ func (c *coordinator) mostFractional(x []float64) (lp.VarID, float64) {
 // original model and still beats the incumbent at install time. The
 // expensive feasibility check runs outside the lock; the install is
 // double-checked under it, so the incumbent objective only decreases.
-func (c *coordinator) tryAccept(x []float64, gateObj float64) {
+// worker is the 1-based publisher for incumbent attribution (0 for
+// warm starts, which precede the search).
+func (c *coordinator) tryAccept(x []float64, gateObj float64, worker int) {
 	c.mu.Lock()
 	if c.haveInc && gateObj >= c.incumbentObj-tol.Tie {
 		c.mu.Unlock()
@@ -238,6 +253,12 @@ func (c *coordinator) tryAccept(x []float64, gateObj float64) {
 		c.incumbent = snapped
 		c.incumbentObj = obj
 		c.haveInc = true
+		c.opts.Metrics.Add(obs.MetricMILPIncumbents, 1)
+		if c.opts.Trace != nil {
+			c.opts.Trace.Emit(obs.Event{
+				Kind: obs.KindIncumbent, Value: obj, Worker: worker, Nodes: c.nodes,
+			})
+		}
 	}
 	c.mu.Unlock()
 }
@@ -305,7 +326,7 @@ func (w *worker) dive(base []boundChange, sol *lp.Solution) error {
 		}
 		v, _ := w.c.mostFractional(cur.X)
 		if v < 0 {
-			w.c.tryAccept(cur.X, cur.Objective)
+			w.c.tryAccept(cur.X, cur.Objective, w.id+1)
 			return nil
 		}
 		// Fix integer vars that are (nearly) settled at a nonzero value —
@@ -482,7 +503,7 @@ func (c *coordinator) step(w *worker) bool {
 		case haveInc && sol.Objective >= incObj-c.pruneEps(incObj):
 			// Pruned against the incumbent snapshot.
 		case func() bool { v, _ := c.mostFractional(sol.X); return v < 0 }():
-			c.tryAccept(sol.X, sol.Objective)
+			c.tryAccept(sol.X, sol.Objective, w.id+1)
 		default:
 			// Occasional re-dive deeper in the tree keeps the incumbent
 			// fresh. nodeIdx comes from the shared counter, so the pacing
@@ -524,7 +545,7 @@ func (c *coordinator) solve() (*lp.Solution, error) {
 	w0 := c.newWorker(0)
 	for _, ws := range c.opts.WarmStarts {
 		if len(ws) == c.model.NumVars() {
-			c.tryAccept(ws, c.model.Objective(ws))
+			c.tryAccept(ws, c.model.Objective(ws), 0)
 		}
 	}
 	t0 := time.Now()
@@ -563,7 +584,7 @@ func (c *coordinator) solve() (*lp.Solution, error) {
 	}
 
 	if v, _ := c.mostFractional(root.X); v < 0 {
-		c.tryAccept(root.X, root.Objective)
+		c.tryAccept(root.X, root.Objective, 1)
 		w0.busy = time.Since(t0)
 		return c.assembleFinish(root.Objective, lp.StatusOptimal, []*worker{w0})
 	}
@@ -576,7 +597,7 @@ func (c *coordinator) solve() (*lp.Solution, error) {
 	down, up := w0.branchChanges(&node{}, root)
 	w0.busy = time.Since(t0)
 	c.mu.Lock()
-	c.lastBound = root.Objective
+	c.advanceBoundLocked(root.Objective)
 	c.pushLocked(root.Objective, 1, down)
 	c.pushLocked(root.Objective, 1, up)
 	c.mu.Unlock()
@@ -698,4 +719,70 @@ func (c *coordinator) fillStats(sol *lp.Solution, workers int) {
 	sol.PeakQueueDepth = c.peakQueue
 	sol.WallTime = time.Since(c.start)
 	sol.WorkTime = c.workTime
+}
+
+// emitSolveEnd closes the trace stream for this solve with the terminal
+// status, objective and search counters. Called once from SolveContext,
+// after every terminal path, so each solve_start has exactly one
+// matching solve_end.
+func (c *coordinator) emitSolveEnd(sol *lp.Solution, err error) {
+	tr := c.opts.Trace
+	if tr == nil {
+		return
+	}
+	e := obs.Event{Kind: obs.KindSolveEnd}
+	if err != nil {
+		e.Status = "error"
+		e.Detail = err.Error()
+	}
+	if sol != nil {
+		if sol.Status != 0 {
+			e.Status = sol.Status.String()
+		}
+		e.Limit = sol.Limit
+		e.Nodes = sol.Nodes
+		e.Iterations = sol.Iterations
+		if sol.X != nil && !math.IsNaN(sol.Objective) && !math.IsInf(sol.Objective, 0) {
+			e.Value = sol.Objective
+		}
+		e.Gap = jsonSafeEventGap(sol.Gap)
+	}
+	tr.Emit(e)
+}
+
+// jsonSafeEventGap maps an unknown (infinite) gap to -1 so trace events
+// always survive encoding/json, mirroring the planner's plan encoding.
+func jsonSafeEventGap(gap float64) float64 {
+	if math.IsInf(gap, 0) || math.IsNaN(gap) {
+		return -1
+	}
+	return gap
+}
+
+// foldMetrics records the solve's totals into the metrics registry: one
+// call per solve, after the terminal state is known. Per-worker node
+// counters sum to MetricMILPNodes whenever the tree search ran (they
+// are simply absent for pure-LP pass-through solves, whose single root
+// "node" no worker claimed).
+func (c *coordinator) foldMetrics(sol *lp.Solution) {
+	m := c.opts.Metrics
+	if m == nil {
+		return
+	}
+	m.Add(obs.MetricMILPSolves, 1)
+	m.SetGauge(obs.MetricMILPWorkers, float64(c.opts.Workers))
+	m.MaxGauge(obs.MetricMILPPeakQueue, float64(c.peakQueue))
+	if sol == nil {
+		return
+	}
+	m.Add(obs.MetricMILPNodes, int64(sol.Nodes))
+	if c.nodes > 0 {
+		for i, n := range c.nodesBy {
+			if n > 0 {
+				m.Add(obs.MetricMILPNodesWorkerPrefix+strconv.Itoa(i+1), int64(n))
+			}
+		}
+	}
+	m.Add(obs.MetricMILPWallMicros, sol.WallTime.Microseconds())
+	m.Add(obs.MetricMILPWorkMicros, sol.WorkTime.Microseconds())
 }

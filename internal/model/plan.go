@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"github.com/etransform/etransform/internal/lp"
+	"github.com/etransform/etransform/internal/obs"
 )
 
 // Assignment places one application group: a primary data center and,
@@ -104,6 +105,12 @@ type SolveStats struct {
 	// why earlier stages failed. nil means the exact MILP stage succeeded
 	// on its first attempt with no budget pressure.
 	Degradation *lp.DegradationReport `json:"degradation,omitempty"`
+	// Metrics, when metrics collection was enabled on the solver options,
+	// is the observability registry's snapshot taken after the solve:
+	// pivot counts, per-worker node throughput, per-stage wall clock and
+	// the rest of the taxonomy in internal/obs. nil whenever collection
+	// is off, so default plan output is unchanged byte for byte.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // Plan is a complete "to-be" state: placements, backup pools and costs.

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// FileObserver is the CLI-facing bundle behind the -trace/-metrics/
+// -profile flags: it owns the output files and the Tracer/Metrics
+// handed into solver options, and flushes everything on Close. A nil
+// *FileObserver (or one opened with all paths empty) carries nil
+// Tracer/Metrics, so passing its fields through is always safe and
+// keeps the instrumentation fully disabled.
+type FileObserver struct {
+	// Tracer is non-nil iff a trace path was given.
+	Tracer *Tracer
+	// Metrics is non-nil iff a metrics path was given.
+	Metrics *Metrics
+
+	traceFile   *os.File
+	traceSink   *JSONLSink
+	metricsPath string
+	stopProfile func() error
+}
+
+// OpenFileObserver opens the requested outputs; every empty path
+// disables its facility. deterministic selects a timestamp-free tracer
+// (see NewDeterministic) so single-worker trace streams are byte-stable
+// across runs.
+func OpenFileObserver(tracePath, metricsPath, profileDir string, deterministic bool) (*FileObserver, error) {
+	o := &FileObserver{}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		o.traceFile = f
+		o.traceSink = NewJSONLSink(f)
+		if deterministic {
+			o.Tracer = NewDeterministic(o.traceSink)
+		} else {
+			o.Tracer = New(o.traceSink)
+		}
+	}
+	if metricsPath != "" {
+		o.Metrics = NewMetrics()
+		o.metricsPath = metricsPath
+	}
+	if profileDir != "" {
+		stop, err := StartProfiles(profileDir)
+		if err != nil {
+			o.Close()
+			return nil, err
+		}
+		o.stopProfile = stop
+	}
+	return o, nil
+}
+
+// Close flushes and closes everything the observer opened: it surfaces
+// any sticky trace encode error, writes the metrics snapshot, and stops
+// the profiles. Safe on nil and idempotent.
+func (o *FileObserver) Close() error {
+	if o == nil {
+		return nil
+	}
+	var errs []error
+	if o.traceFile != nil {
+		if err := o.traceSink.Err(); err != nil {
+			errs = append(errs, fmt.Errorf("obs: writing trace: %w", err))
+		}
+		if err := o.traceFile.Close(); err != nil {
+			errs = append(errs, err)
+		}
+		o.traceFile = nil
+	}
+	if o.metricsPath != "" {
+		f, err := os.Create(o.metricsPath)
+		if err != nil {
+			errs = append(errs, err)
+		} else {
+			if err := o.Metrics.Snapshot().WriteJSON(f); err != nil {
+				errs = append(errs, fmt.Errorf("obs: writing metrics: %w", err))
+			}
+			if err := f.Close(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		o.metricsPath = ""
+	}
+	if o.stopProfile != nil {
+		stop := o.stopProfile
+		o.stopProfile = nil
+		if err := stop(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

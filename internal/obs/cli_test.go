@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestOpenFileObserverAllDisabled(t *testing.T) {
+	o, err := OpenFileObserver("", "", "", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Tracer != nil || o.Metrics != nil {
+		t.Errorf("empty paths produced live instrumentation: %+v", o)
+	}
+	if err := o.Close(); err != nil {
+		t.Errorf("Close on disabled observer: %v", err)
+	}
+	var nilObs *FileObserver
+	if err := nilObs.Close(); err != nil {
+		t.Errorf("Close on nil observer: %v", err)
+	}
+}
+
+func TestOpenFileObserverWritesEverything(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	metricsPath := filepath.Join(dir, "metrics.json")
+	profDir := filepath.Join(dir, "prof")
+
+	o, err := OpenFileObserver(tracePath, metricsPath, profDir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Tracer.Emit(Event{Kind: KindSolveStart, Name: "m"})
+	o.Tracer.Emit(Event{Kind: KindSolveEnd, Name: "m", Status: "optimal"})
+	o.Metrics.Add(MetricSimplexPivots, 7)
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var kinds []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad trace line %q: %v", sc.Text(), err)
+		}
+		if e.TMicros != 0 {
+			t.Errorf("deterministic trace carries a timestamp: %+v", e)
+		}
+		kinds = append(kinds, string(e.Kind))
+	}
+	if got := strings.Join(kinds, ","); got != "solve_start,solve_end" {
+		t.Errorf("trace kinds = %q", got)
+	}
+
+	mb, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(mb, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters[MetricSimplexPivots] != 7 {
+		t.Errorf("metrics file counters = %v", snap.Counters)
+	}
+
+	for _, name := range []string{"cpu.pprof", "heap.pprof"} {
+		fi, err := os.Stat(filepath.Join(profDir, name))
+		if err != nil {
+			t.Errorf("missing profile %s: %v", name, err)
+		} else if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", name)
+		}
+	}
+}
+
+func TestOpenFileObserverErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := OpenFileObserver(filepath.Join(dir, "no", "such", "trace.jsonl"), "", "", false); err == nil {
+		t.Error("unwritable trace path accepted")
+	}
+	// The metrics file is created at Close time; a path naming an
+	// existing directory must surface there, not be swallowed.
+	o, err := OpenFileObserver("", dir, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Close(); err == nil {
+		t.Error("Close swallowed the unwritable metrics path")
+	}
+}

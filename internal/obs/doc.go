@@ -1,0 +1,44 @@
+// Package obs is the solver stack's zero-dependency observability
+// layer: structured event tracing, a metrics registry, and opt-in pprof
+// capture. It exists so a live solve can be *watched* — which phase is
+// running, how the incumbent and bound evolve, where wall-clock goes —
+// instead of reconstructed from a final lp.Solution.
+//
+// The package follows the same nil-receiver idiom as
+// internal/resilience/faultinject: every method on *Tracer and *Metrics
+// is safe (and a no-op) on a nil pointer, so instrumented code carries
+// its hooks permanently and the disabled cost is a single pointer
+// comparison per site — nothing is allocated and no clock is read when
+// observability is off. Hot loops (the simplex pivot loop) never call
+// into this package per iteration even when armed: they keep local
+// integer counters and fold them into the registry once per solve.
+//
+// # Tracing
+//
+// A Tracer serializes Events into a Sink. Events carry a monotone
+// sequence number assigned under the Tracer's lock, so one solve yields
+// one totally ordered stream even when branch & bound workers emit
+// concurrently. At Workers=1 the stream is deterministic: the same
+// model and options produce the same event sequence (timestamps aside —
+// NewDeterministic omits them entirely for byte-stable golden streams).
+// JSONLSink writes one JSON object per line, the format the CLIs'
+// -trace flag dumps and Replay parses back.
+//
+// # Metrics
+//
+// Metrics is a small registry of named counters, gauges and power-of-
+// two-bucket histograms. The instrumented layers record a fixed
+// taxonomy (see DESIGN.md "Observability"): simplex.* fold per-solve
+// pivot statistics, milp.* record node/incumbent/bound progress,
+// core.stage_us.* meter the fallback chain, fault.* count injected
+// firings. Snapshot freezes the registry into a JSON-encodable value
+// that the planner attaches to Plan.Stats.Metrics when a registry is
+// armed (nil otherwise, keeping default plan bytes unchanged).
+//
+// # Profiling and benchmark reports
+//
+// StartProfiles arms runtime/pprof CPU profiling and writes cpu.pprof +
+// heap.pprof into a directory on stop — the CLIs' -profile flag.
+// BenchReport is the schema of the repository's BENCH_<n>.json perf
+// trajectory artifacts emitted by cmd/etbench -json via scripts/bench.sh.
+package obs

@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerAndMetricsAreNoOps(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Kind: KindIncumbent, Value: 1}) // must not panic
+
+	var m *Metrics
+	m.Add("x", 1)
+	m.SetGauge("g", 2)
+	m.MaxGauge("g", 3)
+	m.Observe("h", 4)
+	if m.Counter("x") != 0 {
+		t.Fatalf("nil Metrics counter = %d, want 0", m.Counter("x"))
+	}
+	if _, ok := m.Gauge("g"); ok {
+		t.Fatalf("nil Metrics gauge present")
+	}
+	if m.Snapshot() != nil {
+		t.Fatalf("nil Metrics snapshot non-nil")
+	}
+}
+
+func TestTracerSequencesAndStamps(t *testing.T) {
+	sink := &MemorySink{}
+	tr := New(sink)
+	tr.Emit(Event{Kind: KindSolveStart, Name: "m"})
+	tr.Emit(Event{Kind: KindIncumbent, Value: 12.5})
+	tr.Emit(Event{Kind: KindSolveEnd, Status: "optimal"})
+	evs := sink.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != int64(i+1) {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+		if e.TMicros < 0 {
+			t.Fatalf("event %d has negative timestamp", i)
+		}
+	}
+	if got := Incumbents(evs); len(got) != 1 || got[0] != 12.5 {
+		t.Fatalf("Incumbents = %v, want [12.5]", got)
+	}
+}
+
+func TestTracerConcurrentEmitTotalOrder(t *testing.T) {
+	sink := &MemorySink{}
+	tr := NewDeterministic(sink)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Emit(Event{Kind: KindBound, Worker: w + 1})
+			}
+		}(w)
+	}
+	wg.Wait()
+	evs := sink.Events()
+	if len(evs) != 800 {
+		t.Fatalf("got %d events, want 800", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != int64(i+1) {
+			t.Fatalf("seq gap at %d: %d", i, e.Seq)
+		}
+		if e.TMicros != 0 {
+			t.Fatalf("deterministic tracer stamped event %d", i)
+		}
+	}
+}
+
+func TestJSONLRoundTripAndReplay(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	tr := NewDeterministic(sink)
+	tr.Emit(Event{Kind: KindSolveStart, Name: "knap", Detail: "rows=3 cols=5"})
+	tr.Emit(Event{Kind: KindIncumbent, Value: -41, Worker: 1, Nodes: 2})
+	tr.Emit(Event{Kind: KindIncumbent, Value: -44, Worker: 1, Nodes: 7})
+	tr.Emit(Event{Kind: KindSolveEnd, Status: "optimal", Value: -44, Nodes: 9})
+	if err := sink.Err(); err != nil {
+		t.Fatalf("sink error: %v", err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != 4 {
+		t.Fatalf("JSONL stream has %d lines, want 4", n)
+	}
+	evs, err := Replay(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if len(evs) != 4 {
+		t.Fatalf("replayed %d events, want 4", len(evs))
+	}
+	if evs[0].Kind != KindSolveStart || evs[0].Name != "knap" {
+		t.Fatalf("event 0 = %+v", evs[0])
+	}
+	want := []float64{-41, -44}
+	got := Incumbents(evs)
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("incumbent sequence %v, want %v", got, want)
+	}
+}
+
+func TestReplayRejectsBadStreams(t *testing.T) {
+	if _, err := Replay(strings.NewReader("{not json}\n")); err == nil {
+		t.Fatal("Replay accepted malformed JSON")
+	}
+	// Out-of-order sequence numbers.
+	if _, err := Replay(strings.NewReader(`{"seq":2,"kind":"bound"}` + "\n")); err == nil {
+		t.Fatal("Replay accepted a stream starting at seq 2")
+	}
+	// Empty stream is fine.
+	evs, err := Replay(strings.NewReader(""))
+	if err != nil || len(evs) != 0 {
+		t.Fatalf("empty stream: %v, %d events", err, len(evs))
+	}
+}
+
+func TestMetricsCountersGaugesHistograms(t *testing.T) {
+	m := NewMetrics()
+	m.Add(MetricSimplexPivots, 100)
+	m.Add(MetricSimplexPivots, 23)
+	m.SetGauge(MetricMILPWorkers, 4)
+	m.MaxGauge(MetricMILPPeakQueue, 10)
+	m.MaxGauge(MetricMILPPeakQueue, 3) // must not lower the high-water mark
+	m.Observe(MetricHistPivotsPerSolve, 0)
+	m.Observe(MetricHistPivotsPerSolve, 1)
+	m.Observe(MetricHistPivotsPerSolve, 100)
+	m.Observe(MetricHistPivotsPerSolve, -5)          // clamps to 0
+	m.Observe(MetricHistPivotsPerSolve, math.NaN())  // clamps to 0
+	m.Observe(MetricHistPivotsPerSolve, math.Inf(1)) // clamps to MaxFloat64
+
+	if got := m.Counter(MetricSimplexPivots); got != 123 {
+		t.Fatalf("counter = %d, want 123", got)
+	}
+	if v, ok := m.Gauge(MetricMILPPeakQueue); !ok || v != 10 {
+		t.Fatalf("peak queue gauge = %v,%v want 10,true", v, ok)
+	}
+	s := m.Snapshot()
+	if s == nil {
+		t.Fatal("nil snapshot from live registry")
+	}
+	if s.Counters[MetricSimplexPivots] != 123 {
+		t.Fatalf("snapshot counter = %d", s.Counters[MetricSimplexPivots])
+	}
+	h, ok := s.Histograms[MetricHistPivotsPerSolve]
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if h.Count != 6 {
+		t.Fatalf("hist count = %d, want 6", h.Count)
+	}
+	if h.Min != 0 || h.Max != math.MaxFloat64 {
+		t.Fatalf("hist min/max = %g/%g", h.Min, h.Max)
+	}
+	var bucketed int64
+	for _, b := range h.Buckets {
+		if b.Count <= 0 {
+			t.Fatalf("empty bucket emitted: %+v", b)
+		}
+		bucketed += b.Count
+	}
+	if bucketed != h.Count {
+		t.Fatalf("bucket counts sum to %d, want %d", bucketed, h.Count)
+	}
+	names := s.CounterNames()
+	if len(names) != 1 || names[0] != MetricSimplexPivots {
+		t.Fatalf("CounterNames = %v", names)
+	}
+}
+
+func TestSnapshotJSONIsDeterministicAndFinite(t *testing.T) {
+	build := func() *Snapshot {
+		m := NewMetrics()
+		m.Add("b", 2)
+		m.Add("a", 1)
+		m.SetGauge("g", 1.5)
+		m.Observe("h", 3)
+		m.Observe("h", math.Inf(1))
+		return m.Snapshot()
+	}
+	var b1, b2 bytes.Buffer
+	if err := build().WriteJSON(&b1); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := build().WriteJSON(&b2); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatal("equal registries produced different JSON")
+	}
+	if !strings.Contains(b1.String(), `"a": 1`) {
+		t.Fatalf("unexpected JSON: %s", b1.String())
+	}
+}
+
+func TestBenchReportValidateAndRoundTrip(t *testing.T) {
+	good := &BenchReport{
+		Schema:    BenchSchema,
+		PR:        4,
+		GoVersion: "go1.23",
+		CPUs:      8,
+		CreatedAt: "2026-08-06T00:00:00Z",
+		Scenarios: []BenchScenario{
+			{Name: "fig4/enterprise1", Rows: 10, Cols: 20, Nodes: 5, Iterations: 100, Gap: 0, WallMillis: 12, Cost: 99.5},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteBenchReport(&buf, good); err != nil {
+		t.Fatalf("WriteBenchReport: %v", err)
+	}
+	back, err := ReadBenchReport(&buf)
+	if err != nil {
+		t.Fatalf("ReadBenchReport: %v", err)
+	}
+	if back.PR != 4 || len(back.Scenarios) != 1 || back.Scenarios[0].Name != "fig4/enterprise1" {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+
+	bad := []BenchReport{
+		{PR: 4, GoVersion: "go1.23", CPUs: 8, Scenarios: good.Scenarios},                                              // missing schema
+		{Schema: BenchSchema, GoVersion: "go1.23", CPUs: 8, Scenarios: good.Scenarios},                                // PR 0
+		{Schema: BenchSchema, PR: 4, CPUs: 8, Scenarios: good.Scenarios},                                              // no go version
+		{Schema: BenchSchema, PR: 4, GoVersion: "go1.23", Scenarios: good.Scenarios},                                  // CPUs 0
+		{Schema: BenchSchema, PR: 4, GoVersion: "go1.23", CPUs: 8},                                                    // no scenarios
+		{Schema: BenchSchema, PR: 4, GoVersion: "go1.23", CPUs: 8, Scenarios: []BenchScenario{{Rows: 1, Cols: 1}}},    // unnamed scenario
+		{Schema: BenchSchema, PR: 4, GoVersion: "go1.23", CPUs: 8, Scenarios: []BenchScenario{{Name: "x"}}},           // empty model
+		{Schema: BenchSchema, PR: 4, GoVersion: "go1.23", CPUs: 8, Scenarios: []BenchScenario{{Name: "x", Rows: 1, Cols: 1, Gap: -2}}}, // negative gap
+	}
+	for i := range bad {
+		if err := bad[i].Validate(); err == nil {
+			t.Fatalf("bad report %d validated", i)
+		}
+	}
+
+	if _, err := ReadBenchReport(strings.NewReader(`{"schema":"etransform-bench/v1","bogus":1}`)); err == nil {
+		t.Fatal("ReadBenchReport accepted unknown fields")
+	}
+}
+
+func TestStartProfilesWritesBothProfiles(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "prof")
+	stop, err := StartProfiles(dir)
+	if err != nil {
+		t.Fatalf("StartProfiles: %v", err)
+	}
+	// Burn a little CPU so the profile has something to record.
+	x := 0.0
+	for i := 0; i < 1_000_00; i++ {
+		x += math.Sqrt(float64(i))
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	for _, name := range []string{"cpu.pprof", "heap.pprof"} {
+		st, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", name)
+		}
+	}
+}
+
+func TestJSONLSinkStickyError(t *testing.T) {
+	sink := NewJSONLSink(failWriter{})
+	tr := New(sink)
+	tr.Emit(Event{Kind: KindBound})
+	tr.Emit(Event{Kind: KindBound})
+	if sink.Err() == nil {
+		t.Fatal("JSONLSink swallowed the write error")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) {
+	return 0, os.ErrClosed
+}

@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles arms CPU profiling into dir/cpu.pprof and returns a
+// stop function that ends the CPU profile and writes a heap profile to
+// dir/heap.pprof (after a GC, so the heap numbers reflect live memory).
+// The directory is created if missing. Callers defer the stop function
+// around the work they want profiled — the CLIs' -profile DIR flag.
+func StartProfiles(dir string) (stop func() error, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: profile dir: %w", err)
+	}
+	cpu, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		cpu.Close()
+		return nil, fmt.Errorf("obs: start cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		errCPU := cpu.Close()
+		heap, err := os.Create(filepath.Join(dir, "heap.pprof"))
+		if err != nil {
+			return errors.Join(errCPU, fmt.Errorf("obs: heap profile: %w", err))
+		}
+		runtime.GC()
+		errHeap := pprof.WriteHeapProfile(heap)
+		return errors.Join(errCPU, errHeap, heap.Close())
+	}, nil
+}

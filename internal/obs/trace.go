@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Kind classifies a trace event. The set is small and stable: consumers
+// switch on it, and DESIGN.md documents the fields each kind populates.
+type Kind string
+
+// Event kinds emitted by the instrumented solver layers.
+const (
+	// KindSolveStart opens a branch & bound solve (milp). Name carries
+	// the model name, Detail its dimensions and worker count.
+	KindSolveStart Kind = "solve_start"
+	// KindSolveEnd closes a branch & bound solve with its terminal
+	// Status/Limit, objective Value, Nodes, Iterations and Gap.
+	KindSolveEnd Kind = "solve_end"
+	// KindPhaseStart/KindPhaseEnd bracket one simplex phase (Phase 1 or
+	// 2); the end event records the cumulative pivot count in Iterations.
+	KindPhaseStart Kind = "phase_start"
+	KindPhaseEnd   Kind = "phase_end"
+	// KindIncumbent records a new best integer-feasible point: Value is
+	// its objective, Worker the 1-based publisher, Nodes the node count
+	// at install time.
+	KindIncumbent Kind = "incumbent"
+	// KindBound records an improvement of the proven global lower bound
+	// (Value), with Nodes at the time of the improvement.
+	KindBound Kind = "bound"
+	// KindStageStart/KindStageEnd bracket one attempt of one fallback-
+	// chain stage (core): Name is the stage, Attempt the 1-based try,
+	// and the end event's Status carries the attempt outcome.
+	KindStageStart Kind = "stage_start"
+	KindStageEnd   Kind = "stage_end"
+	// KindFault records a fired fault-injection: Name is the site,
+	// Detail the fault class, Attempt the site hit count at firing.
+	KindFault Kind = "fault"
+)
+
+// Event is one structured, timestamped solve event. Fields other than
+// Seq and Kind are populated per kind; zero-valued fields are omitted
+// from the JSONL encoding so streams stay compact and — at Workers=1
+// with a deterministic tracer — byte-stable across runs.
+type Event struct {
+	// Seq is the 1-based position in the tracer's total order.
+	Seq int64 `json:"seq"`
+	// TMicros is microseconds since the tracer started; omitted by
+	// tracers built with NewDeterministic.
+	TMicros int64 `json:"t_us,omitempty"`
+	Kind    Kind  `json:"kind"`
+	// Name identifies the subject: model name, phase name, stage name,
+	// or fault site.
+	Name string `json:"name,omitempty"`
+	// Worker is the 1-based branch & bound worker behind the event; 0
+	// (omitted) for events with no worker attribution.
+	Worker int `json:"worker,omitempty"`
+	// Phase is the simplex phase (1 or 2) for phase events.
+	Phase int `json:"phase,omitempty"`
+	// Attempt is the 1-based attempt (stage events) or site hit count
+	// (fault events).
+	Attempt int `json:"attempt,omitempty"`
+	// Value is the kind's principal quantity: incumbent or terminal
+	// objective, or improved bound.
+	Value float64 `json:"value,omitempty"`
+	// Nodes and Iterations snapshot the search counters at emit time.
+	Nodes      int `json:"nodes,omitempty"`
+	Iterations int `json:"iterations,omitempty"`
+	// Status and Limit mirror lp.Solution terminology on end events.
+	Status string `json:"status,omitempty"`
+	Limit  string `json:"limit,omitempty"`
+	// Gap is the relative optimality gap on solve_end events.
+	Gap float64 `json:"gap,omitempty"`
+	// Detail is free-form context (dimensions, error text, fault class).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Sink receives completed events from a Tracer. Implementations must
+// tolerate concurrent Emit calls only if used by several tracers; a
+// single Tracer serializes its emissions.
+type Sink interface {
+	Emit(Event)
+}
+
+// Tracer stamps and orders events into a Sink. All methods are safe on
+// a nil *Tracer (the production default), reducing to one pointer
+// comparison, so instrumented code never branches on a config flag.
+type Tracer struct {
+	mu    sync.Mutex
+	sink  Sink
+	seq   int64
+	start time.Time
+	stamp bool
+}
+
+// New returns a Tracer emitting wall-clock-stamped events into sink.
+func New(sink Sink) *Tracer {
+	return &Tracer{sink: sink, start: time.Now(), stamp: true}
+}
+
+// NewDeterministic returns a Tracer that omits timestamps, so equal
+// solves at Workers=1 produce byte-identical streams. Everything else
+// matches New.
+func NewDeterministic(sink Sink) *Tracer {
+	return &Tracer{sink: sink}
+}
+
+// Emit assigns the next sequence number (and timestamp, unless the
+// tracer is deterministic) and hands e to the sink. No-op on a nil
+// tracer or nil sink.
+func (t *Tracer) Emit(e Event) {
+	if t == nil || t.sink == nil {
+		return
+	}
+	t.mu.Lock()
+	t.seq++
+	e.Seq = t.seq
+	if t.stamp {
+		e.TMicros = time.Since(t.start).Microseconds()
+	}
+	t.sink.Emit(e)
+	t.mu.Unlock()
+}
+
+// JSONLSink encodes events as JSON Lines: one object per event. Encode
+// errors are sticky and reported by Err, so the hot path never returns
+// one.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink returns a sink writing JSONL to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Emit implements Sink.
+func (s *JSONLSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(e)
+}
+
+// Err returns the first encode error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// MemorySink buffers events in memory, for tests and replay assertions.
+type MemorySink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit implements Sink.
+func (s *MemorySink) Emit(e Event) {
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+// Events returns a copy of everything emitted so far, in order.
+func (s *MemorySink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// Replay parses a JSONL event stream (as written through JSONLSink)
+// back into events, verifying the sequence numbers are 1..n in order —
+// the property that makes a Workers=1 trace replayable.
+func Replay(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		if e.Seq != int64(len(events)+1) {
+			return nil, fmt.Errorf("obs: trace line %d: sequence %d, want %d", line, e.Seq, len(events)+1)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading trace: %w", err)
+	}
+	return events, nil
+}
+
+// Incumbents extracts the incumbent-objective sequence from an event
+// stream — the quantity a deterministic replay must reproduce exactly.
+func Incumbents(events []Event) []float64 {
+	var seq []float64
+	for _, e := range events {
+		if e.Kind == KindIncumbent {
+			seq = append(seq, e.Value)
+		}
+	}
+	return seq
+}

@@ -20,6 +20,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"github.com/etransform/etransform/internal/obs"
 )
 
 // Kind is a class of injected fault. Each kind maps to one injection
@@ -131,11 +133,13 @@ type Event struct {
 // goroutines) and safe to use as a nil pointer, in which case every
 // method is a no-op reporting "no fault".
 type Injector struct {
-	mu     sync.Mutex
-	rng    *rand.Rand
-	hits   map[string]int
-	armed  map[string][]*armedFault
-	events []Event
+	mu      sync.Mutex
+	rng     *rand.Rand
+	hits    map[string]int
+	armed   map[string][]*armedFault
+	events  []Event
+	trace   *obs.Tracer
+	metrics *obs.Metrics
 }
 
 type armedFault struct {
@@ -189,9 +193,31 @@ func (in *Injector) Fire(site string) bool {
 		}
 		af.fired++
 		in.events = append(in.events, Event{Site: site, Kind: af.f.Kind, Hit: hit})
+		in.metrics.Add(obs.MetricFaultFired, 1)
+		in.metrics.Add(obs.MetricFaultFiredPrefix+af.f.Kind.String(), 1)
+		if in.trace != nil {
+			in.trace.Emit(obs.Event{
+				Kind: obs.KindFault, Name: site, Detail: af.f.Kind.String(), Attempt: hit,
+			})
+		}
 		return true
 	}
 	return false
+}
+
+// Observe attaches an observability tracer and metrics registry: every
+// subsequently fired fault emits an obs.KindFault event and bumps the
+// fault.fired counters. Either argument may be nil; the whole call is a
+// no-op on a nil Injector. milp.SolveContext wires this automatically
+// when both an injector and an observer are configured.
+func (in *Injector) Observe(tr *obs.Tracer, m *obs.Metrics) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.trace = tr
+	in.metrics = m
+	in.mu.Unlock()
 }
 
 // MaybePanic fires the site and, when a fault fires, panics with an

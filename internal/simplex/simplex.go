@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/etransform/etransform/internal/lp"
+	"github.com/etransform/etransform/internal/obs"
 	"github.com/etransform/etransform/internal/resilience/faultinject"
 	"github.com/etransform/etransform/internal/tol"
 )
@@ -36,6 +37,15 @@ type Options struct {
 	// harness (pivot failures, stall, solution corruption). Production
 	// callers leave it nil, which costs one pointer comparison per site.
 	Inject *faultinject.Injector
+	// Trace, when non-nil, receives phase start/end events (obs.Kind
+	// Phase*). The pivot loop itself never emits: events bracket whole
+	// phases, so a solve costs at most four emissions.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, receives per-solve counters (pivots,
+	// degenerate pivots, Bland switches, refactorizations) folded once
+	// after each solve — the hot loop only increments local integers,
+	// keeping the armed overhead far under the 2% pivot-loop budget.
+	Metrics *obs.Metrics
 }
 
 func (o *Options) withDefaults(rows int) Options {
@@ -122,6 +132,12 @@ type tableau struct {
 	degenRun   int
 	blandMode  bool
 	refactors  int
+	// Per-solve observability counters, folded into opts.Metrics once
+	// after the solve (see foldMetrics). Local ints keep the pivot loop
+	// free of registry calls even when metrics are armed.
+	p1Iters    int
+	degenTotal int
+	blandFlips int
 	ctx        context.Context // nil when the solve is not cancellable
 	limit      string          // lp.Limit* cause when iterate stops early
 	workCol    []float64 // FTRAN result w = Binv·A_j
@@ -147,6 +163,9 @@ func (t *tableau) reset(model *lp.Model, opts *Options) error {
 	t.degenRun = 0
 	t.blandMode = false
 	t.refactors = 0
+	t.p1Iters = 0
+	t.degenTotal = 0
+	t.blandFlips = 0
 	t.limit = ""
 	t.pricedCost = nil
 
@@ -279,10 +298,13 @@ func (t *tableau) solve() (*lp.Solution, error) {
 			t.p1Cost[n+m+r] = 1
 		}
 		t.pricedCost = t.p1Cost
+		t.tracePhase(obs.KindPhaseStart, 1)
 		st, err := t.iterate()
 		if err != nil {
 			return nil, err
 		}
+		t.p1Iters = t.iters
+		t.tracePhase(obs.KindPhaseEnd, 1)
 		if st == lp.StatusIterLimit {
 			return &lp.Solution{Status: lp.StatusIterLimit, Iterations: t.iters, Limit: t.limit}, nil
 		}
@@ -305,10 +327,12 @@ func (t *tableau) solve() (*lp.Solution, error) {
 	t.pricedCost = t.cost
 	t.blandMode = t.opts.Bland
 	t.degenRun = 0
+	t.tracePhase(obs.KindPhaseStart, 2)
 	st, err := t.iterate()
 	if err != nil {
 		return nil, err
 	}
+	t.tracePhase(obs.KindPhaseEnd, 2)
 
 	sol := &lp.Solution{Iterations: t.iters}
 	switch st {
@@ -559,7 +583,11 @@ func (t *tableau) iterate() (lp.Status, error) {
 		t.iters++
 		if tMax <= t.opts.FeasTol {
 			t.degenRun++
+			t.degenTotal++
 			if t.degenRun > t.opts.StallLimit {
+				if !t.blandMode {
+					t.blandFlips++
+				}
 				t.blandMode = true
 			}
 		} else {
@@ -747,6 +775,37 @@ func (t *tableau) refactorize() error {
 	t.binv = inv
 	t.recomputeXB()
 	return nil
+}
+
+// tracePhase emits one simplex phase bracket event. The guard keeps the
+// disabled cost at a pointer comparison; phase events are the only ones
+// the simplex layer emits, so even an armed tracer sees at most four
+// emissions per solve.
+func (t *tableau) tracePhase(kind obs.Kind, phase int) {
+	if t.opts.Trace == nil {
+		return
+	}
+	t.opts.Trace.Emit(obs.Event{
+		Kind: kind, Name: fmt.Sprintf("phase%d", phase), Phase: phase,
+		Iterations: t.iters,
+	})
+}
+
+// foldMetrics flushes the solve's local counters into the registry —
+// once per solve, after the tableau has stopped, so the pivot loop
+// itself never touches a mutex.
+func (t *tableau) foldMetrics() {
+	m := t.opts.Metrics
+	if m == nil {
+		return
+	}
+	m.Add(obs.MetricSimplexSolves, 1)
+	m.Add(obs.MetricSimplexPivots, int64(t.iters))
+	m.Add(obs.MetricSimplexPhase1, int64(t.p1Iters))
+	m.Add(obs.MetricSimplexDegenerate, int64(t.degenTotal))
+	m.Add(obs.MetricSimplexBland, int64(t.blandFlips))
+	m.Add(obs.MetricSimplexRefactors, int64(t.refactors))
+	m.Observe(obs.MetricHistPivotsPerSolve, float64(t.iters))
 }
 
 func swapRows(a []float64, m, i, j int) {

@@ -76,7 +76,12 @@ func (s *Solver) solve(ctx context.Context, model *lp.Model) (*lp.Solution, erro
 		return nil, err
 	}
 	s.t.ctx = ctx
-	return s.t.solve()
+	sol, err := s.t.solve()
+	// Fold this solve's local counters into the metrics registry (nil-
+	// safe no-op when disabled) — on error paths too, so pivot totals
+	// still reconcile when a solve is injected to fail.
+	s.t.foldMetrics()
+	return sol, err
 }
 
 // reuseF64 returns a zeroed float64 slice of length n, reusing s's

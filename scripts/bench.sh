@@ -1,7 +1,13 @@
 #!/bin/sh
-# bench.sh — regenerate the checked-in benchmark artifact
-# docs/benchmarks/etbench_bench.txt: the full etbench run at -scale
-# bench (x0.25 datasets), the source of the README's Performance table.
+# bench.sh — regenerate the checked-in benchmark artifacts:
+#
+#   docs/benchmarks/etbench_bench.txt   human-readable: the full etbench
+#                                       run at -scale bench (x0.25
+#                                       datasets), the source of the
+#                                       README's Performance table
+#   docs/benchmarks/BENCH_4.json        machine-readable: schema
+#                                       etransform-bench/v1 (obs.BenchReport),
+#                                       one record per case-study solve
 #
 # Usage:
 #
@@ -16,6 +22,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 out=docs/benchmarks/etbench_bench.txt
+json=docs/benchmarks/BENCH_4.json
 mkdir -p docs/benchmarks
 
 {
@@ -24,7 +31,9 @@ mkdir -p docs/benchmarks
     echo "# CPUs: $(getconf _NPROCESSORS_ONLN)"
     echo "# date: $(date -u +%Y-%m-%dT%H:%M:%SZ)"
     echo
-    go run ./cmd/etbench -scale bench "$@"
+    go run ./cmd/etbench -scale bench -json "$json.tmp" -json-pr 4 "$@"
 } | tee "$out.tmp"
 mv "$out.tmp" "$out"
+mv "$json.tmp" "$json"
 echo "wrote $out"
+echo "wrote $json"

@@ -8,7 +8,12 @@
 #                  convert to coordinator errors, not earn new markers
 #   4. go test     full suite under the race detector
 #   5. milp race   the parallel branch & bound, twice, under -race
-#   6. fault smoke each injectable fault class forced against a small
+#   6. obs cover   internal/obs must hold >= 70% statement coverage —
+#                  the observability layer is what every other number in
+#                  a trace or metrics file is trusted against
+#   7. output lock the golden-plan and metamorphic suites, explicitly:
+#                  byte-stable plan JSON + certified-objective invariance
+#   8. fault smoke each injectable fault class forced against a small
 #                  dataset end to end: the planner must exit 0 (recovered)
 #                  or 3 (degraded-but-feasible), never crash; a corrupted
 #                  standalone solve must fail cleanly with exit 1
@@ -41,6 +46,22 @@ go test -race ./...
 
 echo "==> go test -race -count=2 ./internal/milp/..."
 go test -race -count=2 ./internal/milp/...
+
+echo "==> internal/obs coverage floor (70%)"
+cover=$(go test -cover ./internal/obs | awk '{for (i=1;i<=NF;i++) if ($i ~ /%$/) {sub(/%/,"",$i); print $i}}')
+if [ -z "$cover" ]; then
+    echo "could not parse internal/obs coverage" >&2
+    exit 1
+fi
+if ! awk -v c="$cover" 'BEGIN { exit !(c >= 70.0) }'; then
+    echo "internal/obs coverage ${cover}% is below the 70% floor" >&2
+    exit 1
+fi
+echo "    internal/obs coverage: ${cover}%"
+
+echo "==> golden plan + metamorphic output locks"
+go test ./cmd/etransform -run TestGoldenPlans
+go test ./internal/core -run 'TestMetamorphic(CostScaling|IndexPermutation|DominatedDC)'
 
 echo "==> fault-injection smoke matrix"
 SMOKE_DIR=$(mktemp -d)
