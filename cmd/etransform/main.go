@@ -83,6 +83,7 @@ func run(args []string) (degraded bool, err error) {
 	showReport := fs.Bool("report", true, "print the human-readable plan report")
 	memBudget := fs.Int64("membudget", 0, "open-node queue memory budget in bytes (0 = unlimited)")
 	workers := fs.Int("workers", 0, "branch & bound worker goroutines (0 = all CPUs, 1 = deterministic)")
+	warmLP := fs.Bool("warmlp", false, "warm-start node LPs from the parent's simplex basis (same answer, fewer pivots)")
 	traceOut := fs.String("trace", "", "write a structured JSONL solve trace to this file (byte-stable at -workers 1)")
 	metricsOut := fs.String("metrics", "", "write the solve metrics snapshot JSON to this file")
 	profileDir := fs.String("profile", "", "write cpu.pprof and heap.pprof profiles into this directory")
@@ -135,14 +136,15 @@ func run(args []string) (degraded bool, err error) {
 		Aggregate:           *aggregate,
 		CandidateK:          *candidates,
 		Solver: milp.Options{
-			GapTol:    *gap,
-			MaxNodes:  *nodes,
-			TimeLimit: *timeLimit,
-			Workers:   *workers,
-			Budget:    milp.Budget{MemoryBytes: *memBudget},
-			Inject:    inject,
-			Trace:     obsrv.Tracer,
-			Metrics:   obsrv.Metrics,
+			GapTol:     *gap,
+			MaxNodes:   *nodes,
+			TimeLimit:  *timeLimit,
+			Workers:    *workers,
+			ReuseBasis: *warmLP,
+			Budget:     milp.Budget{MemoryBytes: *memBudget},
+			Inject:     inject,
+			Trace:      obsrv.Tracer,
+			Metrics:    obsrv.Metrics,
 		},
 	})
 	if err != nil {

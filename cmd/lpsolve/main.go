@@ -62,6 +62,7 @@ func run(args []string) (degraded bool, err error) {
 	timeLimit := fs.Duration("timelimit", 10*time.Minute, "wall-clock limit")
 	memBudget := fs.Int64("membudget", 0, "open-node queue memory budget in bytes (0 = unlimited)")
 	workers := fs.Int("workers", 0, "branch & bound worker goroutines (0 = all CPUs, 1 = deterministic)")
+	warmLP := fs.Bool("warmlp", false, "warm-start node LPs from the parent's simplex basis (same answer, fewer pivots)")
 	traceOut := fs.String("trace", "", "write a structured JSONL solve trace to this file (byte-stable at -workers 1)")
 	metricsOut := fs.String("metrics", "", "write the solve metrics snapshot JSON to this file")
 	profileDir := fs.String("profile", "", "write cpu.pprof and heap.pprof profiles into this directory")
@@ -113,10 +114,11 @@ func run(args []string) (degraded bool, err error) {
 	start := time.Now()
 	sol, err := milp.SolveContext(ctx, m, &milp.Options{
 		GapTol: *gap, MaxNodes: *nodes, TimeLimit: *timeLimit, Workers: *workers,
-		Budget:  milp.Budget{MemoryBytes: *memBudget},
-		Inject:  inject,
-		Trace:   obsrv.Tracer,
-		Metrics: obsrv.Metrics,
+		ReuseBasis: *warmLP,
+		Budget:     milp.Budget{MemoryBytes: *memBudget},
+		Inject:     inject,
+		Trace:      obsrv.Tracer,
+		Metrics:    obsrv.Metrics,
 	})
 	canceled := err != nil && errors.Is(err, context.Canceled) && sol != nil
 	if err != nil && !canceled {

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/etransform/etransform/internal/datagen"
+	"github.com/etransform/etransform/internal/milp"
+	"github.com/etransform/etransform/internal/obs"
+)
+
+// TestReuseBasisEnterprise1 is the end-to-end warm-start acceptance
+// check on the seeded Enterprise1 scenario: with basis reuse on, the
+// planner must reach the same certified objective as the cold path at
+// the default (effectively exact) gap, record warm_hits > 0 in
+// Plan.Stats.Metrics, and spend fewer simplex iterations doing it.
+func TestReuseBasisEnterprise1(t *testing.T) {
+	// 0.25 scale matches the checked-in bench artifact and genuinely
+	// branches (~100 nodes); smaller fractions solve at the root, which
+	// would leave the warm path nothing to do.
+	s, err := datagen.Enterprise1().Scaled(0.25).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	solve := func(reuse bool) (total float64, stats map[string]int64, iters int) {
+		t.Helper()
+		met := obs.NewMetrics()
+		p, err := New(s, Options{Aggregate: true, Solver: milp.Options{
+			Workers: 1, ReuseBasis: reuse, Metrics: met,
+			MaxNodes: 50000, TimeLimit: 2 * time.Minute,
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := p.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Stats.Certificate == "" {
+			t.Fatalf("reuse=%v: plan shipped without a certificate", reuse)
+		}
+		if plan.Stats.Metrics == nil {
+			t.Fatalf("reuse=%v: metrics snapshot missing from Plan.Stats", reuse)
+		}
+		return plan.Cost.Total(), plan.Stats.Metrics.Counters, plan.Stats.Iterations
+	}
+	coldObj, coldCounters, coldIters := solve(false)
+	warmObj, warmCounters, warmIters := solve(true)
+
+	if diff := math.Abs(warmObj - coldObj); diff > 1e-6*math.Max(1, math.Abs(coldObj)) {
+		t.Errorf("warm objective %v != cold objective %v (diff %g)", warmObj, coldObj, diff)
+	}
+	if hits := warmCounters[obs.MetricSimplexWarmHits]; hits == 0 {
+		t.Error("warm solve recorded no warm_hits in Plan.Stats.Metrics")
+	}
+	if coldCounters[obs.MetricSimplexWarmHits] != 0 {
+		t.Errorf("cold solve recorded %d warm_hits, want 0", coldCounters[obs.MetricSimplexWarmHits])
+	}
+	if warmIters >= coldIters {
+		// The whole point: warm restoration replaces full two-phase
+		// re-solves. Equality would mean the warm path never saved work.
+		t.Errorf("warm solve took %d simplex iterations, cold took %d; expected a reduction", warmIters, coldIters)
+	}
+	t.Logf("enterprise1(0.25): cold %d iters, warm %d iters, warm_hits=%d warm_misses=%d",
+		coldIters, warmIters,
+		warmCounters[obs.MetricSimplexWarmHits], warmCounters[obs.MetricSimplexWarmMisses])
+}

@@ -25,6 +25,7 @@ import (
 	"github.com/etransform/etransform/internal/datagen"
 	"github.com/etransform/etransform/internal/milp"
 	"github.com/etransform/etransform/internal/model"
+	"github.com/etransform/etransform/internal/obs"
 	"github.com/etransform/etransform/internal/report"
 	"github.com/etransform/etransform/internal/tol"
 )
@@ -52,6 +53,16 @@ type Scale struct {
 	// picks a non-oversubscribing default: 1 inside a concurrent sweep
 	// (the sweep already saturates the cores), runtime.NumCPU() otherwise.
 	SolverWorkers int
+	// ReuseBasis warm-starts each node LP from its parent's optimal
+	// basis (milp.Options.ReuseBasis). Same certified answers, fewer
+	// simplex pivots; off by default to keep default trajectories
+	// byte-stable.
+	ReuseBasis bool
+	// CollectMetrics arms an observability registry on each solve so the
+	// result's SolveStats.Metrics snapshot carries the solver counters
+	// (pivots, warm hits, phase-1 skips, …). Off by default: metrics
+	// collection costs atomics on hot paths.
+	CollectMetrics bool
 }
 
 // FullScale solves the case studies at paper size.
@@ -72,7 +83,14 @@ func (sc Scale) solver() milp.Options {
 		// parallel solves would only oversubscribe.
 		workers = 1
 	}
-	return milp.Options{GapTol: sc.GapTol, MaxNodes: sc.MaxNodes, TimeLimit: sc.TimeLimit, Workers: workers}
+	o := milp.Options{
+		GapTol: sc.GapTol, MaxNodes: sc.MaxNodes, TimeLimit: sc.TimeLimit,
+		Workers: workers, ReuseBasis: sc.ReuseBasis,
+	}
+	if sc.CollectMetrics {
+		o.Metrics = obs.NewMetrics()
+	}
+	return o
 }
 
 func (sc Scale) sweepWorkers() int {

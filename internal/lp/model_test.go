@@ -173,6 +173,61 @@ func TestRelaxAndClone(t *testing.T) {
 	}
 }
 
+// TestCloneIntegralityAndStickyError pins down the Clone/Relax contract
+// the branch & bound warm-start path leans on: integrality marks and the
+// sticky construction error survive Clone (and Relax's internal Clone),
+// and bound mutations on a clone — the exact mutation branching applies
+// before a warm re-solve — never leak back into the original.
+func TestCloneIntegralityAndStickyError(t *testing.T) {
+	m := NewModel("marks")
+	x := m.AddBinary("x", -1)
+	y := m.AddVar(Variable{Name: "y", Lower: 0, Upper: 7, Cost: -2, Type: Integer})
+	z := m.AddContinuous("z", 0, 3, 1)
+	m.AddRow("cap", []Term{{x, 1}, {y, 1}, {z, 1}}, LE, 5)
+
+	c := m.Clone()
+	if c.Var(x).Type != Binary || c.Var(y).Type != Integer || c.Var(z).Type != Continuous {
+		t.Errorf("Clone lost integrality marks: %v/%v/%v",
+			c.Var(x).Type, c.Var(y).Type, c.Var(z).Type)
+	}
+	// Branch-style bound mutations on the clone must not alias the
+	// original's variable storage.
+	c.SetBounds(y, 0, 2)
+	c.SetBounds(x, 1, 1)
+	if m.Var(y).Upper != 7 || m.Var(x).Lower != 0 {
+		t.Errorf("SetBounds on clone mutated original: y=[%v,%v] x=[%v,%v]",
+			m.Var(y).Lower, m.Var(y).Upper, m.Var(x).Lower, m.Var(x).Upper)
+	}
+	// And the reverse: tightening the original leaves the clone alone.
+	m.SetBounds(z, 1, 2)
+	if c.Var(z).Lower != 0 || c.Var(z).Upper != 3 {
+		t.Errorf("SetBounds on original mutated clone: z=[%v,%v]",
+			c.Var(z).Lower, c.Var(z).Upper)
+	}
+
+	// Sticky error: a broken model stays broken through Clone and Relax,
+	// so a solver can never be handed a laundered copy.
+	bad := NewModel("bad")
+	bad.AddContinuous("w", 5, 1, 0) // inverted bounds record an error
+	if bad.Err() == nil {
+		t.Fatal("inverted bounds did not record a model error")
+	}
+	if bc := bad.Clone(); bc.Err() == nil {
+		t.Error("Clone dropped the sticky model error")
+	}
+	if br := bad.Relax(); br.Err() == nil {
+		t.Error("Relax dropped the sticky model error")
+	}
+	// Relax must keep everything but the marks: same bounds, costs, rows.
+	r := m.Relax()
+	if r.NumIntegral() != 0 {
+		t.Errorf("Relax left %d integral vars", r.NumIntegral())
+	}
+	if r.Var(y).Upper != 7 || r.Var(y).Cost != -2 || r.NumRows() != m.NumRows() {
+		t.Error("Relax changed more than the integrality marks")
+	}
+}
+
 func TestStatsAndStrings(t *testing.T) {
 	m, _, _, _ := buildSmallModel(t)
 	s := m.Stats()

@@ -155,9 +155,9 @@ func (c *coordinator) advanceBoundLocked(b float64) {
 	}
 }
 
-func (c *coordinator) pushLocked(bound float64, depth int, changes []boundChange) {
+func (c *coordinator) pushLocked(bound float64, depth int, changes []boundChange, basis *simplex.Basis) {
 	c.seq++
-	nd := &node{bound: bound, depth: depth, seq: c.seq, changes: changes}
+	nd := &node{bound: bound, depth: depth, seq: c.seq, changes: changes, basis: basis}
 	heap.Push(&c.queue, nd)
 	c.queueBytes += nodeBytes(nd)
 	if len(c.queue) > c.peakQueue {
@@ -166,11 +166,13 @@ func (c *coordinator) pushLocked(bound float64, depth int, changes []boundChange
 }
 
 // nodeBytes estimates the heap footprint of one open node: the node
-// struct plus its bound-change list. The frontier queue is the only part
-// of the search whose memory grows without bound, so this is what
-// Budget.MemoryBytes meters.
+// struct, its bound-change list, and (under ReuseBasis) its parent
+// basis snapshot. The frontier queue is the only part of the search
+// whose memory grows without bound, so this is what Budget.MemoryBytes
+// meters. Siblings share one basis but each is charged in full — a
+// deliberate overestimate, since a budget meter must never undercount.
 func nodeBytes(nd *node) int64 {
-	return 64 + 24*int64(cap(nd.changes))
+	return 64 + 24*int64(cap(nd.changes)) + nd.basis.MemBytes()
 }
 
 // stopLocked ends the search with the given terminal status and bound.
@@ -264,8 +266,11 @@ func (c *coordinator) tryAccept(x []float64, gateObj float64, worker int) {
 }
 
 // solveWith applies the node's bound changes, solves the LP relaxation
-// on the worker's private model, and restores the bounds.
-func (w *worker) solveWith(changes []boundChange) (*lp.Solution, error) {
+// on the worker's private model, and restores the bounds. A non-nil
+// basis (the parent node's optimal basis, present only under
+// ReuseBasis) warm-starts the solve; the simplex layer falls back to
+// its cold path on its own whenever the basis is stale.
+func (w *worker) solveWith(changes []boundChange, basis *simplex.Basis) (*lp.Solution, error) {
 	saved := make([]boundChange, len(changes))
 	for i, ch := range changes {
 		v := w.work.Var(ch.v)
@@ -279,7 +284,7 @@ func (w *worker) solveWith(changes []boundChange) (*lp.Solution, error) {
 		}
 		w.work.SetBounds(ch.v, math.Max(ch.lo, v.Lower), math.Min(ch.hi, v.Upper))
 	}
-	sol, err := w.sx.Solve(w.work)
+	sol, err := w.sx.SolveFrom(w.work, basis)
 	for k := len(saved) - 1; k >= 0; k-- {
 		w.work.SetBounds(saved[k].v, saved[k].lo, saved[k].hi)
 	}
@@ -288,6 +293,15 @@ func (w *worker) solveWith(changes []boundChange) (*lp.Solution, error) {
 	}
 	w.iterations += sol.Iterations
 	return sol, nil
+}
+
+// lastBasis snapshots the worker's solver basis for reuse by child
+// nodes; nil unless ReuseBasis is on and the last LP ended optimal.
+func (w *worker) lastBasis() *simplex.Basis {
+	if !w.c.opts.ReuseBasis {
+		return nil
+	}
+	return w.sx.Basis()
 }
 
 func (w *worker) takeIterations() int {
@@ -347,8 +361,10 @@ func (w *worker) dive(base []boundChange, sol *lp.Solution) error {
 				next = append(next, boundChange{v: iv, lo: r, hi: r})
 			}
 		}
+		// The dive re-solves the worker's own last LP with extra fixings,
+		// so its basis is the natural warm start for the next pass.
 		var err error
-		cur, err = w.solveWith(next)
+		cur, err = w.solveWith(next, w.lastBasis())
 		if err != nil {
 			return err
 		}
@@ -428,7 +444,7 @@ func (c *coordinator) claim(w *worker) (nd *node, nodeIdx int, ok bool) {
 // commit folds a processed node back into the shared state: worker
 // iteration counts, child nodes, and the optimality-gap termination
 // test. Returns false when the worker should exit.
-func (c *coordinator) commit(w *worker, sol *lp.Solution, err error, closed bool, down, up []boundChange, depth int, childBound float64) bool {
+func (c *coordinator) commit(w *worker, sol *lp.Solution, err error, closed bool, down, up []boundChange, depth int, childBound float64, childBasis *simplex.Basis) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	defer c.cond.Broadcast()
@@ -461,13 +477,12 @@ func (c *coordinator) commit(w *worker, sol *lp.Solution, err error, closed bool
 		return false
 	}
 	if !closed {
-		c.pushLocked(childBound, depth, down)
-		c.pushLocked(childBound, depth, up)
+		c.pushLocked(childBound, depth, down, childBasis)
+		c.pushLocked(childBound, depth, up, childBasis)
 	}
 	if c.haveInc {
 		bound := c.globalBoundLocked()
-		gap := (c.incumbentObj - bound) / math.Max(1, math.Abs(c.incumbentObj))
-		if gap <= c.opts.GapTol {
+		if tol.RelGap(c.incumbentObj, bound) <= c.opts.GapTol {
 			c.stopLocked(lp.StatusOptimal, bound, "")
 			return false
 		}
@@ -486,7 +501,7 @@ func (c *coordinator) step(w *worker) bool {
 	// in flight. runWorker's recover converts it into a solver error.
 	c.opts.Inject.MaybePanic(faultinject.SitePanic)
 	t0 := time.Now()
-	sol, err := w.solveWith(nd.changes)
+	sol, err := w.solveWith(nd.changes, nd.basis)
 	if err == nil && sol.Status == lp.StatusOptimal && !finiteSolution(sol) {
 		// A NaN/Inf LP result would silently poison branching (every
 		// comparison against NaN is false, so the node just closes and the
@@ -497,6 +512,7 @@ func (c *coordinator) step(w *worker) bool {
 	closed := true
 	var down, up []boundChange
 	var childBound float64
+	var childBasis *simplex.Basis
 	if err == nil && sol.Status == lp.StatusOptimal {
 		incObj, haveInc := c.snapshotIncumbent()
 		switch {
@@ -505,6 +521,9 @@ func (c *coordinator) step(w *worker) bool {
 		case func() bool { v, _ := c.mostFractional(sol.X); return v < 0 }():
 			c.tryAccept(sol.X, sol.Objective, w.id+1)
 		default:
+			// Snapshot this node's optimal basis before the dive re-solves
+			// other LPs on the same solver; both children inherit it.
+			childBasis = w.lastBasis()
 			// Occasional re-dive deeper in the tree keeps the incumbent
 			// fresh. nodeIdx comes from the shared counter, so the pacing
 			// matches the sequential solver when Workers=1.
@@ -519,7 +538,7 @@ func (c *coordinator) step(w *worker) bool {
 		}
 	}
 	w.busy += time.Since(t0)
-	return c.commit(w, sol, err, closed, down, up, nd.depth+1, childBound)
+	return c.commit(w, sol, err, closed, down, up, nd.depth+1, childBound, childBasis)
 }
 
 // runWorker is a worker goroutine's main loop. A panic anywhere in the
@@ -549,7 +568,7 @@ func (c *coordinator) solve() (*lp.Solution, error) {
 		}
 	}
 	t0 := time.Now()
-	root, err := w0.solveWith(nil)
+	root, err := w0.solveWith(nil, nil)
 	c.iterations += w0.takeIterations()
 	if err != nil {
 		return nil, err
@@ -588,6 +607,9 @@ func (c *coordinator) solve() (*lp.Solution, error) {
 		w0.busy = time.Since(t0)
 		return c.assembleFinish(root.Objective, lp.StatusOptimal, []*worker{w0})
 	}
+	// The root's optimal basis seeds both first children; snapshot it
+	// before the dive re-solves other LPs on the same solver.
+	rootBasis := w0.lastBasis()
 	if !c.opts.DisableDiving {
 		if err := w0.dive(nil, root); err != nil {
 			return nil, err
@@ -598,8 +620,8 @@ func (c *coordinator) solve() (*lp.Solution, error) {
 	w0.busy = time.Since(t0)
 	c.mu.Lock()
 	c.advanceBoundLocked(root.Objective)
-	c.pushLocked(root.Objective, 1, down)
-	c.pushLocked(root.Objective, 1, up)
+	c.pushLocked(root.Objective, 1, down, rootBasis)
+	c.pushLocked(root.Objective, 1, up, rootBasis)
 	c.mu.Unlock()
 
 	workers := make([]*worker, c.opts.Workers)
@@ -658,10 +680,10 @@ func (c *coordinator) assembleFinish(bound float64, status lp.Status, workers []
 	}
 	sol.X = c.incumbent
 	sol.Objective = c.incumbentObj
-	gap := (c.incumbentObj - bound) / math.Max(1, math.Abs(c.incumbentObj))
-	if gap < 0 {
-		gap = 0
-	}
+	// tol.RelGap guards the near-zero-incumbent case (max(1,·)
+	// denominator) and maps a bound of −Inf — no bound ever proven —
+	// to an honest +Inf instead of NaN.
+	gap := tol.RelGap(c.incumbentObj, bound)
 	sol.Gap = gap
 	if status == lp.StatusOptimal || gap <= c.opts.GapTol {
 		sol.Status = lp.StatusOptimal
@@ -688,11 +710,7 @@ func (c *coordinator) canceledSolution(workers []*worker) *lp.Solution {
 	}
 	sol.X = c.incumbent
 	sol.Objective = c.incumbentObj
-	gap := (c.incumbentObj - c.finalBound) / math.Max(1, math.Abs(c.incumbentObj))
-	if gap < 0 {
-		gap = 0
-	}
-	sol.Gap = gap
+	sol.Gap = tol.RelGap(c.incumbentObj, c.finalBound)
 	return sol
 }
 

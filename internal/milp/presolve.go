@@ -32,39 +32,61 @@ func presolve(m *lp.Model, maxPasses int) (tightened int, infeasible bool) {
 		for r := 0; r < m.NumRows(); r++ {
 			row := m.Row(lp.RowID(r))
 			// Row activity bounds from current variable bounds, tracking
-			// infinite contributions separately so removing one term's
-			// contribution stays well-defined.
+			// infinite contributions separately — and SIGNED, not just
+			// counted — so removing one term's contribution stays
+			// well-defined. A contribution of −Inf in the min slot and one
+			// of +Inf (a variable degenerately fixed at an infinite bound)
+			// must never cancel or be confused: lumping both signs into one
+			// counter would let a +Inf contribution masquerade as the −Inf
+			// that justifies skipping a tightening, deriving bounds from a
+			// minimum that is really +Inf.
 			var minFin, maxFin float64
-			minInf, maxInf := 0, 0 // counts of −inf (min) / +inf (max) contributions
+			var minNegInf, minPosInf int // signed infinite contributions in the min slot
+			var maxNegInf, maxPosInf int // … and in the max slot
 			for _, t := range row.Terms {
+				if tol.IsZero(t.Coef) {
+					continue // contributes exactly 0; 0·±Inf is NaN, not 0
+				}
 				l, h := lo[t.Var], hi[t.Var]
 				if t.Coef < 0 {
 					l, h = h, l
 				}
 				// Contribution range is [coef·l, coef·h] after the swap.
-				if math.IsInf(l, 0) {
-					minInf++
-				} else {
-					minFin += t.Coef * l
+				switch cl := t.Coef * l; {
+				case math.IsInf(cl, -1):
+					minNegInf++
+				case math.IsInf(cl, 1):
+					minPosInf++
+				default:
+					minFin += cl
 				}
-				if math.IsInf(h, 0) {
-					maxInf++
-				} else {
-					maxFin += t.Coef * h
+				switch ch := t.Coef * h; {
+				case math.IsInf(ch, 1):
+					maxPosInf++
+				case math.IsInf(ch, -1):
+					maxNegInf++
+				default:
+					maxFin += ch
 				}
 			}
+			// A row is infeasible when its minimum activity already exceeds
+			// a ≤/= RHS (or the maximum falls short of a ≥/= RHS). With the
+			// signs separated, a +Inf minimum contribution is itself proof
+			// for the ≤ direction — unless a −Inf one could offset it, in
+			// which case the bounds are degenerate and nothing is provable.
+			leInfeas := minNegInf == 0 && (minPosInf > 0 || minFin > row.RHS+feasEps(row.RHS))
+			geInfeas := maxPosInf == 0 && (maxNegInf > 0 || maxFin < row.RHS-feasEps(row.RHS))
 			switch row.Sense {
 			case lp.LE:
-				if minInf == 0 && minFin > row.RHS+feasEps(row.RHS) {
+				if leInfeas {
 					return tightened, true
 				}
 			case lp.GE:
-				if maxInf == 0 && maxFin < row.RHS-feasEps(row.RHS) {
+				if geInfeas {
 					return tightened, true
 				}
 			case lp.EQ:
-				if (minInf == 0 && minFin > row.RHS+feasEps(row.RHS)) ||
-					(maxInf == 0 && maxFin < row.RHS-feasEps(row.RHS)) {
+				if leInfeas || geInfeas {
 					return tightened, true
 				}
 			}
@@ -78,25 +100,46 @@ func presolve(m *lp.Model, maxPasses int) (tightened int, infeasible bool) {
 				}
 				j := t.Var
 				// Activity of the other terms at their extremes: finite
-				// only when j carries the sole infinite contribution.
+				// only when j carries the row's sole infinite contribution.
+				// The remainder counts are per sign — a −Inf contribution
+				// from another term forbids a finite minOther (it would
+				// tighten x_j's upper bound in the wrong direction, since
+				// the others can compensate without limit), and a +Inf one
+				// forbids it just as hard (the true minimum of the others
+				// is +Inf, not minFin).
 				l, h := lo[j], hi[j]
 				if t.Coef < 0 {
 					l, h = h, l
 				}
+				cl, ch := t.Coef*l, t.Coef*h
 				minOther, maxOther := math.Inf(-1), math.Inf(1)
-				if math.IsInf(l, 0) {
-					if minInf == 1 {
-						minOther = minFin
-					}
-				} else if minInf == 0 {
-					minOther = minFin - t.Coef*l
+				minNegRem, minPosRem := minNegInf, minPosInf
+				switch {
+				case math.IsInf(cl, -1):
+					minNegRem--
+				case math.IsInf(cl, 1):
+					minPosRem--
 				}
-				if math.IsInf(h, 0) {
-					if maxInf == 1 {
-						maxOther = maxFin
+				if minNegRem == 0 && minPosRem == 0 {
+					if math.IsInf(cl, 0) {
+						minOther = minFin
+					} else {
+						minOther = minFin - cl
 					}
-				} else if maxInf == 0 {
-					maxOther = maxFin - t.Coef*h
+				}
+				maxPosRem, maxNegRem := maxPosInf, maxNegInf
+				switch {
+				case math.IsInf(ch, 1):
+					maxPosRem--
+				case math.IsInf(ch, -1):
+					maxNegRem--
+				}
+				if maxPosRem == 0 && maxNegRem == 0 {
+					if math.IsInf(ch, 0) {
+						maxOther = maxFin
+					} else {
+						maxOther = maxFin - ch
+					}
 				}
 				upper := math.Inf(1)
 				lower := math.Inf(-1)

@@ -246,3 +246,128 @@ func TestPresolvePreservesOptimum(t *testing.T) {
 		}
 	}
 }
+
+// TestPresolveMixedInfinityRows locks the signed-infinity bookkeeping in
+// bound tightening: rows mixing finite and ±Inf bounds must only ever
+// tighten bounds in the correct direction (a −Inf lower bound on one
+// variable means the others can be compensated without limit, so their
+// bounds must not move), and a degenerate infinite fixing must be caught
+// as infeasibility, never silently folded into a finite activity sum.
+func TestPresolveMixedInfinityRows(t *testing.T) {
+	inf := math.Inf(1)
+	type bounds struct{ lo, hi float64 }
+	cases := []struct {
+		name       string
+		vars       []bounds
+		coefs      []float64
+		sense      lp.Sense
+		rhs        float64
+		wantInfeas bool
+		want       []bounds // expected bounds after presolve
+	}{
+		{
+			// x free below and above: x picks up an upper bound from y's
+			// minimum, y must stay untouched (x compensates without limit).
+			name:  "free-var-gets-upper-others-untouched",
+			vars:  []bounds{{-inf, inf}, {0, 1}},
+			coefs: []float64{1, 1},
+			sense: lp.LE, rhs: 10,
+			want: []bounds{{-inf, 10}, {0, 1}},
+		},
+		{
+			// GE row: the free-below variable picks up a lower bound from
+			// y's maximum; y's lower bound must not move above its 0.
+			name:  "free-below-gets-lower-from-ge",
+			vars:  []bounds{{-inf, 5}, {0, 2}},
+			coefs: []float64{1, 1},
+			sense: lp.GE, rhs: 3,
+			want: []bounds{{1, 5}, {0, 2}},
+		},
+		{
+			// Negative coefficient flips which bound is the extreme: −x+y≤4
+			// with x free below bounds x from below, not above.
+			name:  "negative-coef-flips-direction",
+			vars:  []bounds{{-inf, 0}, {0, 10}},
+			coefs: []float64{-1, 1},
+			sense: lp.LE, rhs: 4,
+			want: []bounds{{-4, 0}, {0, 4}},
+		},
+		{
+			// Two free variables: nothing is provable, nothing may move.
+			name:  "two-free-vars-no-tightening",
+			vars:  []bounds{{-inf, inf}, {-inf, inf}},
+			coefs: []float64{1, 1},
+			sense: lp.LE, rhs: 5,
+			want: []bounds{{-inf, inf}, {-inf, inf}},
+		},
+		{
+			// Equality pins the free variable from both sides via the
+			// other's range; the bounded variable stays untouched.
+			name:  "equality-pins-free-var-both-sides",
+			vars:  []bounds{{-inf, inf}, {0, 3}},
+			coefs: []float64{1, 1},
+			sense: lp.EQ, rhs: 7,
+			want: []bounds{{4, 7}, {0, 3}},
+		},
+		{
+			// A variable degenerately fixed at +Inf forces infinite
+			// activity through a ≤ row: provably infeasible, and the +Inf
+			// contribution must not be lumped with −Inf ones.
+			name:  "fixed-at-plus-inf-is-infeasible",
+			vars:  []bounds{{inf, inf}, {0, 1}},
+			coefs: []float64{1, 1},
+			sense: lp.LE, rhs: 10,
+			wantInfeas: true,
+		},
+		{
+			// Same degenerate fixing with a free-below partner: the signs
+			// conflict, so nothing is provable — no infeasibility, no
+			// tightening in either direction.
+			name:  "conflicting-infinite-signs-prove-nothing",
+			vars:  []bounds{{inf, inf}, {-inf, 0}},
+			coefs: []float64{1, 1},
+			sense: lp.LE, rhs: 10,
+			want: []bounds{{inf, inf}, {-inf, 0}},
+		},
+		{
+			// One −Inf lower bound among finite rows: the finite variables'
+			// bounds must hold still even though minFin alone (ignoring the
+			// −Inf term) would justify "tightening" them.
+			name:  "minus-inf-lower-blocks-others",
+			vars:  []bounds{{-inf, 2}, {0, 5}, {1, 4}},
+			coefs: []float64{1, 1, 1},
+			sense: lp.LE, rhs: 6,
+			want: []bounds{{-inf, 2}, {0, 5}, {1, 4}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := lp.NewModel(tc.name)
+			for _, b := range tc.vars {
+				m.AddContinuous("", b.lo, b.hi, 1)
+			}
+			var terms []lp.Term
+			for i, c := range tc.coefs {
+				terms = append(terms, lp.Term{Var: lp.VarID(i), Coef: c})
+			}
+			m.AddRow("row", terms, tc.sense, tc.rhs)
+			if err := m.Err(); err != nil {
+				t.Fatalf("model build: %v", err)
+			}
+			_, infeas := presolve(m, 10)
+			if infeas != tc.wantInfeas {
+				t.Fatalf("infeasible = %v, want %v", infeas, tc.wantInfeas)
+			}
+			if tc.wantInfeas {
+				return
+			}
+			for i, want := range tc.want {
+				got := m.Var(lp.VarID(i))
+				if got.Lower != want.lo || got.Upper != want.hi {
+					t.Errorf("var %d bounds = [%v, %v], want [%v, %v]",
+						i, got.Lower, got.Upper, want.lo, want.hi)
+				}
+			}
+		})
+	}
+}

@@ -26,7 +26,11 @@ type BenchScenario struct {
 	Iterations int `json:"iterations"`
 	Workers    int `json:"workers,omitempty"`
 	// Gap is the certified relative optimality gap at termination.
-	Gap float64 `json:"gap"`
+	// GapUnknown marks a solve whose plan came from a fallback stage
+	// with no certified gap (the planner's internal −1 sentinel); Gap is
+	// then written as 0 and must not be read as "proven optimal".
+	Gap        float64 `json:"gap"`
+	GapUnknown bool    `json:"gap_unknown,omitempty"`
 	// WallMillis and WorkMillis are the solve's wall-clock and summed
 	// worker-busy times.
 	WallMillis int64 `json:"wall_millis"`
@@ -34,6 +38,16 @@ type BenchScenario struct {
 	// Cost is the plan's objective (total monthly cost), the quantity
 	// the paper's figures track.
 	Cost float64 `json:"cost,omitempty"`
+	// Warm marks a solve that ran with parent-basis warm starts
+	// (milp.Options.ReuseBasis); the companion cold scenario shares the
+	// name minus the "+warm" suffix. WarmHits/WarmMisses count node LPs
+	// that did and did not accept the parent basis, Phase1Skipped the
+	// phase-1 runs the warm path avoided (equals WarmHits today; kept
+	// separate so the invariant is visible in artifacts).
+	Warm          bool  `json:"warm,omitempty"`
+	WarmHits      int64 `json:"warm_hits,omitempty"`
+	WarmMisses    int64 `json:"warm_misses,omitempty"`
+	Phase1Skipped int64 `json:"phase1_skipped,omitempty"`
 }
 
 // BenchReport is the schema of the repository's BENCH_<n>.json perf

@@ -21,6 +21,18 @@ const (
 	MetricSimplexBland      = "simplex.bland_switches"
 	MetricSimplexRefactors  = "simplex.refactorizations"
 
+	// Warm-start counters (basis reuse across branch & bound nodes).
+	// A hit is a solve completed from an inherited basis with phase 1
+	// skipped; a miss is a solve that was offered a basis but fell back
+	// to the cold two-phase path (stale, singular, or primal-infeasible
+	// restoration). DualPivots counts the dual-simplex pivots spent
+	// restoring primal feasibility; they are also included in
+	// MetricSimplexPivots so pivot totals reconcile with iterations.
+	MetricSimplexWarmHits      = "simplex.warm_hits"
+	MetricSimplexWarmMisses    = "simplex.warm_misses"
+	MetricSimplexPhase1Skipped = "simplex.phase1_skipped"
+	MetricSimplexDualPivots    = "simplex.dual_pivots"
+
 	// Branch & bound counters and gauges.
 	MetricMILPSolves       = "milp.solves"
 	MetricMILPNodes        = "milp.nodes"

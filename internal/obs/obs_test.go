@@ -214,6 +214,9 @@ func TestBenchReportValidateAndRoundTrip(t *testing.T) {
 		CreatedAt: "2026-08-06T00:00:00Z",
 		Scenarios: []BenchScenario{
 			{Name: "fig4/enterprise1", Rows: 10, Cols: 20, Nodes: 5, Iterations: 100, Gap: 0, WallMillis: 12, Cost: 99.5},
+			{Name: "fig4/enterprise1+warm", Rows: 10, Cols: 20, Nodes: 5, Iterations: 30, Gap: 0, WallMillis: 4, Cost: 99.5,
+				Warm: true, WarmHits: 6, WarmMisses: 1, Phase1Skipped: 6},
+			{Name: "fig6/federal", Rows: 9, Cols: 9, Iterations: 7, WallMillis: 1, GapUnknown: true},
 		},
 	}
 	var buf bytes.Buffer
@@ -224,8 +227,14 @@ func TestBenchReportValidateAndRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ReadBenchReport: %v", err)
 	}
-	if back.PR != 4 || len(back.Scenarios) != 1 || back.Scenarios[0].Name != "fig4/enterprise1" {
+	if back.PR != 4 || len(back.Scenarios) != 3 || back.Scenarios[0].Name != "fig4/enterprise1" {
 		t.Fatalf("round trip mismatch: %+v", back)
+	}
+	if w := back.Scenarios[1]; !w.Warm || w.WarmHits != 6 || w.WarmMisses != 1 || w.Phase1Skipped != 6 {
+		t.Fatalf("warm counters lost in round trip: %+v", w)
+	}
+	if !back.Scenarios[2].GapUnknown {
+		t.Fatal("gap_unknown lost in round trip")
 	}
 
 	bad := []BenchReport{

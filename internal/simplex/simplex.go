@@ -138,6 +138,19 @@ type tableau struct {
 	p1Iters    int
 	degenTotal int
 	blandFlips int
+	// Warm-start counters (see warm.go). warmHits/p1Skipped mark a solve
+	// that completed on the warm path; warmMisses marks a solve that was
+	// offered a basis but ran the cold two-phase path; dualPivots counts
+	// dual-simplex restoration pivots (also included in iters, so pivot
+	// totals keep reconciling with Solution.Iterations).
+	warmHits   int
+	warmMisses int
+	p1Skipped  int
+	dualPivots int
+	// lastOptimal records that the most recent solve ended StatusOptimal
+	// in phase 2, i.e. status/basicIn describe an optimal basis that
+	// Solver.Basis can snapshot.
+	lastOptimal bool
 	ctx        context.Context // nil when the solve is not cancellable
 	limit      string          // lp.Limit* cause when iterate stops early
 	workCol    []float64 // FTRAN result w = Binv·A_j
@@ -166,6 +179,11 @@ func (t *tableau) reset(model *lp.Model, opts *Options) error {
 	t.p1Iters = 0
 	t.degenTotal = 0
 	t.blandFlips = 0
+	t.warmHits = 0
+	t.warmMisses = 0
+	t.p1Skipped = 0
+	t.dualPivots = 0
+	t.lastOptimal = false
 	t.limit = ""
 	t.pricedCost = nil
 
@@ -323,6 +341,15 @@ func (t *tableau) solve() (*lp.Solution, error) {
 		}
 	}
 
+	return t.finishPhase2()
+}
+
+// finishPhase2 runs phase 2 from the current (primal-feasible) basis and
+// extracts the solution. It is the shared tail of the cold path (after
+// phase 1) and the warm path (after dual-simplex restoration); the
+// artificials must already be frozen at [0,0].
+func (t *tableau) finishPhase2() (*lp.Solution, error) {
+	n, m := t.nStruct, t.m
 	t.phase = 2
 	t.pricedCost = t.cost
 	t.blandMode = t.opts.Bland
@@ -338,6 +365,7 @@ func (t *tableau) solve() (*lp.Solution, error) {
 	switch st {
 	case lp.StatusOptimal:
 		sol.Status = lp.StatusOptimal
+		t.lastOptimal = true
 	case lp.StatusUnbounded:
 		sol.Status = lp.StatusUnbounded
 		return sol, nil
@@ -806,6 +834,21 @@ func (t *tableau) foldMetrics() {
 	m.Add(obs.MetricSimplexBland, int64(t.blandFlips))
 	m.Add(obs.MetricSimplexRefactors, int64(t.refactors))
 	m.Observe(obs.MetricHistPivotsPerSolve, float64(t.iters))
+	// Warm counters are folded only when nonzero: Add creates the key
+	// even for a zero delta, and cold-only runs must not grow their
+	// metric snapshots (golden traces pin those snapshots byte-stable).
+	if t.warmHits > 0 {
+		m.Add(obs.MetricSimplexWarmHits, int64(t.warmHits))
+	}
+	if t.warmMisses > 0 {
+		m.Add(obs.MetricSimplexWarmMisses, int64(t.warmMisses))
+	}
+	if t.p1Skipped > 0 {
+		m.Add(obs.MetricSimplexPhase1Skipped, int64(t.p1Skipped))
+	}
+	if t.dualPivots > 0 {
+		m.Add(obs.MetricSimplexDualPivots, int64(t.dualPivots))
+	}
 }
 
 func swapRows(a []float64, m, i, j int) {

@@ -37,7 +37,7 @@ func NewSolver(opts *Options) *Solver {
 // Solve solves the continuous relaxation of model exactly like the
 // package-level Solve, reusing the Solver's scratch state.
 func (s *Solver) Solve(model *lp.Model) (*lp.Solution, error) {
-	return s.solve(nil, model)
+	return s.solve(nil, model, nil)
 }
 
 // SolveContext is Solve with cancellation (see the package-level
@@ -46,10 +46,10 @@ func (s *Solver) SolveContext(ctx context.Context, model *lp.Model) (*lp.Solutio
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return s.solve(ctx, model)
+	return s.solve(ctx, model, nil)
 }
 
-func (s *Solver) solve(ctx context.Context, model *lp.Model) (*lp.Solution, error) {
+func (s *Solver) solve(ctx context.Context, model *lp.Model, basis *Basis) (*lp.Solution, error) {
 	if err := model.Err(); err != nil {
 		return nil, fmt.Errorf("simplex: invalid model: %w", err)
 	}
@@ -76,6 +76,22 @@ func (s *Solver) solve(ctx context.Context, model *lp.Model) (*lp.Solution, erro
 		return nil, err
 	}
 	s.t.ctx = ctx
+	if basis != nil {
+		sol, done, err := s.t.solveWarm(basis)
+		if done {
+			s.t.foldMetrics()
+			return sol, err
+		}
+		// Stale basis: rebuild the tableau and run the cold two-phase
+		// path. The abandoned restoration pivots are wiped with the
+		// tableau, so the folded pivot totals keep matching the returned
+		// Solution.Iterations.
+		if err := s.t.reset(model, &s.opts); err != nil {
+			return nil, err
+		}
+		s.t.ctx = ctx
+		s.t.warmMisses = 1
+	}
 	sol, err := s.t.solve()
 	// Fold this solve's local counters into the metrics registry (nil-
 	// safe no-op when disabled) — on error paths too, so pivot totals

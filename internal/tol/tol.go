@@ -92,6 +92,31 @@ func Frac(x float64) float64 { return abs(x - round(x)) }
 // Round returns the nearest integer to x (half away from zero).
 func Round(x float64) float64 { return math.Round(x) }
 
+// RelGap returns the relative MILP optimality gap between an incumbent
+// objective and a proven lower bound:
+//
+//	(incumbent − bound) / max(1, |incumbent|)
+//
+// clamped to [0, +Inf]. The max(1, ·) denominator is the repository-wide
+// guard for the incumbent-near-zero case: an optimum at or near 0 must
+// not inflate the ratio (or divide by zero) and spuriously trip — or
+// fail to trip — a gap-limit exit. Non-finite inputs are mapped to the
+// honest extremes instead of propagating NaN into termination tests:
+// a NaN on either side, an infinite incumbent, or a −Inf bound (no bound
+// proven yet) all yield +Inf; a bound at or above the incumbent yields 0
+// (the incumbent is proven optimal — tiny negative gaps are floating-
+// point noise, not information).
+func RelGap(incumbent, bound float64) float64 {
+	if math.IsNaN(incumbent) || math.IsNaN(bound) || math.IsInf(incumbent, 0) || math.IsInf(bound, -1) {
+		return math.Inf(1)
+	}
+	g := (incumbent - bound) / math.Max(1, math.Abs(incumbent))
+	if g < 0 || math.IsInf(bound, 1) {
+		return 0
+	}
+	return g
+}
+
 // IsZero reports x == 0 exactly. Use only where exact floating zero is
 // the intent — typically skipping stored zeros in sparse structures,
 // where any nonzero (however tiny) must still be processed.

@@ -87,3 +87,39 @@ func TestExactComparisons(t *testing.T) {
 		t.Error("Same(NaN, NaN) must be false")
 	}
 }
+
+func TestRelGap(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		name       string
+		inc, bound float64
+		want       float64
+	}{
+		{"plain", 110, 100, 10.0 / 110},
+		{"negative-objectives", -90, -100, 10.0 / 90},
+		{"zero-incumbent", 0, -0.5, 0.5},           // max(1,·) guard: no division blow-up
+		{"tiny-incumbent", 1e-9, -0.5, 0.5 + 1e-9}, // denominator clamps to 1
+		{"proved", 100, 100, 0},
+		{"bound-overshoot", 100, 100 + 1e-9, 0}, // float noise above the incumbent: gap 0
+		{"no-bound-yet", 100, math.Inf(-1), inf},
+		{"inf-bound", 100, inf, 0},
+		{"nan-incumbent", math.NaN(), 0, inf},
+		{"nan-bound", 100, math.NaN(), inf},
+		{"inf-incumbent", inf, 0, inf},
+	}
+	for _, tc := range cases {
+		got := RelGap(tc.inc, tc.bound)
+		if math.IsInf(tc.want, 1) {
+			if !math.IsInf(got, 1) {
+				t.Errorf("%s: RelGap(%v, %v) = %v, want +Inf", tc.name, tc.inc, tc.bound, got)
+			}
+			continue
+		}
+		if math.Abs(got-tc.want) > 1e-15 {
+			t.Errorf("%s: RelGap(%v, %v) = %v, want %v", tc.name, tc.inc, tc.bound, got, tc.want)
+		}
+		if got < 0 || math.IsNaN(got) {
+			t.Errorf("%s: RelGap returned %v; must be nonnegative and not NaN", tc.name, got)
+		}
+	}
+}

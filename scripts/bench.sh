@@ -5,9 +5,13 @@
 #                                       run at -scale bench (x0.25
 #                                       datasets), the source of the
 #                                       README's Performance table
-#   docs/benchmarks/BENCH_4.json        machine-readable: schema
+#   docs/benchmarks/BENCH_5.json        machine-readable: schema
 #                                       etransform-bench/v1 (obs.BenchReport),
-#                                       one record per case-study solve
+#                                       one record per case-study solve,
+#                                       each dataset solved cold and again
+#                                       with warm-started node LPs (the
+#                                       "+warm" scenarios carry warm_hits /
+#                                       warm_misses / phase1_skipped)
 #
 # Usage:
 #
@@ -22,17 +26,25 @@ set -eu
 cd "$(dirname "$0")/.."
 
 out=docs/benchmarks/etbench_bench.txt
-json=docs/benchmarks/BENCH_4.json
+json=docs/benchmarks/BENCH_5.json
 mkdir -p docs/benchmarks
 
-{
+# No pipe into tee here: POSIX sh has no pipefail, so `etbench | tee`
+# would let a failed run still move half-written artifacts into place.
+if ! {
     echo "# etbench -scale bench $*"
     echo "# $(go version)"
     echo "# CPUs: $(getconf _NPROCESSORS_ONLN)"
     echo "# date: $(date -u +%Y-%m-%dT%H:%M:%SZ)"
     echo
-    go run ./cmd/etbench -scale bench -json "$json.tmp" -json-pr 4 "$@"
-} | tee "$out.tmp"
+    go run ./cmd/etbench -scale bench -json "$json.tmp" -json-pr 5 "$@"
+} > "$out.tmp" 2>&1; then
+    cat "$out.tmp" >&2
+    rm -f "$out.tmp" "$json.tmp"
+    echo "etbench failed; artifacts left untouched" >&2
+    exit 1
+fi
+cat "$out.tmp"
 mv "$out.tmp" "$out"
 mv "$json.tmp" "$json"
 echo "wrote $out"

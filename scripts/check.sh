@@ -8,12 +8,16 @@
 #                  convert to coordinator errors, not earn new markers
 #   4. go test     full suite under the race detector
 #   5. milp race   the parallel branch & bound, twice, under -race
-#   6. obs cover   internal/obs must hold >= 70% statement coverage —
+#   6. warm/cold   the warm-start equivalence suite (simplex SolveFrom
+#                  plus the milp ReuseBasis property tests), under -race:
+#                  warm and cold solves must agree on certified
+#                  objective, status and limit label
+#   7. obs cover   internal/obs must hold >= 70% statement coverage —
 #                  the observability layer is what every other number in
 #                  a trace or metrics file is trusted against
-#   7. output lock the golden-plan and metamorphic suites, explicitly:
+#   8. output lock the golden-plan and metamorphic suites, explicitly:
 #                  byte-stable plan JSON + certified-objective invariance
-#   8. fault smoke each injectable fault class forced against a small
+#   9. fault smoke each injectable fault class forced against a small
 #                  dataset end to end: the planner must exit 0 (recovered)
 #                  or 3 (degraded-but-feasible), never crash; a corrupted
 #                  standalone solve must fail cleanly with exit 1
@@ -46,6 +50,9 @@ go test -race ./...
 
 echo "==> go test -race -count=2 ./internal/milp/..."
 go test -race -count=2 ./internal/milp/...
+
+echo "==> warm/cold equivalence suite (-race)"
+go test -race -run 'Warm|GapZero' ./internal/simplex ./internal/milp
 
 echo "==> internal/obs coverage floor (70%)"
 cover=$(go test -cover ./internal/obs | awk '{for (i=1;i<=NF;i++) if ($i ~ /%$/) {sub(/%/,"",$i); print $i}}')
