@@ -9,37 +9,62 @@
 //   - ctxfirst: requires exported Solve…/Plan… entry points in the
 //     solver packages to take context.Context first (or to have a
 //     …Context sibling that does), so cancellation and deadlines can
-//     always be threaded through.
+//     always be threaded through,
+//   - maporder: flags map iteration whose order can reach an output
+//     sink (slice later encoded, fmt emit, float fold) unsorted,
+//     protecting the byte-stable golden-trace contract,
+//   - lockguard: checks that fields annotated `// guarded by <mu>` are
+//     only touched with the mutex held on every control-flow path,
+//   - stickyerr: flags lp.Solution/lp.Model consumption where no path
+//     checked Status or Err() first.
 //
 // Usage:
 //
-//	etlint [-nopanic-exemptions] [packages]
+//	etlint [flags] [packages]
 //
 // With no arguments it analyzes ./... in the current directory. It
 // prints one line per finding (path:line:col: message [analyzer]) and
 // exits 1 if there are findings, 2 on load failure.
 //
-// With -nopanic-exemptions it instead audits the nopanic escape hatch:
-// it prints every function in the solver library packages whose doc
-// comment carries the "invariant-violation helper" marker, one per line,
-// sorted. scripts/check.sh diffs this output against the reviewed
-// allowlist in scripts/nopanic_exemptions.txt, so a newly sanctioned
-// panic site (e.g. one slipped into a branch & bound worker, where a
-// panic must instead convert to a coordinator error) fails CI until the
-// allowlist is deliberately updated.
+// Flags:
+//
+//	-json              emit diagnostics as a JSON array (for CI tooling)
+//	-ignores           list every //etlint:ignore directive with its
+//	                   reason and whether it suppressed anything
+//	-exemptions-out F  while linting, also write the nopanic exemption
+//	                   audit to F (same content as -nopanic-exemptions),
+//	                   so the gate script needs a single etlint run
+//	-nopanic-exemptions
+//	                   print the sanctioned panic-helper functions in
+//	                   solver packages and exit
+//
+// The nopanic audit lists every function in the solver library packages
+// whose doc comment carries the "invariant-violation helper" marker,
+// one per line, sorted. scripts/check.sh diffs this output against the
+// reviewed allowlist in scripts/nopanic_exemptions.txt, so a newly
+// sanctioned panic site (e.g. one slipped into a branch & bound worker,
+// where a panic must instead convert to a coordinator error) fails CI
+// until the allowlist is deliberately updated. //etlint:ignore
+// directives get the same treatment through -ignores: every suppression
+// carries a mandatory reason and is enumerable in review.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"github.com/etransform/etransform/internal/lint/analysis"
 	"github.com/etransform/etransform/internal/lint/ctxfirst"
 	"github.com/etransform/etransform/internal/lint/driver"
 	"github.com/etransform/etransform/internal/lint/floatcmp"
+	"github.com/etransform/etransform/internal/lint/lockguard"
+	"github.com/etransform/etransform/internal/lint/maporder"
 	"github.com/etransform/etransform/internal/lint/nopanic"
+	"github.com/etransform/etransform/internal/lint/stickyerr"
 	"github.com/etransform/etransform/internal/lint/toldef"
 )
 
@@ -49,6 +74,9 @@ var suite = []*analysis.Analyzer{
 	toldef.Analyzer,
 	nopanic.Analyzer,
 	ctxfirst.Analyzer,
+	maporder.Analyzer,
+	lockguard.Analyzer,
+	stickyerr.Analyzer,
 }
 
 func main() {
@@ -59,6 +87,11 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("etlint", flag.ContinueOnError)
 	audit := fs.Bool("nopanic-exemptions", false,
 		"print the sanctioned panic-helper functions in solver packages and exit")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	listIgnores := fs.Bool("ignores", false,
+		"list every //etlint:ignore directive and whether it was used")
+	exemptionsOut := fs.String("exemptions-out", "",
+		"write the nopanic exemption audit to this file while linting")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -72,26 +105,80 @@ func run(args []string) int {
 		return 2
 	}
 	if *audit {
-		var names []string
-		for _, p := range pkgs {
-			names = append(names, nopanic.Exemptions(p.Path, p.Files)...)
-		}
-		sort.Strings(names)
-		for _, n := range names {
-			fmt.Println(n)
-		}
+		fmt.Print(nopanicAudit(pkgs))
 		return 0
 	}
-	diags, err := driver.Run(pkgs, suite)
+	res, err := driver.Analyze(pkgs, suite)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "etlint:", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *exemptionsOut != "" {
+		if err := os.WriteFile(*exemptionsOut, []byte(nopanicAudit(pkgs)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "etlint:", err)
+			return 2
+		}
 	}
-	if len(diags) > 0 {
+	if *listIgnores {
+		for _, ig := range res.Ignores {
+			state := "unused"
+			if ig.Used {
+				state = "used"
+			}
+			where := ig.Analyzer
+			if ig.Func != "" {
+				where += " in func " + ig.Func
+			}
+			fmt.Printf("%s:%d: ignore %s (%s): %s\n", ig.File, ig.Line, where, state, ig.Reason)
+		}
+		return 0
+	}
+	if *jsonOut {
+		type jsonDiag struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonDiag, 0, len(res.Diagnostics))
+		for _, d := range res.Diagnostics {
+			out = append(out, jsonDiag{
+				File:     d.Position.Filename,
+				Line:     d.Position.Line,
+				Column:   d.Position.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "etlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range res.Diagnostics {
+			fmt.Println(d)
+		}
+	}
+	if len(res.Diagnostics) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// nopanicAudit renders the sorted nopanic exemption listing, one
+// function per line with a trailing newline (empty when there are
+// none).
+func nopanicAudit(pkgs []*driver.Package) string {
+	var names []string
+	for _, p := range pkgs {
+		names = append(names, nopanic.Exemptions(p.Path, p.Files)...)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return ""
+	}
+	return strings.Join(names, "\n") + "\n"
 }

@@ -18,7 +18,7 @@ import (
 // marked line fires its analyzer, and nothing else fires.
 func TestAnalyzersOnTestdata(t *testing.T) {
 	root := filepath.Join("testdata", "src")
-	for _, rel := range []string{"internal/lp", "internal/report"} {
+	for _, rel := range []string{"internal/lp", "internal/report", "internal/mapsink", "internal/guard", "sticky/lp"} {
 		t.Run(rel, func(t *testing.T) {
 			dir := filepath.Join(root, filepath.FromSlash(rel))
 			pkg, err := driver.LoadDir(root, dir)

@@ -1,0 +1,86 @@
+// Package guard is etlint fixture code for the lockguard analyzer. A
+// local Mutex stand-in keeps the fixture import-free; lockguard's
+// Lock/Unlock recognition is syntactic, so it applies all the same.
+package guard
+
+// Mutex is a local stand-in for sync.Mutex.
+type Mutex struct{ state int }
+
+func (m *Mutex) Lock()    {}
+func (m *Mutex) Unlock()  {}
+func (m *Mutex) RLock()   {}
+func (m *Mutex) RUnlock() {}
+
+type counter struct {
+	mu   Mutex
+	n    int // guarded by mu
+	name string
+}
+
+// readBare reads the guarded field with no lock at all.
+func (c *counter) readBare() int {
+	return c.n // want lockguard
+}
+
+// useAfterUnlock holds the lock for the increment but reads again after
+// releasing it.
+func (c *counter) useAfterUnlock() int {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	return c.n // want lockguard
+}
+
+// maybeLocked takes the lock on only one branch: the merge point must
+// not count as held.
+func (c *counter) maybeLocked(lock bool) {
+	if lock {
+		c.mu.Lock()
+	}
+	c.n = 0 // want lockguard
+	if lock {
+		c.mu.Unlock()
+	}
+}
+
+// get is the sanctioned read: lock, defer unlock, read.
+func (c *counter) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// snapshot uses the reader lock; RLock counts as held too.
+func (c *counter) snapshot() int {
+	c.mu.RLock()
+	v := c.n
+	c.mu.RUnlock()
+	return v
+}
+
+// bumpLocked increments the count. caller holds mu.
+func (c *counter) bumpLocked() {
+	c.n++
+}
+
+// fold creates its closure under the lock: the closure inherits the
+// held set at its creation point.
+func (c *counter) fold() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	read := func() int { return c.n }
+	return read() + read()
+}
+
+// label touches only the unguarded field: no lock needed.
+func (c *counter) label() string {
+	return c.name
+}
+
+// reset runs during single-threaded construction; the directive records
+// the reviewed reason.
+//
+//etlint:ignore lockguard fixture: construction happens-before publication
+func (c *counter) reset() {
+	c.n = 0
+}

@@ -1,0 +1,90 @@
+// Package mapsink is etlint fixture code for the maporder analyzer:
+// each planted order-sensitive sink carries a want marker, and the
+// order-insensitive idioms below them must stay silent.
+package mapsink
+
+// keysUnsorted leaks map order into its result slice.
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want maporder
+	}
+	return out
+}
+
+// printAll emits key/value pairs in iteration order.
+func printAll(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want maporder
+	}
+}
+
+// total folds floats in iteration order: not byte-deterministic.
+func total(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // want maporder
+	}
+	return s
+}
+
+// sink is a stand-in output stream.
+type sink struct{}
+
+func (sink) Write(s string) {}
+
+// emitAll writes through an encoder method sink in iteration order.
+func emitAll(enc sink, m map[string]int) {
+	for k := range m {
+		enc.Write(k) // want maporder
+	}
+}
+
+// keysSorted is the sanctioned idiom: append, then sort after the loop.
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// count folds an int: addition is associative, order cannot show.
+func count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// mirror copies map to map: the destination is order-insensitive.
+func mirror(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// perKey builds a fresh slice per iteration: nothing accumulates across
+// iterations, so map order cannot reach it.
+func perKey(m map[string][]string, f func([]string)) {
+	for k, vs := range m {
+		row := make([]string, 0, len(vs)+1)
+		row = append(row, k)
+		row = append(row, vs...)
+		f(row)
+	}
+}
+
+// suppressed demonstrates the ignore directive: the fold would be
+// flagged, but the trailing directive suppresses it.
+func suppressed(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v //etlint:ignore maporder fixture: result feeds a tolerance-based comparison, not an encoding
+	}
+	return s
+}

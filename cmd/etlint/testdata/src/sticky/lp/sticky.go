@@ -1,0 +1,120 @@
+// Package lp is etlint fixture code for the stickyerr analyzer. It is
+// deliberately named lp and declares its own Solution/Model types: the
+// analyzer matches the type name and package name, so the fixture
+// exercises the same recognition path as the real solver package.
+package lp
+
+// Status classifies a solve result.
+type Status int
+
+// StatusOptimal is the only status a fixture needs.
+const StatusOptimal Status = 1
+
+// Solution is the fixture twin of the real lp.Solution.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+}
+
+// Value reads one primal coordinate.
+func (s *Solution) Value(i int) float64 { return s.X[i] }
+
+// Model is the fixture twin of the real lp.Model.
+type Model struct{ rows int }
+
+func (m *Model) AddRow(lo, hi float64)         { m.rows++ }
+func (m *Model) Objective(x []float64) float64 { return 0 }
+func (m *Model) Err() error                    { return nil }
+
+func solve() (*Solution, error) { return &Solution{}, nil }
+func newModel() *Model          { return &Model{} }
+
+// blindObjective consumes the result with no check on any path.
+func blindObjective() float64 {
+	sol, _ := solve()
+	return sol.Objective // want stickyerr
+}
+
+// blindValue calls Value without checking either.
+func blindValue() float64 {
+	sol, _ := solve()
+	return sol.Value(0) // want stickyerr
+}
+
+// blindParam consumes a parameter without checking it, silently pushing
+// the whole contract onto its callers.
+func blindParam(sol *Solution) []float64 {
+	return sol.X // want stickyerr
+}
+
+// staleModel consumes a mutated model without consulting Err().
+func staleModel() float64 {
+	m := newModel()
+	m.AddRow(0, 1)
+	return m.Objective(nil) // want stickyerr
+}
+
+// recheck checks Err, but the later mutation invalidates the check.
+func recheck(x []float64) float64 {
+	m := newModel()
+	m.AddRow(0, 1)
+	if m.Err() != nil {
+		return 0
+	}
+	m.AddRow(0, 2)
+	return m.Objective(x) // want stickyerr
+}
+
+// statusFirst is the sanctioned pattern: look at Status, then consume.
+func statusFirst() float64 {
+	sol, _ := solve()
+	if sol.Status != StatusOptimal {
+		return 0
+	}
+	return sol.Objective
+}
+
+// errFirst checks the error returned alongside the solution instead.
+func errFirst() []float64 {
+	sol, err := solve()
+	if err != nil {
+		return nil
+	}
+	return sol.X
+}
+
+// lenFirst guards on the primal vector itself.
+func lenFirst() float64 {
+	sol, _ := solve()
+	if len(sol.X) == 0 {
+		return 0
+	}
+	return sol.Objective
+}
+
+// usable checks its parameter, which makes it a StatusChecker: callers
+// get credit for passing a solution through it.
+func usable(sol *Solution) bool {
+	return sol.Status == StatusOptimal
+}
+
+// viaChecker consumes only after the checker function vetted the
+// solution — the StatusCheckerFact call-site credit.
+func viaChecker() float64 {
+	sol, _ := solve()
+	if !usable(sol) {
+		return 0
+	}
+	return sol.Objective
+}
+
+// freshModel consumes after the Err look: the sanctioned model pattern.
+func freshModel(x []float64) float64 {
+	m := newModel()
+	m.AddRow(0, 1)
+	if m.Err() != nil {
+		return 0
+	}
+	return m.Objective(x)
+}

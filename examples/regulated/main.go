@@ -10,6 +10,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 	"time"
 
 	"github.com/etransform/etransform/internal/core"
@@ -79,8 +80,13 @@ func main() {
 
 	if len(plan.CapacityShadow) > 0 {
 		fmt.Println("\nwhere extra capacity would pay (LP shadow prices):")
-		for id, v := range plan.CapacityShadow {
-			fmt.Printf("  %-10s %s per server slot per month\n", id, report.Money(v))
+		ids := make([]string, 0, len(plan.CapacityShadow))
+		for id := range plan.CapacityShadow {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Printf("  %-10s %s per server slot per month\n", id, report.Money(plan.CapacityShadow[id]))
 		}
 	}
 

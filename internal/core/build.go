@@ -576,6 +576,9 @@ func (b *builder) addSpaceSegments() {
 // decode converts a MILP solution into a Plan scored by the shared
 // evaluator, with a self-check that the LP objective matches.
 func (b *builder) decode(sol *lp.Solution) (*model.Plan, error) {
+	if !sol.Status.HasSolution() {
+		return nil, fmt.Errorf("core: internal: decode called on %v solution", sol.Status)
+	}
 	s := b.s
 	dr := b.p.opts.DR
 	placement := make([]int, len(s.Groups))

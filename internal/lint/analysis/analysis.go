@@ -41,6 +41,26 @@ type Pass struct {
 	TypesInfo *types.Info
 	// Report delivers one diagnostic.
 	Report func(Diagnostic)
+	// Facts is the run-wide fact store. The driver analyzes packages in
+	// dependency order, so facts exported while analyzing an import are
+	// visible here. May be nil (single-package test harnesses).
+	Facts *FactStore
+}
+
+// ExportObjectFact attaches fact to obj for later passes and dependent
+// packages. Serialization failures are silently dropped — a fact that
+// cannot round-trip simply never becomes visible, which analyzers must
+// tolerate anyway (facts are an optimization, not a soundness source).
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.Facts != nil {
+		_ = p.Facts.Export(obj, fact)
+	}
+}
+
+// ImportObjectFact decodes a previously exported fact of fact's dynamic
+// type on obj into fact, reporting whether one existed.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	return p.Facts != nil && p.Facts.Import(obj, fact)
 }
 
 // Reportf reports a diagnostic at pos with a formatted message.
@@ -70,6 +90,26 @@ func IsGenerated(f *ast.File) bool {
 		}
 	}
 	return false
+}
+
+// Path renders a simple ident/selector chain ("c.inner.mu") as a dotted
+// string, or "" for any expression that is not such a chain. Dataflow
+// analyzers use these strings as lock and value identities; anything
+// unrenderable (calls, indexing) is deliberately outside their model.
+func Path(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := Path(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return Path(e.X)
+	}
+	return ""
 }
 
 // IsFloat reports whether t's core type is a floating-point basic type

@@ -1,0 +1,364 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file implements the lightweight intra-procedural control-flow
+// graph the dataflow analyzers (lockguard, stickyerr) run over. It is a
+// deliberately small re-implementation of the shape of
+// golang.org/x/tools/go/cfg on the standard library alone: one Block
+// per straight-line statement run, successor edges for every structured
+// control transfer, and a distinguished exit block that every return
+// path reaches.
+//
+// Precision contract — what the CFG does and does not model:
+//
+//   - if/else, for, range, switch, type switch, and select produce
+//     exact branch edges, including missing-else fallthrough and
+//     conditionless-for back edges;
+//   - break and continue resolve to the innermost enclosing loop or
+//     switch (labeled break/continue resolve through the label stack);
+//   - return and calls to panic end a path (edge to the exit block);
+//   - goto is approximated as an edge to the exit block: the analyzers
+//     built on this CFG are must-analyses, so giving up on a path is
+//     conservative (it can cause a false positive, never a false
+//     negative, and the repository's production code contains no goto);
+//   - defer is not modeled as control flow; analyzers that care about
+//     deferred calls (lockguard's deferred Unlock) inspect DeferStmt
+//     nodes directly.
+type CFG struct {
+	// Blocks in allocation order; Blocks[0] is the entry block.
+	Blocks []*Block
+	// Entry is the function's entry block.
+	Entry *Block
+	// Exit is the distinguished empty block reached by falling off the
+	// end of the function, every return statement, and every panic.
+	Exit *Block
+}
+
+// Block is one straight-line run of statements: control enters at the
+// first node and leaves only after the last.
+type Block struct {
+	// Index is the block's position in CFG.Blocks.
+	Index int
+	// Nodes are the statements and expressions executed in order. For
+	// condition blocks the node is the condition expression itself.
+	Nodes []ast.Node
+	// Succs are the possible successor blocks.
+	Succs []*Block
+}
+
+// addSucc appends s to b's successors if not already present.
+func (b *Block) addSucc(s *Block) {
+	for _, have := range b.Succs {
+		if have == s {
+			return
+		}
+	}
+	b.Succs = append(b.Succs, s)
+}
+
+// cfgBuilder carries the construction state.
+type cfgBuilder struct {
+	cfg *CFG
+	// frames tracks enclosing breakable/continuable constructs, innermost
+	// last. A nil continueTo marks a non-loop frame (switch/select).
+	frames []cfgFrame
+}
+
+type cfgFrame struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block
+}
+
+// BuildCFG constructs the control-flow graph of body. A nil body (a
+// declaration without a body, e.g. an external function) yields a CFG
+// whose entry is also its exit.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}}
+	entry := b.newBlock()
+	exit := b.newBlock()
+	b.cfg.Entry = entry
+	b.cfg.Exit = exit
+	if body == nil {
+		entry.addSucc(exit)
+		return b.cfg
+	}
+	last := b.stmts(entry, body.List)
+	if last != nil {
+		last.addSucc(exit)
+	}
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// stmts threads the statement list through cur, returning the block
+// control falls out of, or nil when every path terminated (return,
+// break, …).
+func (b *cfgBuilder) stmts(cur *Block, list []ast.Stmt) *Block {
+	for _, s := range list {
+		if cur == nil {
+			// Unreachable code after a terminating statement: give it a
+			// fresh disconnected block so its nodes still exist for
+			// position queries, but keep it out of the live flow.
+			cur = b.newBlock()
+		}
+		cur = b.stmt(cur, s, "")
+	}
+	return cur
+}
+
+// stmt threads one statement; label is the pending label name when the
+// statement came from a LabeledStmt.
+func (b *cfgBuilder) stmt(cur *Block, s ast.Stmt, label string) *Block {
+	switch s := s.(type) {
+	case *ast.LabeledStmt:
+		return b.stmt(cur, s.Stmt, s.Label.Name)
+
+	case *ast.BlockStmt:
+		return b.stmts(cur, s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		cur.Nodes = append(cur.Nodes, s.Cond)
+		thenBlk := b.newBlock()
+		cur.addSucc(thenBlk)
+		after := b.newBlock()
+		thenEnd := b.stmts(thenBlk, s.Body.List)
+		if thenEnd != nil {
+			thenEnd.addSucc(after)
+		}
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			cur.addSucc(elseBlk)
+			elseEnd := b.stmt(elseBlk, s.Else, "")
+			if elseEnd != nil {
+				elseEnd.addSucc(after)
+			}
+		} else {
+			cur.addSucc(after)
+		}
+		return after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		head := b.newBlock()
+		cur.addSucc(head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		after := b.newBlock()
+		post := b.newBlock()
+		if s.Post != nil {
+			post.Nodes = append(post.Nodes, s.Post)
+		}
+		post.addSucc(head)
+		if s.Cond != nil {
+			head.addSucc(after)
+		}
+		bodyBlk := b.newBlock()
+		head.addSucc(bodyBlk)
+		b.frames = append(b.frames, cfgFrame{label: label, breakTo: after, continueTo: post})
+		bodyEnd := b.stmts(bodyBlk, s.Body.List)
+		b.frames = b.frames[:len(b.frames)-1]
+		if bodyEnd != nil {
+			bodyEnd.addSucc(post)
+		}
+		return after
+
+	case *ast.RangeStmt:
+		cur.Nodes = append(cur.Nodes, s.X)
+		head := b.newBlock()
+		cur.addSucc(head)
+		if s.Key != nil {
+			head.Nodes = append(head.Nodes, s.Key)
+		}
+		after := b.newBlock()
+		head.addSucc(after) // empty collection
+		bodyBlk := b.newBlock()
+		head.addSucc(bodyBlk)
+		b.frames = append(b.frames, cfgFrame{label: label, breakTo: after, continueTo: head})
+		bodyEnd := b.stmts(bodyBlk, s.Body.List)
+		b.frames = b.frames[:len(b.frames)-1]
+		if bodyEnd != nil {
+			bodyEnd.addSucc(head)
+		}
+		return after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		if s.Tag != nil {
+			cur.Nodes = append(cur.Nodes, s.Tag)
+		}
+		return b.switchBody(cur, s.Body, label, nil)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		cur.Nodes = append(cur.Nodes, s.Assign)
+		return b.switchBody(cur, s.Body, label, nil)
+
+	case *ast.SelectStmt:
+		return b.switchBody(cur, s.Body, label, func(c *ast.CommClause, blk *Block) {
+			if c.Comm != nil {
+				blk.Nodes = append(blk.Nodes, c.Comm)
+			}
+		})
+
+	case *ast.ReturnStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		cur.addSucc(b.cfg.Exit)
+		return nil
+
+	case *ast.BranchStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findFrame(s.Label, false); t != nil {
+				cur.addSucc(t)
+			} else {
+				cur.addSucc(b.cfg.Exit)
+			}
+		case token.CONTINUE:
+			if t := b.findFrame(s.Label, true); t != nil {
+				cur.addSucc(t)
+			} else {
+				cur.addSucc(b.cfg.Exit)
+			}
+		case token.GOTO:
+			// Approximated as path end; see the precision contract above.
+			cur.addSucc(b.cfg.Exit)
+		case token.FALLTHROUGH:
+			// Handled structurally by switchBody; reaching here means a
+			// malformed tree — treat as fallthrough to the next statement.
+			return cur
+		}
+		return nil
+
+	case *ast.ExprStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		if isPanicCall(s.X) {
+			cur.addSucc(b.cfg.Exit)
+			return nil
+		}
+		return cur
+
+	default:
+		// Assignments, declarations, sends, go/defer, inc/dec, empty:
+		// straight-line statements.
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+	}
+}
+
+// switchBody wires the clause blocks of a switch/type-switch/select.
+// Each clause gets its own block branching from cur; fallthrough chains
+// to the next clause's block. prep, when non-nil, seeds a select
+// clause's comm statement into its block.
+func (b *cfgBuilder) switchBody(cur *Block, body *ast.BlockStmt, label string, prep func(*ast.CommClause, *Block)) *Block {
+	after := b.newBlock()
+	var clauseBlocks []*Block
+	var clauseStmts [][]ast.Stmt
+	hasDefault := false
+	for _, cl := range body.List {
+		blk := b.newBlock()
+		cur.addSucc(blk)
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				blk.Nodes = append(blk.Nodes, e)
+			}
+			if cl.List == nil {
+				hasDefault = true
+			}
+			clauseBlocks = append(clauseBlocks, blk)
+			clauseStmts = append(clauseStmts, cl.Body)
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			}
+			if prep != nil {
+				prep(cl, blk)
+			}
+			clauseBlocks = append(clauseBlocks, blk)
+			clauseStmts = append(clauseStmts, cl.Body)
+		}
+	}
+	if !hasDefault {
+		// No default: the whole construct may be skipped (select without
+		// default blocks forever, but a conservative skip edge only widens
+		// the must-analysis).
+		cur.addSucc(after)
+	}
+	b.frames = append(b.frames, cfgFrame{label: label, breakTo: after})
+	for i, blk := range clauseBlocks {
+		stmts := clauseStmts[i]
+		// Peel a trailing fallthrough: it transfers to the next clause.
+		fallsThrough := false
+		if n := len(stmts); n > 0 {
+			if br, ok := stmts[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				stmts = stmts[:n-1]
+			}
+		}
+		end := b.stmts(blk, stmts)
+		if end != nil {
+			if fallsThrough && i+1 < len(clauseBlocks) {
+				end.addSucc(clauseBlocks[i+1])
+			} else {
+				end.addSucc(after)
+			}
+		}
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	return after
+}
+
+// findFrame resolves a break/continue target. continueTo selects loop
+// frames only (continue skips switch frames).
+func (b *cfgBuilder) findFrame(label *ast.Ident, wantContinue bool) *Block {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if label != nil && f.label != label.Name {
+			continue
+		}
+		if wantContinue {
+			if f.continueTo != nil {
+				return f.continueTo
+			}
+			if label == nil {
+				continue // continue skips non-loop frames
+			}
+			continue
+		}
+		return f.breakTo
+	}
+	return nil
+}
+
+// isPanicCall reports whether e is a direct call to the predeclared
+// panic. Type information is not needed: a shadowed panic only makes
+// the CFG end a path early, which is conservative for must-analyses.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildFor parses a function body and builds its CFG.
+func buildFor(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f(x int) {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return BuildCFG(f.Decls[0].(*ast.FuncDecl).Body)
+}
+
+// reachable returns the set of blocks reachable from the entry.
+func reachable(c *CFG) map[*Block]bool {
+	seen := map[*Block]bool{c.Entry: true}
+	work := []*Block{c.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return seen
+}
+
+// blockOf finds the block holding the first node matching pred.
+func blockOf(c *CFG, pred func(ast.Node) bool) *Block {
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			hit := false
+			ast.Inspect(n, func(m ast.Node) bool {
+				if m != nil && pred(m) {
+					hit = true
+				}
+				return !hit
+			})
+			if hit {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+func isAssignTo(name string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) == 0 {
+			return false
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		return ok && id.Name == name
+	}
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	c := buildFor(t, "a := 1\nb := a\n_ = b")
+	r := reachable(c)
+	if !r[c.Exit] {
+		t.Error("exit unreachable in straight-line code")
+	}
+	if b := blockOf(c, isAssignTo("a")); b == nil || !r[b] {
+		t.Error("straight-line statement not in a reachable block")
+	}
+}
+
+func TestCFGNilBody(t *testing.T) {
+	c := BuildCFG(nil)
+	if !reachable(c)[c.Exit] {
+		t.Error("nil body: exit must be reachable from entry")
+	}
+}
+
+func TestCFGIfWithoutElse(t *testing.T) {
+	c := buildFor(t, "if x > 0 {\n a := 1\n _ = a\n}\nb := 2\n_ = b")
+	r := reachable(c)
+	then := blockOf(c, isAssignTo("a"))
+	after := blockOf(c, isAssignTo("b"))
+	if then == nil || after == nil {
+		t.Fatal("blocks not found")
+	}
+	if !r[then] || !r[after] || !r[c.Exit] {
+		t.Error("then branch, fallthrough, and exit must all be reachable")
+	}
+	// The missing else means the condition block must reach `after`
+	// without passing through `then`.
+	cond := blockOf(c, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		return ok && be.Op == token.GTR
+	})
+	if cond == nil {
+		t.Fatal("condition block not found")
+	}
+	direct := false
+	for _, s := range cond.Succs {
+		if s == after {
+			direct = true
+		}
+	}
+	if !direct {
+		t.Error("if without else: condition block lacks the skip edge")
+	}
+}
+
+func TestCFGReturnTerminatesPath(t *testing.T) {
+	c := buildFor(t, "return\na := 1\n_ = a")
+	r := reachable(c)
+	if !r[c.Exit] {
+		t.Error("exit unreachable")
+	}
+	if b := blockOf(c, isAssignTo("a")); b == nil {
+		t.Error("unreachable code lost from the graph")
+	} else if r[b] {
+		t.Error("code after return must be unreachable")
+	}
+}
+
+func TestCFGPanicTerminatesPath(t *testing.T) {
+	c := buildFor(t, "panic(x)\na := 1\n_ = a")
+	r := reachable(c)
+	if b := blockOf(c, isAssignTo("a")); b == nil || r[b] {
+		t.Error("code after panic must exist but be unreachable")
+	}
+}
+
+func TestCFGInfiniteLoop(t *testing.T) {
+	c := buildFor(t, "for {\n a := 1\n _ = a\n}")
+	r := reachable(c)
+	if r[c.Exit] {
+		t.Error("conditionless for without break must not reach exit")
+	}
+	if b := blockOf(c, isAssignTo("a")); b == nil || !r[b] {
+		t.Error("loop body must be reachable")
+	}
+}
+
+func TestCFGLoopBreak(t *testing.T) {
+	c := buildFor(t, "for {\n if x > 0 {\n  break\n }\n}\na := 1\n_ = a")
+	r := reachable(c)
+	if b := blockOf(c, isAssignTo("a")); b == nil || !r[b] {
+		t.Error("break must make the code after the loop reachable")
+	}
+	if !r[c.Exit] {
+		t.Error("exit unreachable after break")
+	}
+}
+
+func TestCFGForBackEdge(t *testing.T) {
+	c := buildFor(t, "for i := 0; i < x; i++ {\n a := i\n _ = a\n}")
+	body := blockOf(c, isAssignTo("a"))
+	if body == nil {
+		t.Fatal("loop body not found")
+	}
+	// Following the body's successor chain must come back around to the
+	// body: the back edge through the post block and the condition.
+	if !reachableFrom(body)[body] {
+		t.Error("loop body cannot reach itself: missing back edge")
+	}
+}
+
+func TestCFGRangeLoop(t *testing.T) {
+	c := buildFor(t, "for i := range make([]int, x) {\n a := i\n _ = a\n}\nb := 1\n_ = b")
+	r := reachable(c)
+	body := blockOf(c, isAssignTo("a"))
+	after := blockOf(c, isAssignTo("b"))
+	if body == nil || after == nil || !r[body] || !r[after] {
+		t.Fatal("range body and after-block must both be reachable (empty collection skips the body)")
+	}
+	if !reachableFrom(body)[body] {
+		t.Error("range body cannot reach itself: missing back edge")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	c := buildFor(t, "switch x {\ncase 1:\n a := 1\n _ = a\n fallthrough\ncase 2:\n b := 2\n _ = b\n}")
+	first := blockOf(c, isAssignTo("a"))
+	second := blockOf(c, isAssignTo("b"))
+	if first == nil || second == nil {
+		t.Fatal("clause blocks not found")
+	}
+	if !reachableFrom(first)[second] {
+		t.Error("fallthrough must chain the first clause into the second")
+	}
+}
+
+func TestCFGContinueSkipsSwitch(t *testing.T) {
+	// continue inside a switch inside a loop must target the loop, so
+	// the loop body can reach itself.
+	c := buildFor(t, "for i := 0; i < x; i++ {\n switch i {\n case 1:\n  continue\n }\n a := i\n _ = a\n}")
+	body := blockOf(c, isAssignTo("a"))
+	if body == nil {
+		t.Fatal("loop tail not found")
+	}
+	if !reachableFrom(body)[body] {
+		t.Error("continue through a switch frame broke the loop back edge")
+	}
+	if !reachable(c)[c.Exit] {
+		t.Error("exit unreachable")
+	}
+}
+
+// reachableFrom is reachable() seeded at an arbitrary block.
+func reachableFrom(start *Block) map[*Block]bool {
+	seen := map[*Block]bool{}
+	work := []*Block{start}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// This file implements the //etlint:ignore directive, the uniform
+// suppression mechanism honored by every analyzer. Syntax:
+//
+//	//etlint:ignore <analyzer> <reason>
+//
+// Placed as a trailing (or standalone) comment, the directive
+// suppresses diagnostics of the named analyzer on the directive's own
+// line. Placed in a function's doc comment, it suppresses the analyzer
+// within the entire function body. The reason is mandatory: a directive
+// without one is itself reported as malformed, and every directive —
+// used or not — surfaces in the `etlint -ignores` audit so suppressions
+// stay reviewable.
+
+// Ignore is one parsed //etlint:ignore directive.
+type Ignore struct {
+	// Analyzer is the suppressed analyzer's name ("*" never matches; the
+	// directive requires an explicit name).
+	Analyzer string
+	// Reason is the mandatory free-text justification.
+	Reason string
+	// File and Line locate the directive itself.
+	File string
+	Line int
+	// FromLine/ToLine delimit the suppressed region. For a trailing
+	// directive both equal Line; for a func-doc directive they span the
+	// declaration.
+	FromLine, ToLine int
+	// Func is the enclosing function's name for doc-comment directives,
+	// empty for line directives. Display only.
+	Func string
+	// Used records whether the directive suppressed at least one
+	// diagnostic this run; the driver sets it.
+	Used bool
+	// Malformed carries a parse problem ("missing reason"); malformed
+	// directives suppress nothing and are reported.
+	Malformed string
+}
+
+const ignorePrefix = "//etlint:ignore"
+
+// CollectIgnores extracts every //etlint:ignore directive from f,
+// resolving doc-comment directives to their declaration's line span.
+func CollectIgnores(fset *token.FileSet, f *ast.File) []*Ignore {
+	// Doc comments are reachable from their decls; map each comment group
+	// to the decl span it governs.
+	type span struct {
+		from, to int
+		name     string
+	}
+	docSpan := make(map[*ast.CommentGroup]span)
+	for _, d := range f.Decls {
+		switch d := d.(type) {
+		case *ast.FuncDecl:
+			if d.Doc != nil {
+				docSpan[d.Doc] = span{
+					from: fset.Position(d.Pos()).Line,
+					to:   fset.Position(d.End()).Line,
+					name: d.Name.Name,
+				}
+			}
+		case *ast.GenDecl:
+			if d.Doc != nil {
+				docSpan[d.Doc] = span{
+					from: fset.Position(d.Pos()).Line,
+					to:   fset.Position(d.End()).Line,
+				}
+			}
+		}
+	}
+
+	var out []*Ignore
+	for _, cg := range f.Comments {
+		sp, isDoc := docSpan[cg]
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			ig := &Ignore{File: pos.Filename, Line: pos.Line, FromLine: pos.Line, ToLine: pos.Line}
+			if isDoc {
+				ig.FromLine, ig.ToLine, ig.Func = sp.from, sp.to, sp.name
+			}
+			rest := strings.TrimPrefix(c.Text, ignorePrefix)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //etlint:ignorexyz — not our directive
+			}
+			fields := strings.Fields(rest)
+			switch {
+			case len(fields) == 0:
+				ig.Malformed = "missing analyzer name and reason"
+			case len(fields) == 1:
+				ig.Analyzer = fields[0]
+				ig.Malformed = "missing reason"
+			default:
+				ig.Analyzer = fields[0]
+				ig.Reason = strings.Join(fields[1:], " ")
+			}
+			out = append(out, ig)
+		}
+	}
+	return out
+}
+
+// Suppresses reports whether ig covers a diagnostic of analyzer at
+// (file, line).
+func (ig *Ignore) Suppresses(analyzer, file string, line int) bool {
+	return ig.Malformed == "" &&
+		ig.Analyzer == analyzer &&
+		ig.File == file &&
+		line >= ig.FromLine && line <= ig.ToLine
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const directiveSrc = `package p
+
+func a() {
+	x := 1 //etlint:ignore floatcmp compares sentinel values only
+	_ = x
+}
+
+//etlint:ignore nopanic invariant helper documented in DESIGN.md
+func b() {
+	panic("b")
+}
+
+//etlint:ignore lockguard
+func c() {}
+
+//etlint:ignore
+func d() {}
+
+//etlint:ignorexyz not ours
+func e() {}
+`
+
+func collectFrom(t *testing.T, src string) []*Ignore {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return CollectIgnores(fset, f)
+}
+
+func TestCollectIgnores(t *testing.T) {
+	igs := collectFrom(t, directiveSrc)
+	if len(igs) != 4 {
+		t.Fatalf("collected %d directives, want 4 (the ignorexyz comment is not one)", len(igs))
+	}
+
+	trailing := igs[0]
+	if trailing.Analyzer != "floatcmp" || trailing.Reason != "compares sentinel values only" {
+		t.Errorf("trailing directive = %+v", trailing)
+	}
+	if trailing.FromLine != trailing.Line || trailing.ToLine != trailing.Line {
+		t.Errorf("trailing directive must cover exactly its own line: %+v", trailing)
+	}
+	if trailing.Func != "" {
+		t.Errorf("trailing directive has no enclosing-func attribution, got %q", trailing.Func)
+	}
+
+	doc := igs[1]
+	if doc.Analyzer != "nopanic" || doc.Func != "b" {
+		t.Errorf("doc directive = %+v", doc)
+	}
+	if doc.FromLine >= doc.ToLine {
+		t.Errorf("doc directive must span the declaration, got [%d,%d]", doc.FromLine, doc.ToLine)
+	}
+
+	if igs[2].Malformed != "missing reason" {
+		t.Errorf("reasonless directive: Malformed = %q, want %q", igs[2].Malformed, "missing reason")
+	}
+	if igs[3].Malformed == "" {
+		t.Error("bare directive must be malformed")
+	}
+}
+
+func TestSuppresses(t *testing.T) {
+	igs := collectFrom(t, directiveSrc)
+	trailing, doc, malformed := igs[0], igs[1], igs[2]
+
+	if !trailing.Suppresses("floatcmp", "p.go", trailing.Line) {
+		t.Error("trailing directive must suppress its analyzer on its line")
+	}
+	if trailing.Suppresses("floatcmp", "p.go", trailing.Line+1) {
+		t.Error("trailing directive must not suppress other lines")
+	}
+	if trailing.Suppresses("nopanic", "p.go", trailing.Line) {
+		t.Error("directive must not suppress other analyzers")
+	}
+	if trailing.Suppresses("floatcmp", "q.go", trailing.Line) {
+		t.Error("directive must not suppress other files")
+	}
+
+	for line := doc.FromLine; line <= doc.ToLine; line++ {
+		if !doc.Suppresses("nopanic", "p.go", line) {
+			t.Errorf("doc directive must cover line %d of its declaration", line)
+		}
+	}
+
+	if malformed.Suppresses("lockguard", "p.go", malformed.Line) {
+		t.Error("a malformed directive must suppress nothing")
+	}
+}

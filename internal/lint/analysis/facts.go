@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// This file implements the cross-analyzer facts mechanism: an analyzer
+// running on one package can attach a serializable Fact to an exported
+// object (function, type, field), and analyzers running later — on the
+// same package or on a package that imports it — can query that fact at
+// a call site. It mirrors the shape of golang.org/x/tools/go/analysis
+// facts without the dependency: facts are plain structs serialized with
+// encoding/json, keyed by a stable object path, and the driver feeds
+// packages through the store in dependency order so importers always
+// see their dependencies' facts.
+
+// Fact is a serializable datum attached to a types.Object. Implementing
+// types must be JSON-encodable structs; the AFact marker method keeps
+// arbitrary values out of the store.
+type Fact interface{ AFact() }
+
+// FactStore holds the facts exported so far in one analysis run. Facts
+// are stored serialized (the JSON round-trip is taken eagerly on
+// export), so a fact that cannot survive per-package serialization is
+// rejected at the export site, not when a downstream package needs it.
+type FactStore struct {
+	facts map[factKey]json.RawMessage
+}
+
+type factKey struct {
+	obj string // stable object path, see ObjectKey
+	typ string // fact type name, see factType
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{facts: make(map[factKey]json.RawMessage)}
+}
+
+// Export serializes fact and attaches it to obj, replacing any existing
+// fact of the same type on the same object.
+func (s *FactStore) Export(obj types.Object, fact Fact) error {
+	if obj == nil {
+		return fmt.Errorf("analysis: fact exported on nil object")
+	}
+	raw, err := json.Marshal(fact)
+	if err != nil {
+		return fmt.Errorf("analysis: fact %s on %s does not serialize: %v", factType(fact), ObjectKey(obj), err)
+	}
+	s.facts[factKey{obj: ObjectKey(obj), typ: factType(fact)}] = raw
+	return nil
+}
+
+// Import looks up a fact of fact's dynamic type on obj, decoding into
+// fact (which must be a pointer) and reporting whether one was found.
+func (s *FactStore) Import(obj types.Object, fact Fact) bool {
+	if obj == nil {
+		return false
+	}
+	raw, ok := s.facts[factKey{obj: ObjectKey(obj), typ: factType(fact)}]
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(raw, fact) == nil
+}
+
+// PackageFacts serializes every fact attached to objects of the given
+// package path, in sorted key order — the per-package artifact a driver
+// could persist between runs. The format is one JSON object keyed by
+// "objectKey\x00factType".
+func (s *FactStore) PackageFacts(pkgPath string) ([]byte, error) {
+	flat := make(map[string]json.RawMessage)
+	for k, v := range s.facts {
+		if pkgOfKey(k.obj) == pkgPath {
+			flat[k.obj+"\x00"+k.typ] = v
+		}
+	}
+	// encoding/json sorts object keys, so equal stores yield equal bytes.
+	return json.Marshal(flat)
+}
+
+// AddPackageFacts merges a PackageFacts artifact back into the store.
+func (s *FactStore) AddPackageFacts(data []byte) error {
+	flat := make(map[string]json.RawMessage)
+	if err := json.Unmarshal(data, &flat); err != nil {
+		return fmt.Errorf("analysis: corrupt package facts: %v", err)
+	}
+	for k, v := range flat {
+		obj, typ, ok := strings.Cut(k, "\x00")
+		if !ok {
+			return fmt.Errorf("analysis: corrupt fact key %q", k)
+		}
+		s.facts[factKey{obj: obj, typ: typ}] = v
+	}
+	return nil
+}
+
+// Keys returns every fact's "objectKey [factType]" rendering, sorted —
+// used by audits and tests.
+func (s *FactStore) Keys() []string {
+	out := make([]string, 0, len(s.facts))
+	for k := range s.facts {
+		out = append(out, k.obj+" ["+k.typ+"]")
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ObjectKey renders a stable, human-readable path for an object:
+// pkgpath.Name for package-level objects, pkgpath.(Recv).Method for
+// methods, and pkgpath.Type.Field for struct fields. Objects without a
+// package (builtins) key under "_".
+func ObjectKey(obj types.Object) string {
+	pkg := "_"
+	if p := obj.Pkg(); p != nil {
+		pkg = p.Path()
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return pkg + ".(" + recvName(sig.Recv().Type()) + ")." + fn.Name()
+		}
+	}
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		// A field's parent struct is not reachable from the object alone;
+		// fields are keyed by position-independent name under the package
+		// with an explicit field marker so they cannot collide with
+		// package-level variables of the same name.
+		return pkg + ".field." + v.Name() + "@" + fmt.Sprint(v.Pos())
+	}
+	return pkg + "." + obj.Name()
+}
+
+// pkgOfKey recovers the package path prefix of an ObjectKey.
+func pkgOfKey(key string) string {
+	i := strings.LastIndex(key, "/")
+	rest := key
+	prefix := ""
+	if i >= 0 {
+		prefix, rest = key[:i+1], key[i+1:]
+	}
+	j := strings.Index(rest, ".")
+	if j < 0 {
+		return key
+	}
+	return prefix + rest[:j]
+}
+
+// recvName renders a receiver type compactly: "*T" or "T".
+func recvName(t types.Type) string {
+	switch t := t.(type) {
+	case *types.Pointer:
+		return "*" + recvName(t.Elem())
+	case *types.Named:
+		return t.Obj().Name()
+	default:
+		return t.String()
+	}
+}
+
+// factType is the registry name of a fact's dynamic type.
+func factType(f Fact) string {
+	t := reflect.TypeOf(f)
+	for t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	return t.Name()
+}

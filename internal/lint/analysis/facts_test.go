@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+type markFact struct{ N int }
+
+func (*markFact) AFact() {}
+
+type otherFact struct{ S string }
+
+func (*otherFact) AFact() {}
+
+type badFact struct{ C chan int }
+
+func (*badFact) AFact() {}
+
+// checkPkg type-checks one import-free source file as package path p.
+func checkPkg(t *testing.T, path, src string) (*types.Package, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path+".go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Defs: make(map[*ast.Ident]types.Object),
+		Uses: make(map[*ast.Ident]types.Object),
+	}
+	pkg, err := (&types.Config{}).Check(path, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return pkg, info
+}
+
+const factSrc = `package p
+
+type T struct{ F int }
+
+func (t *T) M() int { return t.F }
+
+func G() {}
+`
+
+func TestFactRoundTrip(t *testing.T) {
+	pkg, _ := checkPkg(t, "example.com/p", factSrc)
+	g := pkg.Scope().Lookup("G")
+	s := NewFactStore()
+
+	var got markFact
+	if s.Import(g, &got) {
+		t.Error("Import on empty store must report false")
+	}
+	if err := s.Export(g, &markFact{N: 7}); err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	if !s.Import(g, &got) || got.N != 7 {
+		t.Errorf("round trip = %+v, want N=7", got)
+	}
+
+	// A second export of the same fact type replaces the first.
+	if err := s.Export(g, &markFact{N: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Import(g, &got) || got.N != 9 {
+		t.Errorf("after replace = %+v, want N=9", got)
+	}
+
+	// Facts of different types coexist on one object.
+	if err := s.Export(g, &otherFact{S: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	var other otherFact
+	if !s.Import(g, &other) || other.S != "x" {
+		t.Errorf("second fact type = %+v, want S=x", other)
+	}
+	if !s.Import(g, &got) || got.N != 9 {
+		t.Error("adding a second fact type clobbered the first")
+	}
+}
+
+func TestFactExportRejectsUnserializable(t *testing.T) {
+	pkg, _ := checkPkg(t, "example.com/p", factSrc)
+	g := pkg.Scope().Lookup("G")
+	s := NewFactStore()
+	if err := s.Export(g, &badFact{C: make(chan int)}); err == nil {
+		t.Error("exporting a non-serializable fact must fail eagerly")
+	}
+	if err := s.Export(nil, &markFact{}); err == nil {
+		t.Error("exporting on a nil object must fail")
+	}
+}
+
+func TestPackageFactsRoundTrip(t *testing.T) {
+	pkg, _ := checkPkg(t, "example.com/p", factSrc)
+	g := pkg.Scope().Lookup("G")
+	tType := pkg.Scope().Lookup("T").Type()
+	method := tType.(*types.Named).Method(0)
+
+	s := NewFactStore()
+	if err := s.Export(g, &markFact{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Export(method, &markFact{N: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := s.PackageFacts("example.com/p")
+	if err != nil {
+		t.Fatalf("PackageFacts: %v", err)
+	}
+	data2, err := s.PackageFacts("example.com/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Error("PackageFacts is not byte-deterministic")
+	}
+
+	fresh := NewFactStore()
+	if err := fresh.AddPackageFacts(data); err != nil {
+		t.Fatalf("AddPackageFacts: %v", err)
+	}
+	var got markFact
+	if !fresh.Import(g, &got) || got.N != 1 {
+		t.Errorf("function fact lost in package round trip: %+v", got)
+	}
+	if !fresh.Import(method, &got) || got.N != 2 {
+		t.Errorf("method fact lost in package round trip: %+v", got)
+	}
+
+	if err := fresh.AddPackageFacts([]byte("not json")); err == nil {
+		t.Error("corrupt package facts must be rejected")
+	}
+}
+
+func TestObjectKeyShapes(t *testing.T) {
+	pkg, _ := checkPkg(t, "example.com/p", factSrc)
+	g := pkg.Scope().Lookup("G")
+	named := pkg.Scope().Lookup("T").Type().(*types.Named)
+	method := named.Method(0)
+	field := named.Underlying().(*types.Struct).Field(0)
+
+	if k := ObjectKey(g); k != "example.com/p.G" {
+		t.Errorf("func key = %q", k)
+	}
+	if k := ObjectKey(method); k != "example.com/p.(*T).M" {
+		t.Errorf("method key = %q", k)
+	}
+	k := ObjectKey(field)
+	if !strings.HasPrefix(k, "example.com/p.field.F@") {
+		t.Errorf("field key = %q, want field marker with position suffix", k)
+	}
+	// All three keys resolve back to the package.
+	for _, key := range []string{ObjectKey(g), ObjectKey(method), k} {
+		if got := pkgOfKey(key); got != "example.com/p" {
+			t.Errorf("pkgOfKey(%q) = %q", key, got)
+		}
+	}
+}

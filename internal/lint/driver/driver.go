@@ -174,6 +174,12 @@ func LoadDir(root, dir string) (*Package, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("no Go files in %s", dir)
 	}
+	for _, f := range files[1:] {
+		if f.Name.Name != files[0].Name.Name {
+			return nil, fmt.Errorf("conflicting package names in %s: %s and %s",
+				dir, files[0].Name.Name, f.Name.Name)
+		}
+	}
 	rel, err := filepath.Rel(root, dir)
 	if err != nil {
 		return nil, err
@@ -197,11 +203,41 @@ func LoadDir(root, dir string) (*Package, error) {
 	}, nil
 }
 
-// Run applies every analyzer to every package and returns the combined
-// diagnostics sorted by position.
+// Result is the outcome of one Analyze run: the diagnostics that
+// survived directive filtering, those an //etlint:ignore directive
+// suppressed, and every directive encountered (for the -ignores audit).
+type Result struct {
+	Diagnostics []Diagnostic
+	Suppressed  []Diagnostic
+	Ignores     []*analysis.Ignore
+}
+
+// Run applies every analyzer to every package and returns the
+// unsuppressed diagnostics sorted by position. It is the historical
+// entry point; Analyze exposes the suppressed set and the directive
+// audit as well.
 func Run(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	res, err := Analyze(pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return res.Diagnostics, nil
+}
+
+// Analyze applies every analyzer to every package in dependency order
+// (so facts exported on an import are visible to its dependents),
+// filters diagnostics through //etlint:ignore directives, and reports
+// malformed directives as diagnostics of the synthetic "etlint"
+// analyzer.
+func Analyze(pkgs []*Package, analyzers []*analysis.Analyzer) (*Result, error) {
+	pkgs = depOrder(pkgs)
+	facts := analysis.NewFactStore()
 	var diags []Diagnostic
+	var ignores []*analysis.Ignore
 	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ignores = append(ignores, analysis.CollectIgnores(pkg.Fset, f)...)
+		}
 		for _, a := range analyzers {
 			pass := &analysis.Pass{
 				Analyzer:  a,
@@ -209,6 +245,7 @@ func Run(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Diagnostic, error) 
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				Facts:     facts,
 			}
 			name := a.Name
 			pass.Report = func(d analysis.Diagnostic) {
@@ -222,7 +259,86 @@ func Run(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Diagnostic, error) 
 				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
 			}
 		}
+		// Exercise the per-package fact serialization contract: a fact that
+		// does not survive the round trip must fail here, not in a
+		// dependent package.
+		if blob, err := facts.PackageFacts(pkg.Path); err != nil {
+			return nil, fmt.Errorf("serializing facts for %s: %w", pkg.Path, err)
+		} else if err := facts.AddPackageFacts(blob); err != nil {
+			return nil, fmt.Errorf("reloading facts for %s: %w", pkg.Path, err)
+		}
 	}
+
+	res := &Result{Ignores: ignores}
+	for _, d := range diags {
+		suppressed := false
+		for _, ig := range ignores {
+			if ig.Suppresses(d.Analyzer, d.Position.Filename, d.Position.Line) {
+				ig.Used = true
+				suppressed = true
+			}
+		}
+		if suppressed {
+			res.Suppressed = append(res.Suppressed, d)
+		} else {
+			res.Diagnostics = append(res.Diagnostics, d)
+		}
+	}
+	for _, ig := range ignores {
+		if ig.Malformed != "" {
+			res.Diagnostics = append(res.Diagnostics, Diagnostic{
+				Position: token.Position{Filename: ig.File, Line: ig.Line, Column: 1},
+				Message:  "malformed //etlint:ignore directive: " + ig.Malformed,
+				Analyzer: "etlint",
+			})
+		}
+	}
+	sortDiags(res.Diagnostics)
+	sortDiags(res.Suppressed)
+	sort.Slice(res.Ignores, func(i, j int) bool {
+		a, b := res.Ignores[i], res.Ignores[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+	return res, nil
+}
+
+// depOrder returns pkgs topologically sorted so that every package
+// follows the packages it imports (among those being analyzed). The
+// input order breaks ties, keeping output deterministic; cycles cannot
+// occur in valid Go packages and degrade gracefully to input order.
+func depOrder(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	state := make(map[*Package]int, len(pkgs)) // 0 unvisited, 1 visiting, 2 done
+	out := make([]*Package, 0, len(pkgs))
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if state[p] != 0 {
+			return
+		}
+		state[p] = 1
+		if p.Types != nil {
+			for _, imp := range p.Types.Imports() {
+				if dep, ok := byPath[imp.Path()]; ok && state[dep] == 0 {
+					visit(dep)
+				}
+			}
+		}
+		state[p] = 2
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
+}
+
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Position, diags[j].Position
 		if a.Filename != b.Filename {
@@ -236,7 +352,6 @@ func Run(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Diagnostic, error) 
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags, nil
 }
 
 func newInfo() *types.Info {

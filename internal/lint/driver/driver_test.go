@@ -1,0 +1,102 @@
+package driver
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree lays out files under a fresh temp root and returns it.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestLoadDirSynthesizesPath(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"a/b/ok.go": "package b\n\nfunc F() int { return 1 }\n",
+		// Test files are excluded from analysis.
+		"a/b/ok_test.go": "package b\n\nthis would not even parse\n",
+	})
+	pkg, err := LoadDir(root, filepath.Join(root, "a", "b"))
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if pkg.Path != "a/b" {
+		t.Errorf("Path = %q, want %q", pkg.Path, "a/b")
+	}
+	if len(pkg.Files) != 1 {
+		t.Errorf("loaded %d files, want 1 (test file excluded)", len(pkg.Files))
+	}
+	if pkg.Types == nil || pkg.TypesInfo == nil {
+		t.Error("type information missing")
+	}
+}
+
+func TestLoadDirEmptyDir(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"empty/README.txt": "no Go files here\n",
+	})
+	_, err := LoadDir(root, filepath.Join(root, "empty"))
+	if err == nil || !strings.Contains(err.Error(), "no Go files") {
+		t.Errorf("empty dir: err = %v, want a no-Go-files error", err)
+	}
+}
+
+func TestLoadDirMissingDir(t *testing.T) {
+	root := writeTree(t, nil)
+	if _, err := LoadDir(root, filepath.Join(root, "does-not-exist")); err == nil {
+		t.Error("missing dir must fail")
+	}
+}
+
+func TestLoadDirUnparsableFile(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"p/good.go": "package p\n",
+		"p/bad.go":  "package p\n\nfunc broken( {\n",
+	})
+	_, err := LoadDir(root, filepath.Join(root, "p"))
+	if err == nil || !strings.Contains(err.Error(), "bad.go") {
+		t.Errorf("unparsable file: err = %v, want a parse error naming bad.go", err)
+	}
+}
+
+func TestLoadDirConflictingPackageNames(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"p/one.go": "package one\n",
+		"p/two.go": "package two\n",
+	})
+	_, err := LoadDir(root, filepath.Join(root, "p"))
+	if err == nil || !strings.Contains(err.Error(), "conflicting package names") {
+		t.Errorf("conflicting names: err = %v, want a conflicting-package-names error", err)
+	}
+	if err != nil && (!strings.Contains(err.Error(), "one") || !strings.Contains(err.Error(), "two")) {
+		t.Errorf("error should name both packages: %v", err)
+	}
+}
+
+func TestLoadDirForbidsImports(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"p/imp.go": "package p\n\nimport \"fmt\"\n\nfunc F() { fmt.Println() }\n",
+	})
+	// Imports are tolerated as type errors, not load failures: the
+	// package still loads so syntactic analyzers can run.
+	pkg, err := LoadDir(root, filepath.Join(root, "p"))
+	if err != nil {
+		t.Fatalf("LoadDir with import: %v", err)
+	}
+	if pkg.Types == nil {
+		t.Error("package object missing despite tolerated import error")
+	}
+}

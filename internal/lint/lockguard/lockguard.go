@@ -1,0 +1,296 @@
+// Package lockguard implements the etlint analyzer that enforces
+// comment-declared lock discipline, the contract the parallel branch &
+// bound coordinator and the obs metrics registry rely on for data-race
+// freedom.
+//
+// A struct field opts in with a trailing (or doc) comment:
+//
+//	queue []*node // guarded by mu
+//
+// naming a sibling mutex field. Every read or write of an annotated
+// field through a renderable selector chain (c.queue, w.co.queue) must
+// then happen with the corresponding mutex path (c.mu, w.co.mu) held on
+// every control-flow path from the function's entry, where "held" means
+// a Lock/RLock call on that exact path with no intervening Unlock on
+// the path. Two escape hatches exist:
+//
+//   - a function whose doc comment says `// caller holds mu` (or the
+//     full path, `// caller holds c.mu`) starts with that lock assumed
+//     held — the repo's *Locked helper convention;
+//   - a `//etlint:ignore lockguard <reason>` directive, for
+//     single-threaded construction and post-join teardown phases.
+//
+// The analysis is a must-hold forward dataflow over the shared CFG:
+// merge points intersect the held sets, so a lock taken on only one
+// branch does not count. `defer mu.Unlock()` is recognized and does not
+// clear the held state (the unlock runs at return). Function literals
+// inherit the held set at their creation point — a closure created
+// under the lock (sort.Slice comparators, etc.) is analyzed as running
+// under it. Guard facts are exported per package, so annotated fields
+// accessed from a dependent package are checked there too.
+package lockguard
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"github.com/etransform/etransform/internal/lint/analysis"
+)
+
+// Analyzer is the lockguard pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc:  "checks that fields annotated `// guarded by <mu>` are accessed under their mutex",
+	Run:  run,
+}
+
+// GuardFact marks a struct field as guarded by the named sibling mutex
+// field. It is exported on the field object so dependent packages see
+// the annotation.
+type GuardFact struct {
+	Guard string
+}
+
+// AFact marks GuardFact as a serializable analysis fact.
+func (*GuardFact) AFact() {}
+
+// The path pattern matches dotted identifier chains without swallowing
+// a sentence-ending period ("caller holds c.mu." annotates c.mu).
+var (
+	guardedByRe   = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)*)`)
+	callerHoldsRe = regexp.MustCompile(`caller holds ([A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)*)`)
+)
+
+func run(pass *analysis.Pass) error {
+	// Phase 1: collect `// guarded by` annotations from this package's
+	// struct types and export them as facts.
+	for _, f := range pass.Files {
+		if analysis.IsGenerated(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				guard := guardAnnotation(field)
+				if guard == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						pass.ExportObjectFact(obj, &GuardFact{Guard: guard})
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Phase 2: check every function body (imported facts cover fields
+	// declared in already-analyzed dependency packages).
+	for _, f := range pass.Files {
+		if analysis.IsGenerated(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			entry := entryHeld(fd)
+			checkBody(pass, fd.Body, entry)
+		}
+	}
+	return nil
+}
+
+// guardAnnotation extracts the guard name from a field's trailing or
+// doc comment.
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Comment, field.Doc} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// entryHeld builds the lock set assumed held at function entry from
+// `// caller holds <mu>` doc annotations. A bare mutex name is also
+// resolved against the receiver: `caller holds mu` on a method with
+// receiver c assumes c.mu.
+func entryHeld(fd *ast.FuncDecl) map[string]bool {
+	held := make(map[string]bool)
+	if fd.Doc == nil {
+		return held
+	}
+	recv := ""
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		recv = fd.Recv.List[0].Names[0].Name
+	}
+	for _, m := range callerHoldsRe.FindAllStringSubmatch(fd.Doc.Text(), -1) {
+		path := m[1]
+		held[path] = true
+		if recv != "" && !strings.Contains(path, ".") {
+			held[recv+"."+path] = true
+		}
+	}
+	return held
+}
+
+// checkBody runs the must-hold dataflow over body's CFG and reports
+// guarded accesses made without the lock.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt, entry map[string]bool) {
+	cfg := analysis.BuildCFG(body)
+	in := make([]map[string]bool, len(cfg.Blocks)) // nil = unvisited (⊤)
+	in[cfg.Entry.Index] = clone(entry)
+
+	work := []*analysis.Block{cfg.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := clone(in[b.Index])
+		for _, n := range b.Nodes {
+			transfer(pass, n, out, nil)
+		}
+		for _, s := range b.Succs {
+			var next map[string]bool
+			if in[s.Index] == nil {
+				next = clone(out)
+			} else {
+				next = intersect(in[s.Index], out)
+				if len(next) == len(in[s.Index]) {
+					continue // no change
+				}
+			}
+			in[s.Index] = next
+			work = append(work, s)
+		}
+	}
+
+	// Reporting walk with the converged entry states. Unreachable blocks
+	// (in == nil) are skipped: no execution reaches them.
+	for _, b := range cfg.Blocks {
+		if in[b.Index] == nil {
+			continue
+		}
+		held := clone(in[b.Index])
+		for _, n := range b.Nodes {
+			transfer(pass, n, held, func(sel *ast.SelectorExpr, path, guard string) {
+				pass.Reportf(sel.Pos(),
+					path+" is guarded by "+guard+", which is not held on every path here")
+			})
+		}
+	}
+}
+
+// transfer interprets one CFG node in source order, updating the held
+// set at Lock/Unlock calls and invoking report for each guarded-field
+// access whose mutex is not in the set. A nil report makes this a pure
+// state transformer (the fixpoint phase).
+func transfer(pass *analysis.Pass, n ast.Node, held map[string]bool, report func(*ast.SelectorExpr, string, string)) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// A deferred Unlock runs at return: the lock stays held for the
+			// rest of the function, so the call must not clear the state.
+			// Guarded accesses in the deferred call's arguments still count.
+			for _, a := range n.Call.Args {
+				ast.Inspect(a, walk)
+			}
+			if fl, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				// The deferred closure runs at return; approximate its lock
+				// context with the current set (a defer registered under the
+				// lock is the `defer mu.Unlock()` idiom's sibling pattern).
+				transfer(pass, fl.Body, clone(held), report)
+			}
+			return false
+		case *ast.FuncLit:
+			// Closures inherit the held set at creation point.
+			transfer(pass, n.Body, clone(held), report)
+			return false
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if base := analysis.Path(sel.X); base != "" {
+					switch sel.Sel.Name {
+					case "Lock", "RLock":
+						// Arguments first (there are none for mutexes, but a
+						// shadowing method could take some).
+						for _, a := range n.Args {
+							ast.Inspect(a, walk)
+						}
+						held[base] = true
+						return false
+					case "Unlock", "RUnlock":
+						delete(held, base)
+						return false
+					}
+				}
+			}
+			return true
+		case *ast.SelectorExpr:
+			obj := fieldObj(pass, n.Sel)
+			if obj == nil {
+				return true
+			}
+			var fact GuardFact
+			if !pass.ImportObjectFact(obj, &fact) {
+				return true
+			}
+			base := analysis.Path(n.X)
+			if base == "" {
+				return true // unrenderable access base: outside the model
+			}
+			guard := base + "." + fact.Guard
+			if strings.Contains(fact.Guard, ".") {
+				guard = fact.Guard // annotation names a full path
+			}
+			if !held[guard] && report != nil {
+				report(n, base+"."+n.Sel.Name, guard)
+			}
+			// Keep walking: the base chain may itself contain guarded fields.
+			return true
+		}
+		return true
+	}
+	ast.Inspect(n, walk)
+}
+
+// fieldObj resolves an identifier to the struct-field object it uses,
+// or nil.
+func fieldObj(pass *analysis.Pass, id *ast.Ident) types.Object {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+func clone(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+func intersect(a, b map[string]bool) map[string]bool {
+	out := make(map[string]bool)
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,276 @@
+// Package maporder implements the etlint analyzer that protects the
+// repository's byte-stable output contract (golden traces, golden
+// plans, metrics snapshots) from Go's randomized map iteration order.
+//
+// It flags a `range` over a map value when the iteration order can
+// reach an output sink:
+//
+//   - an element derived from the loop variables is appended to a slice
+//     that is never sorted later in the same function (the sorted-keys
+//     idiom — append inside the loop, sort.Strings after it — is
+//     recognized and clean);
+//   - the loop body emits directly, in iteration order, through fmt
+//     printing, an Encode/Emit/Write-style method, or similar;
+//   - the loop body folds a float accumulator (`sum += m[k]`): float
+//     addition is not associative, so the low bits of the result depend
+//     on iteration order and break byte-stable encodings.
+//
+// Order-insensitive loop bodies — integer counting, map-to-map copies,
+// max/min scans — are deliberately not flagged.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/etransform/etransform/internal/lint/analysis"
+)
+
+// Analyzer is the maporder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flags map iteration whose order can reach an output sink unsorted",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsGenerated(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkFunc scans one function body for map ranges and their sinks.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if t, ok := pass.TypesInfo.Types[rs.X]; !ok || !isMap(t.Type) {
+			return true
+		}
+		loopVars := rangeVars(pass.TypesInfo, rs)
+		if len(loopVars) == 0 {
+			return true // body cannot observe the iteration order
+		}
+		checkBody(pass, rs, body, loopVars)
+		return true
+	})
+}
+
+// checkBody reports each order-sensitive sink inside the map-range body
+// rs. fnBody is the whole enclosing function body, searched for sorts
+// that launder an appended slice after the loop.
+func checkBody(pass *analysis.Pass, rs *ast.RangeStmt, fnBody *ast.BlockStmt, loopVars map[types.Object]bool) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if n != rs {
+				// Nested ranges get their own visit from checkFunc.
+				if t, ok := pass.TypesInfo.Types[n.X]; ok && isMap(t.Type) {
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			if target, args, ok := appendTarget(n); ok {
+				if declaredWithin(pass.TypesInfo, n.Lhs[0], rs.Body) {
+					// A slice created inside the loop body does not accumulate
+					// across iterations, so map order cannot reach it.
+					return true
+				}
+				if mentionsAny(pass.TypesInfo, args, loopVars) && !sortedAfter(pass, fnBody, rs.End(), target) {
+					pass.Reportf(n.Pos(),
+						"slice "+target+" is appended in map iteration order and never sorted in this function; sort it after the loop")
+				}
+				return true
+			}
+			if n.Tok == token.ADD_ASSIGN || n.Tok == token.SUB_ASSIGN {
+				if len(n.Lhs) == 1 && analysis.IsFloat(typeOf(pass.TypesInfo, n.Lhs[0])) &&
+					mentionsAny(pass.TypesInfo, n.Rhs, loopVars) {
+					pass.Reportf(n.Pos(),
+						"float accumulation in map iteration order is not byte-deterministic; iterate sorted keys")
+				}
+			}
+		case *ast.CallExpr:
+			if name, ok := sinkCall(pass.TypesInfo, n); ok && mentionsAny(pass.TypesInfo, n.Args, loopVars) {
+				pass.Reportf(n.Pos(),
+					name+" inside range over map emits in map iteration order; iterate sorted keys instead")
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// rangeVars returns the objects bound by the range statement's key and
+// value variables.
+func rangeVars(info *types.Info, rs *ast.RangeStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if obj := info.Defs[id]; obj != nil {
+			out[obj] = true
+		} else if obj := info.Uses[id]; obj != nil {
+			out[obj] = true
+		}
+	}
+	return out
+}
+
+// appendTarget recognizes `x = append(x, …)` (and op-free variants),
+// returning the rendered target path and the appended arguments.
+func appendTarget(as *ast.AssignStmt) (target string, args []ast.Expr, ok bool) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return "", nil, false
+	}
+	call, okCall := as.Rhs[0].(*ast.CallExpr)
+	if !okCall {
+		return "", nil, false
+	}
+	if id, okFun := call.Fun.(*ast.Ident); !okFun || id.Name != "append" {
+		return "", nil, false
+	}
+	target = renderPath(as.Lhs[0])
+	if target == "" || len(call.Args) < 2 {
+		return "", nil, false
+	}
+	return target, call.Args[1:], true
+}
+
+// declaredWithin reports whether e's root identifier is declared inside
+// the given body.
+func declaredWithin(info *types.Info, e ast.Expr, body *ast.BlockStmt) bool {
+	for {
+		if sel, ok := e.(*ast.SelectorExpr); ok {
+			e = sel.X
+			continue
+		}
+		break
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	return obj != nil && obj.Pos() >= body.Pos() && obj.Pos() <= body.End()
+}
+
+// sortedAfter reports whether a sort/slices call mentioning target
+// appears in fnBody after pos.
+func sortedAfter(pass *analysis.Pass, fnBody *ast.BlockStmt, pos token.Pos, target string) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found || (n != nil && n.End() < pos) {
+			return !found
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || (pkg.Name != "sort" && pkg.Name != "slices") {
+			return true
+		}
+		for _, a := range call.Args {
+			if u, ok := a.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				a = u.X
+			}
+			if renderPath(a) == target {
+				found = true
+			}
+			// sort.Slice(x, func(i, j int) bool { … x[i] … }) — the
+			// closure mentions the target too; the direct-arg match above
+			// already covered it.
+		}
+		return !found
+	})
+	return found
+}
+
+// sinkCall recognizes calls that emit their arguments to an output in
+// call order: the fmt printing family and Encode/Emit/Write-style
+// methods. Returns a display name for the diagnostic.
+func sinkCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if id, ok := sel.X.(*ast.Ident); ok {
+		obj := info.Uses[id]
+		_, isPkg := obj.(*types.PkgName)
+		if id.Name == "fmt" && (isPkg || obj == nil) {
+			switch name {
+			case "Fprintf", "Fprint", "Fprintln", "Printf", "Print", "Println":
+				return "fmt." + name, true
+			}
+			return "", false
+		}
+		if isPkg {
+			return "", false // other package-level calls are not sinks
+		}
+	}
+	switch name {
+	case "Emit", "Encode", "Write", "WriteString", "Printf", "Print":
+		return renderPath(sel.X) + "." + name, true
+	}
+	return "", false
+}
+
+// mentionsAny reports whether any expression references one of the
+// given objects.
+func mentionsAny(info *types.Info, exprs []ast.Expr, objs map[types.Object]bool) bool {
+	for _, e := range exprs {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && objs[info.Uses[id]] {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// renderPath renders a simple ident/selector chain ("c.queue"), or ""
+// for anything more complex.
+func renderPath(e ast.Expr) string { return analysis.Path(e) }
+
+func isMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}

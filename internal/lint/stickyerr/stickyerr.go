@@ -1,0 +1,526 @@
+// Package stickyerr implements the etlint analyzer that enforces the
+// lp package's sticky-error contract: lp.Model records its first
+// construction error instead of panicking, and lp.Solution carries a
+// Status — so consuming either without looking at the error channel
+// first silently computes on sanitized garbage.
+//
+// Two value families are tracked through the CFG:
+//
+//   - Solutions: a local variable of (pointer to) lp.Solution assigned
+//     from a call is "unchecked". Reading sol.X, sol.Objective,
+//     sol.DualValues, or calling sol.Value() is flagged unless at least
+//     one path from the definition mentioned sol.Status, nil/len-checked
+//     sol.X, mentioned an error variable returned by the same call, or
+//     passed sol to a function known (via an exported StatusCheckerFact)
+//     to check its solution parameter.
+//
+//   - Models: a variable of (pointer to) lp.Model becomes "dirty" when a
+//     mutator (AddVar, AddContinuous, AddBinary, AddRow, SetCost,
+//     SetBounds) is called on it. Calling a consumer (Objective,
+//     RowActivity, CheckFeasible) on a dirty model is flagged unless
+//     some path mentioned m.Err() after the last mutation.
+//
+// "At least one path" is deliberate: the contract is that the error is
+// looked at somewhere before the value is consumed, not that every
+// branch re-checks it. Solution-typed parameters are tracked like
+// locals: a function consuming a parameter without ever looking at its
+// Status pushes the contract onto its callers invisibly, so it must
+// either check (which makes it a StatusChecker — exported as a fact so
+// its callers get credit for passing a solution to it) or carry an
+// //etlint:ignore with the reviewed caller-side argument.
+package stickyerr
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/etransform/etransform/internal/lint/analysis"
+)
+
+// Analyzer is the stickyerr pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "stickyerr",
+	Doc:  "flags lp.Solution/lp.Model consumption with no path checking Status/Err() first",
+	Run:  run,
+}
+
+// StatusCheckerFact is exported on a function that checks the
+// Status/X/error of one of its lp.Solution parameters, so call sites
+// treat passing a solution to it as a check.
+type StatusCheckerFact struct {
+	// Params holds the zero-based indices of the checked parameters.
+	Params []int
+}
+
+// AFact marks StatusCheckerFact as a serializable analysis fact.
+func (*StatusCheckerFact) AFact() {}
+
+var solutionUses = map[string]bool{"X": true, "Objective": true, "DualValues": true, "Value": true}
+var modelMutators = map[string]bool{
+	"AddVar": true, "AddContinuous": true, "AddBinary": true,
+	"AddRow": true, "SetCost": true, "SetBounds": true,
+}
+var modelConsumers = map[string]bool{"Objective": true, "RowActivity": true, "CheckFeasible": true}
+
+func run(pass *analysis.Pass) error {
+	// Phase 1: export StatusCheckerFacts for every function in this
+	// package before analyzing bodies, so same-package call sites see
+	// them regardless of declaration order.
+	for _, f := range pass.Files {
+		if analysis.IsGenerated(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				exportCheckerFact(pass, fd)
+			}
+		}
+	}
+	// Phase 2: per-function dataflow.
+	for _, f := range pass.Files {
+		if analysis.IsGenerated(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// isLP reports whether t is (a pointer to) the named lp type.
+func isLP(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Name() == "lp"
+}
+
+// exportCheckerFact exports a StatusCheckerFact if fd checks any of its
+// lp.Solution parameters.
+func exportCheckerFact(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil || fd.Type.Params == nil {
+		return
+	}
+	var params []types.Object
+	idx := 0
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil && isLP(obj.Type(), "Solution") {
+				params = append(params, obj)
+			} else {
+				params = append(params, nil)
+			}
+			idx++
+		}
+		if len(field.Names) == 0 {
+			params = append(params, nil)
+			idx++
+		}
+	}
+	var checked []int
+	for i, p := range params {
+		if p == nil {
+			continue
+		}
+		if mentionsCheck(pass, fd.Body, p) {
+			checked = append(checked, i)
+		}
+	}
+	if len(checked) == 0 {
+		return
+	}
+	if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+		pass.ExportObjectFact(obj, &StatusCheckerFact{Params: checked})
+	}
+}
+
+// mentionsCheck reports whether body contains a check of obj: a
+// obj.Status mention, obj.X == nil, or len(obj.X).
+func mentionsCheck(pass *analysis.Pass, body ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			if sel.Sel.Name == "Status" || sel.Sel.Name == "Err" {
+				found = true
+			}
+		}
+		return !found
+	})
+	// nil/len checks of obj.X count too; they are matched structurally.
+	if !found {
+		ast.Inspect(body, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if isNilOrLenCheck(pass, n, obj) {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+// isNilOrLenCheck matches `obj.X == nil`, `obj.X != nil`, and
+// `len(obj.X)`.
+func isNilOrLenCheck(pass *analysis.Pass, n ast.Node, obj types.Object) bool {
+	matchSel := func(e ast.Expr) bool {
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "X" {
+			return false
+		}
+		id, ok := sel.X.(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[id] == obj
+	}
+	switch n := n.(type) {
+	case *ast.BinaryExpr:
+		if n.Op != token.EQL && n.Op != token.NEQ {
+			return false
+		}
+		isNil := func(e ast.Expr) bool { id, ok := e.(*ast.Ident); return ok && id.Name == "nil" }
+		return (matchSel(n.X) && isNil(n.Y)) || (isNil(n.X) && matchSel(n.Y))
+	case *ast.CallExpr:
+		if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "len" && len(n.Args) == 1 {
+			return matchSel(n.Args[0])
+		}
+	}
+	return false
+}
+
+// funcState is the per-variable tracking state threaded through the
+// may-checked dataflow. Sets are keyed by types.Object.
+type funcState struct {
+	pass *analysis.Pass
+	// tracked solutions: locals assigned from a call in this function.
+	trackedSol map[types.Object]bool
+	// errFor maps an error variable to the solution(s) assigned by the
+	// same call: mentioning the error checks the solution.
+	errFor map[types.Object][]types.Object
+	// dirtyModel: models mutated in this function.
+	dirtyModel map[types.Object]bool
+	// reported dedups diagnostics per use position.
+	reported map[token.Pos]bool
+}
+
+// checkFunc runs the may-checked forward analysis over fd's CFG.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	st := &funcState{
+		pass:       pass,
+		trackedSol: make(map[types.Object]bool),
+		errFor:     make(map[types.Object][]types.Object),
+		dirtyModel: make(map[types.Object]bool),
+		reported:   make(map[token.Pos]bool),
+	}
+	// Solution-typed parameters are tracked too: a function that consumes
+	// a parameter's X/Objective on every path without ever looking at its
+	// Status pushes the whole contract onto its callers invisibly. (A
+	// parameter that is checked makes the function a StatusChecker, which
+	// is what gives its callers credit — see exportCheckerFact.)
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil && isLP(obj.Type(), "Solution") {
+					st.trackedSol[obj] = true
+				}
+			}
+		}
+	}
+	// Pre-scan: find tracked solutions, error links, and dirty models.
+	// Tracking membership is flow-insensitive; only "checked" is
+	// flow-sensitive.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			st.recordAssign(n)
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && modelMutators[sel.Sel.Name] {
+				if obj := identObj(pass, sel.X); obj != nil && isLP(obj.Type(), "Model") {
+					st.dirtyModel[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(st.trackedSol) == 0 && len(st.dirtyModel) == 0 {
+		return
+	}
+
+	cfg := analysis.BuildCFG(fd.Body)
+	// checked[i] is the may-checked object set at block i entry; union
+	// meet, so sets only grow — iterate to fixpoint.
+	checked := make([]map[types.Object]bool, len(cfg.Blocks))
+	for i := range checked {
+		checked[i] = make(map[types.Object]bool)
+	}
+	// Seed the worklist with every block (not just the entry): a block's
+	// own check events must propagate even when its entry set never
+	// grows from the empty bottom.
+	work := make([]*analysis.Block, len(cfg.Blocks))
+	for i, b := range cfg.Blocks {
+		work[len(cfg.Blocks)-1-i] = b
+	}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := cloneObjs(checked[b.Index])
+		for _, n := range b.Nodes {
+			st.transfer(n, out, false)
+		}
+		for _, s := range b.Succs {
+			if addAll(checked[s.Index], out) {
+				work = append(work, s)
+			}
+		}
+	}
+	// Reporting pass with converged entry sets.
+	for _, b := range cfg.Blocks {
+		out := cloneObjs(checked[b.Index])
+		for _, n := range b.Nodes {
+			st.transfer(n, out, true)
+		}
+	}
+}
+
+// recordAssign tracks `sol, err := f(...)`-style definitions.
+func (st *funcState) recordAssign(as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	if _, ok := as.Rhs[0].(*ast.CallExpr); !ok {
+		return
+	}
+	var sols []types.Object
+	var errs []types.Object
+	for _, lhs := range as.Lhs {
+		obj := identObj(st.pass, lhs)
+		if obj == nil {
+			continue
+		}
+		if isLP(obj.Type(), "Solution") {
+			st.trackedSol[obj] = true
+			sols = append(sols, obj)
+		} else if isErrorType(obj.Type()) {
+			errs = append(errs, obj)
+		}
+	}
+	for _, e := range errs {
+		st.errFor[e] = append(st.errFor[e], sols...)
+	}
+}
+
+// transfer interprets one CFG node in source order against the checked
+// set, optionally reporting unchecked uses.
+func (st *funcState) transfer(n ast.Node, checked map[types.Object]bool, report bool) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		// Check patterns first: they must win over the use patterns that
+		// structurally contain them.
+		if isAnyNilOrLenCheck(st, n, checked) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Closures see the state at creation; their own flow is
+			// approximated lexically.
+			st.transfer(n.Body, checked, report)
+			return false
+		case *ast.CallExpr:
+			st.transferCall(n, checked, report, walk)
+			return false
+		case *ast.SelectorExpr:
+			obj := identObj(st.pass, n.X)
+			if obj == nil {
+				return true
+			}
+			switch {
+			case n.Sel.Name == "Status" && isLP(obj.Type(), "Solution"):
+				checked[obj] = true
+				return false
+			case solutionUses[n.Sel.Name] && st.trackedSol[obj] && n.Sel.Name != "Value":
+				if report && !checked[obj] && !st.reported[n.Pos()] {
+					st.reported[n.Pos()] = true
+					st.pass.Reportf(n.Pos(), obj.Name()+"."+n.Sel.Name+
+						" used with no path checking "+obj.Name()+".Status or the solve error first")
+				}
+				return false
+			}
+			return true
+		case *ast.Ident:
+			// Mentioning an error variable linked to a solution counts as
+			// the check (if err != nil { … }, return err, errors.Join…).
+			if obj := st.pass.TypesInfo.Uses[n]; obj != nil {
+				for _, sol := range st.errFor[obj] {
+					checked[sol] = true
+				}
+			}
+			return true
+		}
+		return true
+	}
+	ast.Inspect(n, walk)
+}
+
+// transferCall handles method calls (checks, mutators, consumers,
+// Value) and checker-fact call sites.
+func (st *funcState) transferCall(call *ast.CallExpr, checked map[types.Object]bool, report bool, walk func(ast.Node) bool) {
+	// len(sol.X) was handled by the caller's check patterns.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if obj := identObj(st.pass, sel.X); obj != nil {
+			switch {
+			case sel.Sel.Name == "Err" && isLP(obj.Type(), "Model"):
+				checked[obj] = true
+				return
+			case modelMutators[sel.Sel.Name] && isLP(obj.Type(), "Model"):
+				// A fresh mutation invalidates an earlier Err() check.
+				delete(checked, obj)
+				for _, a := range call.Args {
+					ast.Inspect(a, walk)
+				}
+				return
+			case modelConsumers[sel.Sel.Name] && st.dirtyModel[obj] && isLP(obj.Type(), "Model"):
+				if report && !checked[obj] && !st.reported[call.Pos()] {
+					st.reported[call.Pos()] = true
+					st.pass.Reportf(call.Pos(), obj.Name()+"."+sel.Sel.Name+
+						"() called on a mutated model with no path checking "+obj.Name()+".Err() first")
+				}
+				for _, a := range call.Args {
+					ast.Inspect(a, walk)
+				}
+				return
+			case sel.Sel.Name == "Value" && st.trackedSol[obj]:
+				if report && !checked[obj] && !st.reported[call.Pos()] {
+					st.reported[call.Pos()] = true
+					st.pass.Reportf(call.Pos(), obj.Name()+".Value() used with no path checking "+
+						obj.Name()+".Status or the solve error first")
+				}
+				for _, a := range call.Args {
+					ast.Inspect(a, walk)
+				}
+				return
+			}
+		}
+	}
+	// Checker-fact call sites: passing a tracked solution to a function
+	// that checks its solution parameter counts as the check.
+	if fn := calleeObj(st.pass, call.Fun); fn != nil {
+		var fact StatusCheckerFact
+		if st.pass.ImportObjectFact(fn, &fact) {
+			for _, i := range fact.Params {
+				if i < len(call.Args) {
+					if obj := identObj(st.pass, call.Args[i]); obj != nil {
+						checked[obj] = true
+					}
+				}
+			}
+		}
+	}
+	ast.Inspect(call.Fun, walk)
+	for _, a := range call.Args {
+		ast.Inspect(a, walk)
+	}
+}
+
+// isAnyNilOrLenCheck recognizes `sol.X == nil` / `len(sol.X)` for any
+// tracked solution, marking it checked.
+func isAnyNilOrLenCheck(st *funcState, n ast.Node, checked map[types.Object]bool) bool {
+	hit := false
+	for obj := range st.trackedSol {
+		if isNilOrLenCheck(st.pass, n, obj) {
+			checked[obj] = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+func cloneObjs(m map[types.Object]bool) map[types.Object]bool {
+	out := make(map[types.Object]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+// addAll unions src into dst, reporting whether dst grew.
+func addAll(dst, src map[types.Object]bool) bool {
+	grew := false
+	for k := range src {
+		if !dst[k] {
+			dst[k] = true
+			grew = true
+		}
+	}
+	return grew
+}
+
+// calleeObj resolves a call's static callee (function or method), or
+// nil for dynamic calls.
+func calleeObj(pass *analysis.Pass, fun ast.Expr) types.Object {
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// identObj resolves a (possibly parenthesized) identifier expression to
+// its object.
+func identObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		if p, ok := e.(*ast.ParenExpr); ok {
+			e = p.X
+			continue
+		}
+		break
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Defs[id]
+}
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+		return true
+	}
+	iface, ok := t.Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return iface.NumMethods() == 1 && iface.Method(0).Name() == "Error" &&
+		strings.HasPrefix(iface.Method(0).Type().String(), "func() string")
+}

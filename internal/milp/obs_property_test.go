@@ -22,7 +22,7 @@ func randomObsModel(rng *rand.Rand) *lp.Model {
 		v := m.AddBinary("", -float64(1+rng.Intn(50)))
 		terms = append(terms, lp.Term{Var: v, Coef: float64(1 + rng.Intn(9))})
 	}
-	m.AddRow("w", terms, lp.LE, float64(n + rng.Intn(2*n)))
+	m.AddRow("w", terms, lp.LE, float64(n+rng.Intn(2*n)))
 	if rng.Intn(2) == 0 {
 		var t2 []lp.Term
 		for j := 0; j < n; j++ {

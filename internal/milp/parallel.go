@@ -35,28 +35,28 @@ type coordinator struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 
-	queue      nodeQueue
-	queueBytes int64 // estimated heap footprint of queued nodes
-	seq        int
-	inFlight   int       // nodes claimed but not yet committed
-	flight     []float64 // per-worker bound of the claimed node; +Inf when idle
+	queue      nodeQueue // guarded by mu
+	queueBytes int64     // estimated heap footprint of queued nodes; guarded by mu
+	seq        int       // guarded by mu
+	inFlight   int       // nodes claimed but not yet committed; guarded by mu
+	flight     []float64 // per-worker bound of the claimed node, +Inf when idle; guarded by mu
 
-	incumbent    []float64
-	incumbentObj float64
-	haveInc      bool
+	incumbent    []float64 // guarded by mu
+	incumbentObj float64   // guarded by mu
+	haveInc      bool      // guarded by mu
 
-	lastBound  float64 // monotone global lower bound
-	nodes      int
-	iterations int
-	nodesBy    []int
-	peakQueue  int
+	lastBound  float64 // monotone global lower bound; guarded by mu
+	nodes      int     // guarded by mu
+	iterations int     // guarded by mu
+	nodesBy    []int   // guarded by mu
+	peakQueue  int     // guarded by mu
 
-	done        bool
-	finalStatus lp.Status // zero when the queue drained naturally
-	finalBound  float64
-	limit       string // budget dimension behind a limit stop (lp.Limit*)
-	err         error
-	ctxErr      error
+	done        bool      // guarded by mu
+	finalStatus lp.Status // zero when the queue drained naturally; guarded by mu
+	finalBound  float64   // guarded by mu
+	limit       string    // budget dimension behind a limit stop (lp.Limit*); guarded by mu
+	err         error     // guarded by mu
+	ctxErr      error     // guarded by mu
 
 	workTime time.Duration // summed per-worker busy time, set after join
 }
@@ -67,6 +67,9 @@ type contextLike interface {
 	Err() error
 }
 
+// newCoordinator builds the shared state before any worker exists.
+//
+//etlint:ignore lockguard construction happens-before publication: no goroutine can hold a reference yet
 func newCoordinator(ctx contextLike, opts Options, model *lp.Model) *coordinator {
 	c := &coordinator{
 		opts:      opts,
@@ -121,6 +124,7 @@ func (c *coordinator) pruneEps(incObj float64) float64 {
 // globalBoundLocked is the proven lower bound on the optimum: the
 // smallest LP bound over queued and in-flight nodes. With no open nodes
 // the incumbent itself is the bound. Monotone via lastBound.
+// caller holds c.mu.
 func (c *coordinator) globalBoundLocked() float64 {
 	b := math.Inf(1)
 	if len(c.queue) > 0 {
@@ -143,7 +147,7 @@ func (c *coordinator) globalBoundLocked() float64 {
 }
 
 // advanceBoundLocked raises the monotone global bound and records the
-// improvement in the observability layer. Called under c.mu.
+// improvement in the observability layer. caller holds c.mu.
 func (c *coordinator) advanceBoundLocked(b float64) {
 	if b <= c.lastBound {
 		return
@@ -155,6 +159,8 @@ func (c *coordinator) advanceBoundLocked(b float64) {
 	}
 }
 
+// pushLocked enqueues one open node and maintains the queue accounting.
+// caller holds c.mu.
 func (c *coordinator) pushLocked(bound float64, depth int, changes []boundChange, basis *simplex.Basis) {
 	c.seq++
 	nd := &node{bound: bound, depth: depth, seq: c.seq, changes: changes, basis: basis}
@@ -178,6 +184,7 @@ func nodeBytes(nd *node) int64 {
 // stopLocked ends the search with the given terminal status and bound.
 // limit names the budget dimension behind a limit stop ("" for natural
 // termination). The first stop wins; later calls are no-ops.
+// caller holds c.mu.
 func (c *coordinator) stopLocked(status lp.Status, bound float64, limit string) {
 	if c.done {
 		return
@@ -192,6 +199,8 @@ func (c *coordinator) stopLocked(status lp.Status, bound float64, limit string) 
 	c.cond.Broadcast()
 }
 
+// failLocked records the first worker error and ends the search.
+// caller holds c.mu.
 func (c *coordinator) failLocked(err error) {
 	if c.err == nil {
 		c.err = err
@@ -295,6 +304,36 @@ func (w *worker) solveWith(changes []boundChange, basis *simplex.Basis) (*lp.Sol
 	return sol, nil
 }
 
+// tryWarmWith is solveWith restricted to the warm path: it applies the
+// bound changes and attempts the LP only from the given basis,
+// reporting ok=false — with no cold fallback charged — when the basis
+// is stale. The dive uses it so a failed warm start abandons the
+// (purely heuristic) subproblem instead of paying for a cold two-phase
+// solve the warm run's budget never accounted for.
+func (w *worker) tryWarmWith(changes []boundChange, basis *simplex.Basis) (*lp.Solution, bool, error) {
+	saved := make([]boundChange, len(changes))
+	for i, ch := range changes {
+		v := w.work.Var(ch.v)
+		saved[i] = boundChange{v: ch.v, lo: v.Lower, hi: v.Upper}
+		if ch.lo > v.Upper || ch.hi < v.Lower || ch.lo > ch.hi {
+			for k := i - 1; k >= 0; k-- {
+				w.work.SetBounds(saved[k].v, saved[k].lo, saved[k].hi)
+			}
+			return &lp.Solution{Status: lp.StatusInfeasible}, true, nil
+		}
+		w.work.SetBounds(ch.v, math.Max(ch.lo, v.Lower), math.Min(ch.hi, v.Upper))
+	}
+	sol, ok, err := w.sx.TryWarm(w.work, basis)
+	for k := len(saved) - 1; k >= 0; k-- {
+		w.work.SetBounds(saved[k].v, saved[k].lo, saved[k].hi)
+	}
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	w.iterations += sol.Iterations
+	return sol, true, nil
+}
+
 // lastBasis snapshots the worker's solver basis for reuse by child
 // nodes; nil unless ReuseBasis is on and the last LP ended optimal.
 func (w *worker) lastBasis() *simplex.Basis {
@@ -313,6 +352,8 @@ func (w *worker) takeIterations() int {
 // branchChanges builds the down/up child bound-change lists for the most
 // fractional variable of sol. The three-index slice of nd.changes forces
 // append to copy, so siblings never share a backing array.
+//
+//etlint:ignore stickyerr dive branches only after cur.Status == StatusOptimal; sol is the just-checked relaxation
 func (w *worker) branchChanges(nd *node, sol *lp.Solution) (down, up []boundChange) {
 	v, val := w.c.mostFractional(sol.X)
 	if v < 0 {
@@ -362,11 +403,27 @@ func (w *worker) dive(base []boundChange, sol *lp.Solution) error {
 			}
 		}
 		// The dive re-solves the worker's own last LP with extra fixings,
-		// so its basis is the natural warm start for the next pass.
+		// so its basis is the natural warm start for the next pass. Under
+		// ReuseBasis the pass is warm-or-abandon: a stale basis abandons
+		// the dive (it is only a heuristic) rather than paying for the
+		// cold solve a cold-start run would spend on the tree instead —
+		// this is the fig6/federal+warm regression fix, where a failed
+		// warm start burned search budget without advancing any bound.
 		var err error
-		cur, err = w.solveWith(next, w.lastBasis())
-		if err != nil {
-			return err
+		if basis := w.lastBasis(); basis != nil {
+			var ok bool
+			cur, ok, err = w.tryWarmWith(next, basis)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		} else {
+			cur, err = w.solveWith(next, nil)
+			if err != nil {
+				return err
+			}
 		}
 		changes = next
 	}
@@ -560,6 +617,8 @@ func (c *coordinator) runWorker(w *worker, wg *sync.WaitGroup) {
 // solve processes the root sequentially (warm starts, root LP, root
 // dive, first branch), then fans the open tree out over the worker pool
 // and assembles the final solution.
+//
+//etlint:ignore lockguard root phase runs before worker fan-out and final reads run after wg.Wait joins every worker
 func (c *coordinator) solve() (*lp.Solution, error) {
 	w0 := c.newWorker(0)
 	for _, ws := range c.opts.WarmStarts {
@@ -663,6 +722,8 @@ func (c *coordinator) foldBusy(workers []*worker) {
 
 // assembleFinish maps a terminal (bound, status) pair to the returned
 // solution, mirroring the sequential solver's gap bookkeeping.
+//
+//etlint:ignore lockguard called only after wg.Wait joins every worker; the coordinator is single-threaded again
 func (c *coordinator) assembleFinish(bound float64, status lp.Status, workers []*worker) (*lp.Solution, error) {
 	c.foldBusy(workers)
 	sol := &lp.Solution{Iterations: c.iterations, Nodes: c.nodes}
@@ -700,6 +761,8 @@ func (c *coordinator) assembleFinish(bound float64, status lp.Status, workers []
 // canceledSolution packages the partial result surrendered on context
 // cancellation: the incumbent if one exists, the proven bound, and the
 // search statistics so far.
+//
+//etlint:ignore lockguard called only after wg.Wait joins every worker; the coordinator is single-threaded again
 func (c *coordinator) canceledSolution(workers []*worker) *lp.Solution {
 	c.foldBusy(workers)
 	sol := &lp.Solution{Status: lp.StatusCanceled, Iterations: c.iterations, Nodes: c.nodes}
@@ -715,7 +778,10 @@ func (c *coordinator) canceledSolution(workers []*worker) *lp.Solution {
 }
 
 // finiteSolution reports whether an LP result is numerically sane: a
-// finite objective and finite primal values.
+// finite objective and finite primal values. It is itself a validity
+// probe of the raw payload — callers consult it before trusting sol.
+//
+//etlint:ignore stickyerr this function is the check; it inspects the raw payload to classify it
 func finiteSolution(sol *lp.Solution) bool {
 	if math.IsNaN(sol.Objective) || math.IsInf(sol.Objective, 0) {
 		return false
@@ -729,6 +795,8 @@ func finiteSolution(sol *lp.Solution) bool {
 }
 
 // fillStats populates the solution's concurrency statistics.
+//
+//etlint:ignore lockguard called only from the post-join assembly path; no worker is live
 func (c *coordinator) fillStats(sol *lp.Solution, workers int) {
 	sol.Workers = workers
 	if c.nodes > 0 {
@@ -782,6 +850,8 @@ func jsonSafeEventGap(gap float64) float64 {
 // counters sum to MetricMILPNodes whenever the tree search ran (they
 // are simply absent for pure-LP pass-through solves, whose single root
 // "node" no worker claimed).
+//
+//etlint:ignore lockguard called once from SolveContext after the search has fully terminated
 func (c *coordinator) foldMetrics(sol *lp.Solution) {
 	m := c.opts.Metrics
 	if m == nil {

@@ -8,6 +8,7 @@ import (
 	"github.com/etransform/etransform/internal/certify"
 	"github.com/etransform/etransform/internal/lp"
 	"github.com/etransform/etransform/internal/obs"
+	"github.com/etransform/etransform/internal/resilience/faultinject"
 )
 
 // TestWarmColdEquivalence is the warm-vs-cold equivalence property: 50
@@ -142,5 +143,55 @@ func TestGapZeroOptimum(t *testing.T) {
 		if math.IsNaN(sol.Gap) || math.IsInf(sol.Gap, 0) {
 			t.Fatalf("reuse=%v: non-finite gap %v with zero incumbent", reuse, sol.Gap)
 		}
+	}
+}
+
+// TestWarmStartDeadlineKeepsReportedGap pins the reported-gap invariant
+// behind the fig6/federal warm-start regression: when the budget expires
+// right after the root LP, a run with basis reuse enabled must report
+// exactly the same finite certified gap as the cold-start run. Before
+// the warm-or-abandon dive fix, a stale basis in the dive paid a warm
+// attempt plus a full cold fallback, so the two configurations burned
+// different budgets and the slower one could lose its root bound
+// entirely, degrading the reported gap to the unknown sentinel.
+func TestWarmStartDeadlineKeepsReportedGap(t *testing.T) {
+	build := stressModels()["knapsack30"]
+	var sols [2]*lp.Solution
+	for i, reuse := range []bool{false, true} {
+		m := build()
+		// All-zeros is integral and satisfies the single <= row, so it
+		// seeds the incumbent (objective 0) before any LP runs; the
+		// injected deadline then fires at every coordinator budget
+		// check, leaving the root LP's objective as the only bound.
+		zeros := make([]float64, m.NumVars())
+		inj := faultinject.New(1, faultinject.Fault{Kind: faultinject.KindDeadline, Count: -1})
+		sol, err := Solve(m, &Options{
+			Workers:    1,
+			ReuseBasis: reuse,
+			WarmStarts: [][]float64{zeros},
+			Inject:     inj,
+		})
+		if err != nil {
+			t.Fatalf("reuse=%v: %v", reuse, err)
+		}
+		if !inj.Fired(faultinject.KindDeadline) {
+			t.Fatalf("reuse=%v: injected deadline never fired", reuse)
+		}
+		if sol.Status != lp.StatusNodeLimit || sol.Limit != lp.LimitWallClock {
+			t.Fatalf("reuse=%v: status %v limit %q, want node limit at wall clock",
+				reuse, sol.Status, sol.Limit)
+		}
+		if math.IsInf(sol.Gap, 0) || math.IsNaN(sol.Gap) {
+			t.Fatalf("reuse=%v: gap %v degraded to the unknown sentinel", reuse, sol.Gap)
+		}
+		if sol.Gap <= 0 {
+			t.Fatalf("reuse=%v: gap %v; the zero incumbent must leave a positive gap", reuse, sol.Gap)
+		}
+		sols[i] = sol
+	}
+	cold, warm := sols[0], sols[1]
+	if warm.Gap != cold.Gap || warm.Objective != cold.Objective {
+		t.Fatalf("warm (gap %v, obj %v) != cold (gap %v, obj %v): basis reuse changed the reported bound",
+			warm.Gap, warm.Objective, cold.Gap, cold.Objective)
 	}
 }

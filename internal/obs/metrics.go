@@ -67,9 +67,9 @@ const (
 // solver layers carry their instrumentation unconditionally.
 type Metrics struct {
 	mu       sync.Mutex
-	counters map[string]int64
-	gauges   map[string]float64
-	hists    map[string]*hist
+	counters map[string]int64   // guarded by mu
+	gauges   map[string]float64 // guarded by mu
+	hists    map[string]*hist   // guarded by mu
 }
 
 // NewMetrics returns an empty registry.

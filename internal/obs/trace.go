@@ -91,8 +91,8 @@ type Sink interface {
 // comparison, so instrumented code never branches on a config flag.
 type Tracer struct {
 	mu    sync.Mutex
-	sink  Sink
-	seq   int64
+	sink  Sink  // immutable after construction
+	seq   int64 // guarded by mu
 	start time.Time
 	stamp bool
 }
@@ -132,7 +132,7 @@ func (t *Tracer) Emit(e Event) {
 type JSONLSink struct {
 	mu  sync.Mutex
 	enc *json.Encoder
-	err error
+	err error // guarded by mu
 }
 
 // NewJSONLSink returns a sink writing JSONL to w.
@@ -160,7 +160,7 @@ func (s *JSONLSink) Err() error {
 // MemorySink buffers events in memory, for tests and replay assertions.
 type MemorySink struct {
 	mu     sync.Mutex
-	events []Event
+	events []Event // guarded by mu
 }
 
 // Emit implements Sink.

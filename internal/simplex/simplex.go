@@ -127,11 +127,11 @@ type tableau struct {
 	binv []float64 // dense m×m row-major basis inverse
 	xB   []float64 // values of basic variables by row
 
-	phase      int
-	iters      int
-	degenRun   int
-	blandMode  bool
-	refactors  int
+	phase     int
+	iters     int
+	degenRun  int
+	blandMode bool
+	refactors int
 	// Per-solve observability counters, folded into opts.Metrics once
 	// after the solve (see foldMetrics). Local ints keep the pivot loop
 	// free of registry calls even when metrics are armed.
@@ -151,13 +151,13 @@ type tableau struct {
 	// in phase 2, i.e. status/basicIn describe an optimal basis that
 	// Solver.Basis can snapshot.
 	lastOptimal bool
-	ctx        context.Context // nil when the solve is not cancellable
-	limit      string          // lp.Limit* cause when iterate stops early
-	workCol    []float64 // FTRAN result w = Binv·A_j
-	workRow    []float64 // BTRAN result y
-	pricedCost []float64 // cost vector of the active phase
-	resid      []float64 // scratch: initial residuals
-	p1Cost     []float64 // scratch: phase-1 cost vector
+	ctx         context.Context // nil when the solve is not cancellable
+	limit       string          // lp.Limit* cause when iterate stops early
+	workCol     []float64       // FTRAN result w = Binv·A_j
+	workRow     []float64       // BTRAN result y
+	pricedCost  []float64       // cost vector of the active phase
+	resid       []float64       // scratch: initial residuals
+	p1Cost      []float64       // scratch: phase-1 cost vector
 }
 
 // reset (re)initializes the tableau for a solve of model, reusing every

@@ -292,3 +292,98 @@ func TestWarmBasisOutlivesSolver(t *testing.T) {
 		t.Fatal("MemBytes must be positive for a real basis")
 	}
 }
+
+// TestTryWarmNoColdFallback: TryWarm either solves purely warm —
+// matching an independent cold solve — or abandons with ok=false having
+// paid only staleness detection. It must never run the hidden two-phase
+// cold solve that SolveFrom's miss path charges; the branch & bound dive
+// relies on that to keep warm and cold runs' budgets comparable.
+func TestTryWarmNoColdFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	warmOK := 0
+	for trial := 0; trial < 200; trial++ {
+		parent := randomBoxLP(rng)
+		ps := NewSolver(nil)
+		psol, err := ps.Solve(parent)
+		if err != nil {
+			t.Fatalf("trial %d: parent solve: %v", trial, err)
+		}
+		if psol.Status != lp.StatusOptimal {
+			continue
+		}
+		basis := ps.Basis()
+		if basis == nil {
+			continue
+		}
+		child := parent.Clone()
+		branchLike(child, psol, rng)
+
+		met := obs.NewMetrics()
+		ws := NewSolver(&Options{Metrics: met})
+		got, ok, err := ws.TryWarm(child, basis)
+		if err != nil {
+			t.Fatalf("trial %d: TryWarm: %v", trial, err)
+		}
+		if !ok {
+			if got != nil {
+				t.Fatalf("trial %d: abandoned warm start still returned a solution", trial)
+			}
+			if met.Counter(obs.MetricSimplexWarmMisses) != 1 {
+				t.Fatalf("trial %d: miss not recorded", trial)
+			}
+			if met.Counter(obs.MetricSimplexPhase1) != 0 {
+				t.Fatalf("trial %d: abandoned warm start ran %d phase-1 pivots (cold fallback)",
+					trial, met.Counter(obs.MetricSimplexPhase1))
+			}
+			continue
+		}
+		warmOK++
+		if met.Counter(obs.MetricSimplexWarmHits) != 1 {
+			t.Fatalf("trial %d: successful TryWarm did not record a warm hit", trial)
+		}
+		want, err := Solve(child, nil)
+		if err != nil {
+			t.Fatalf("trial %d: cold solve: %v", trial, err)
+		}
+		if got.Status != want.Status {
+			t.Fatalf("trial %d: warm status %v, cold status %v", trial, got.Status, want.Status)
+		}
+		if got.Status == lp.StatusOptimal {
+			if diff := math.Abs(got.Objective - want.Objective); diff > 1e-6*math.Max(1, math.Abs(want.Objective)) {
+				t.Fatalf("trial %d: warm objective %v, cold %v (diff %g)", trial, got.Objective, want.Objective, diff)
+			}
+		}
+	}
+	if warmOK < 50 {
+		t.Fatalf("only %d successful warm solves exercised; generator too restrictive", warmOK)
+	}
+}
+
+// TestTryWarmRejectsForeignAndNilBasis: a nil basis and a basis whose
+// shape belongs to a different model must both abandon (ok=false, no
+// error) before any pivoting.
+func TestTryWarmRejectsForeignAndNilBasis(t *testing.T) {
+	tiny := lp.NewModel("tiny")
+	tiny.AddContinuous("", 0, 1, -1)
+	ts := NewSolver(nil)
+	if _, err := ts.Solve(tiny); err != nil {
+		t.Fatal(err)
+	}
+	foreign := ts.Basis()
+	if foreign == nil {
+		t.Fatal("no basis from the tiny model")
+	}
+
+	m := randomBoxLP(rand.New(rand.NewSource(7)))
+	met := obs.NewMetrics()
+	s := NewSolver(&Options{Metrics: met})
+	if sol, ok, err := s.TryWarm(m, foreign); ok || err != nil || sol != nil {
+		t.Fatalf("foreign basis: sol=%v ok=%v err=%v, want abandon", sol, ok, err)
+	}
+	if met.Counter(obs.MetricSimplexPhase1) != 0 {
+		t.Fatal("foreign basis triggered phase-1 pivots")
+	}
+	if sol, ok, err := NewSolver(nil).TryWarm(m, nil); ok || err != nil || sol != nil {
+		t.Fatalf("nil basis: sol=%v ok=%v err=%v, want abandon", sol, ok, err)
+	}
+}

@@ -2,9 +2,11 @@
 # check.sh — the repository's full static + dynamic gate:
 #
 #   1. go vet      standard toolchain checks
-#   2. etlint      repo-specific analyzers (floatcmp, toldef, nopanic)
-#   3. audit       nopanic exemptions must match the reviewed allowlist
-#                  (scripts/nopanic_exemptions.txt); worker panics must
+#   2. etlint      repo-specific analyzers (floatcmp, toldef, nopanic,
+#                  ctxfirst, maporder, lockguard, stickyerr); the same
+#                  pass writes the nopanic exemption audit, which must
+#                  match the reviewed allowlist
+#                  (scripts/nopanic_exemptions.txt) — worker panics must
 #                  convert to coordinator errors, not earn new markers
 #   4. go test     full suite under the race detector
 #   5. milp race   the parallel branch & bound, twice, under -race
@@ -31,11 +33,8 @@ cd "$(dirname "$0")/.."
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> etlint ./..."
-go run ./cmd/etlint ./...
-
-echo "==> etlint -nopanic-exemptions (audit against scripts/nopanic_exemptions.txt)"
-go run ./cmd/etlint -nopanic-exemptions ./... > /tmp/nopanic_exemptions.$$ || {
+echo "==> etlint ./... (lint + nopanic exemption audit, single pass)"
+go run ./cmd/etlint -exemptions-out /tmp/nopanic_exemptions.$$ ./... || {
     rm -f /tmp/nopanic_exemptions.$$; exit 1; }
 if ! diff -u scripts/nopanic_exemptions.txt /tmp/nopanic_exemptions.$$; then
     rm -f /tmp/nopanic_exemptions.$$
