@@ -7,11 +7,18 @@
 //
 //	etbench [-experiment all|table2|fig4|fig6|fig7|fig8|fig9|fig10] [-scale full|bench]
 //	        [-sweep-workers N] [-workers N] [-json FILE -json-pr N]
+//	etbench -validate DIR
 //
 // -json additionally writes a machine-readable report (schema
 // etransform-bench/v1, one record per case-study solve: problem size,
 // nodes, iterations, workers, certified gap, wall/busy time and plan
 // cost); -json-pr stamps the PR number the artifact belongs to.
+//
+// -validate checks every BENCH_*.json in DIR against the schema (the
+// same strict parse ReadBenchReport applies: unknown fields and
+// contract violations are errors) and runs nothing else; scripts/check.sh
+// uses it to gate the checked-in perf trajectory. See
+// docs/benchmarks/README.md for the schema, field by field.
 //
 // At -scale bench the Federal dataset is shrunk (the shrink factor
 // appears in the output) so a full run fits a laptop budget; -scale full
@@ -46,6 +53,33 @@ func main() {
 	}
 }
 
+// validateReports strict-parses every BENCH_*.json under dir and fails
+// on the first file that does not satisfy the etransform-bench/v1
+// contract. A directory with no reports is an error too — a typo'd path
+// must not read as "all valid".
+func validateReports(dir string) error {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no BENCH_*.json files in %s", dir)
+	}
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		rep, err := obs.ReadBenchReport(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Printf("%s: ok (PR %d, %d scenarios)\n", path, rep.PR, len(rep.Scenarios))
+	}
+	return nil
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("etbench", flag.ContinueOnError)
 	experiment := fs.String("experiment", "all", "all | table2 | fig4 | fig6 | fig7 | fig8 | fig9 | fig10")
@@ -56,8 +90,12 @@ func run(args []string) error {
 	solverWorkers := fs.Int("workers", 0, "branch & bound workers per solve (0 = auto)")
 	jsonOut := fs.String("json", "", "write a BENCH_<pr>.json perf report of the fig4/fig6 solves to this file")
 	jsonPR := fs.Int("json-pr", 0, "PR number stamped into the -json report (required with -json)")
+	validateDir := fs.String("validate", "", "validate every BENCH_*.json in this directory against the schema and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *validateDir != "" {
+		return validateReports(*validateDir)
 	}
 	if *jsonOut != "" && *jsonPR <= 0 {
 		return fmt.Errorf("-json needs a positive -json-pr")
@@ -135,6 +173,10 @@ func run(args []string) error {
 			s.WarmHits = m.Counters[obs.MetricSimplexWarmHits]
 			s.WarmMisses = m.Counters[obs.MetricSimplexWarmMisses]
 			s.Phase1Skipped = m.Counters[obs.MetricSimplexPhase1Skipped]
+			s.Factorizations = m.Counters[obs.MetricSimplexFactorizations]
+			s.EtaUpdates = m.Counters[obs.MetricSimplexEtaUpdates]
+			s.PricedCandidates = m.Counters[obs.MetricSimplexPricedCandidates]
+			s.RefactorDriftMax = m.Gauges[obs.MetricSimplexRefactorDriftMax]
 		}
 		return s
 	}

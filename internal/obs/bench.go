@@ -48,6 +48,17 @@ type BenchScenario struct {
 	WarmHits      int64 `json:"warm_hits,omitempty"`
 	WarmMisses    int64 `json:"warm_misses,omitempty"`
 	Phase1Skipped int64 `json:"phase1_skipped,omitempty"`
+	// Sparse-engine factorization counters (zero on the dense reference
+	// engine, hence omitempty): Factorizations counts sparse-LU builds,
+	// EtaUpdates the product-form updates appended between them,
+	// PricedCandidates the columns examined by partial pricing, and
+	// RefactorDriftMax the worst relative primal residual seen at the
+	// periodic drift checks (the refactorization policy's second
+	// trigger, bounded by tol.Drift).
+	Factorizations   int64   `json:"factorizations,omitempty"`
+	EtaUpdates       int64   `json:"eta_updates,omitempty"`
+	PricedCandidates int64   `json:"priced_candidates,omitempty"`
+	RefactorDriftMax float64 `json:"refactor_drift_max,omitempty"`
 }
 
 // BenchReport is the schema of the repository's BENCH_<n>.json perf

@@ -33,6 +33,19 @@ const (
 	MetricSimplexPhase1Skipped = "simplex.phase1_skipped"
 	MetricSimplexDualPivots    = "simplex.dual_pivots"
 
+	// Sparse-engine counters. Factorizations counts every sparse-LU
+	// build (initial, eta-cap, drift, tiny-pivot recovery) — a superset
+	// of MetricSimplexRefactors, which keeps counting only the recovery/
+	// policy refactorizations the dense engine also performs. EtaUpdates
+	// counts product-form etas appended between factorizations, and
+	// PricedCandidates the columns examined by (partial) pricing.
+	// RefactorDriftMax is a high-water gauge of the relative primal
+	// residual observed at the periodic drift checks.
+	MetricSimplexFactorizations   = "simplex.factorizations"
+	MetricSimplexEtaUpdates       = "simplex.eta_updates"
+	MetricSimplexPricedCandidates = "simplex.priced_candidates"
+	MetricSimplexRefactorDriftMax = "simplex.refactor_drift_max" // gauge (max)
+
 	// Branch & bound counters and gauges.
 	MetricMILPSolves       = "milp.solves"
 	MetricMILPNodes        = "milp.nodes"

@@ -5,20 +5,49 @@
 // solver — this one, or an external one via the LP-file interchange in
 // package lp — produces the same optimum.
 //
-// Design notes:
+// # The revised simplex loop
 //
-//   - Every constraint row gets a slack variable (LE: s ∈ [0,∞),
-//     GE: s ∈ (−∞,0], EQ: s ∈ [0,0]) so the working system is Ax = b with
-//     individual variable bounds.
-//   - Phase 1 installs one artificial per row carrying the initial
-//     residual, giving a primal-feasible identity basis; minimizing the
-//     sum of artificials either reaches zero (proceed to phase 2 on the
-//     true costs) or proves infeasibility.
-//   - The basis inverse is maintained densely with product-form updates
-//     (O(m²) per pivot) and recomputed from scratch on numerical drift.
-//   - Pricing is Dantzig (most-negative reduced cost); after a run of
-//     degenerate pivots the solver falls back to Bland's rule, which
-//     guarantees termination.
+// The solver never forms a dense tableau. Each iteration works against a
+// factorized representation of the basis matrix B:
+//
+//   - Columns are held in compressed sparse column (CSC) form, built once
+//     per solve from the model; a CSR mirror of the same nonzeros serves
+//     the pivot-row pass that pricing updates need.
+//   - B is factorized as P·B·Q = L·U by a left-looking sparse LU
+//     (Gilbert–Peierls: DFS reachability for each column's fill pattern,
+//     then a numeric solve in reverse postorder), with Markowitz-style
+//     threshold pivoting (tol.Markowitz) and singularity detection
+//     (tol.Singular).
+//   - Between factorizations, each basis exchange appends a product-form
+//     eta vector instead of refactorizing: FTRAN applies B₀⁻¹ then the
+//     eta file forward, BTRAN applies the eta file in reverse then B₀⁻ᵀ.
+//   - The factorization is rebuilt when the eta file reaches
+//     Options.RefactorEvery (default 64) updates, when the periodic drift
+//     check finds the relative primal residual ‖b−A·x‖∞ above tol.Drift,
+//     or when a pivot column's eligible entries all fall below tol.Pivot
+//     (stale-factorization recovery).
+//
+// Pricing is devex with partial candidate scans: reduced costs are
+// maintained across pivots (exactness tracked explicitly, and every
+// terminal optimality/unboundedness verdict is re-checked against exactly
+// recomputed values), reference weights approximate steepest edge, and
+// each iteration scores a retained candidate buffer plus a rotating
+// section of the column range rather than every column. After a run of
+// degenerate pivots the solver falls back to Bland's rule on exact
+// reduced costs, which guarantees termination.
+//
+// Phase 1 installs one artificial per row carrying the initial residual,
+// giving a trivially factorizable feasible basis; minimizing the sum of
+// artificials either reaches zero (proceed to phase 2 on the true costs)
+// or proves infeasibility.
+//
+// Options.DenseLA selects the legacy dense-inverse engine (dense basis
+// inverse, product-form updates, Dantzig pricing). It is retained as an
+// independently implemented reference: the equivalence suites solve every
+// LP through both backends and require identical certified outcomes. See
+// DESIGN.md, "Sparse linear algebra", for the full contract — data
+// layouts, update formulas, the refactorization policy and the exact
+// tolerance each guard uses.
 //
 // Integrality markers on the model are ignored: Solve always solves the
 // continuous relaxation. Package milp layers branch & bound on top.
@@ -37,10 +66,10 @@
 //
 // The package-level Solve function is safe for concurrent use: every
 // call builds private working state. A Solver value is NOT goroutine
-// safe — it deliberately retains its scratch tableau between calls so
-// that hot loops (one branch & bound worker solving thousands of
-// same-shaped node LPs) avoid re-allocating the working arrays. Each
-// goroutine must own its own Solver; sharing one requires external
-// serialization. A Solver holds no reference to any model passed to a
-// completed Solve call.
+// safe — it deliberately retains its scratch tableau, factorization and
+// eta file between calls so that hot loops (one branch & bound worker
+// solving thousands of same-shaped node LPs) avoid re-allocating the
+// working arrays. Each goroutine must own its own Solver; sharing one
+// requires external serialization. A Solver holds no reference to any
+// model passed to a completed Solve call.
 package simplex

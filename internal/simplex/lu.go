@@ -1,0 +1,398 @@
+package simplex
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/etransform/etransform/internal/tol"
+)
+
+// This file is the sparse linear-algebra backend of the revised simplex:
+// a sparse LU factorization of the basis matrix with Markowitz-style
+// threshold pivoting, plus a product-form eta file recording the basis
+// changes since the last factorization. Together they answer the three
+// questions the pivot loop asks —
+//
+//	FTRAN:  w = B⁻¹·a      (entering column through the basis)
+//	BTRAN:  y = B⁻ᵀ·c      (duals, and ρ = B⁻ᵀ·e_r for the pivot row)
+//	UPDATE: B ← B with column r replaced
+//
+// — in time proportional to the factors' nonzeros instead of the dense
+// engine's O(m²) per operation. See DESIGN.md ("Sparse linear algebra")
+// for the math and the refactorization policy.
+
+// luFactor is a sparse LU factorization of the m×m basis matrix B,
+// B·Q = L·U under a row permutation: column q[k] of B (a basis
+// position, i.e. a tableau row index) is eliminated at step k with
+// pivot row p[k].
+//
+//   - L is unit lower triangular "under the permutation": column k holds
+//     the multipliers at original row indices, with an implicit 1 at row
+//     p[k].
+//   - U's column k holds its off-diagonal entries at elimination
+//     positions j < k, with the pivot value in udiag[k].
+//
+// The factorization is left-looking Gilbert–Peierls: each column is
+// sparse-triangular-solved against the L built so far (pattern by DFS
+// reachability, numerics in reverse postorder), then a pivot is chosen
+// by the Markowitz-style rule below.
+//
+// Pivot rule: among the eliminable rows of the current column, rows
+// within tol.Markowitz of the largest magnitude are stability-
+// acceptable; of those, the row with the fewest nonzeros in B (the
+// Markowitz sparsity count) is picked, ties to the lowest row index so
+// factorization is deterministic. A column whose best candidate is
+// below tol.Singular declares the basis singular.
+type luFactor struct {
+	m int
+
+	lcolp []int32 // len m+1: L column pointers
+	lrows []int32 // original row indices
+	lvals []float64
+
+	ucolp []int32 // len m+1: U column pointers
+	urows []int32 // elimination positions < k
+	uvals []float64
+	udiag []float64 // len m: pivot values
+
+	p    []int32 // p[k] = original row pivoted at step k
+	pinv []int32 // pinv[row] = elimination step, -1 until pivoted
+	q    []int32 // q[k] = basis position (tableau row) eliminated at step k
+
+	// Scratch reused across factorize/solve calls.
+	x      []float64 // dense accumulator, original-row space
+	pos    []float64 // dense accumulator, elimination-position space
+	found  []int32   // DFS postorder pattern of the current column
+	stack  []int32   // DFS node stack
+	cstack []int32   // DFS per-node next-child cursor
+	mark   []int32   // DFS visited stamps
+	stamp  int32
+	rowCnt []int32 // nonzeros per row of B (Markowitz counts)
+	nnz    []int32 // nonzeros per basis column (ordering key)
+}
+
+// factorize builds the LU factors of the basis described by basicIn:
+// column i of B is cols[basicIn[i]]. It reuses all scratch from prior
+// calls and reports a singular basis as an error naming the offending
+// elimination step.
+func (f *luFactor) factorize(m int, cols []sparseCol, basicIn []int32) error {
+	f.m = m
+	f.lcolp = reuseI32(f.lcolp, m+1)
+	f.ucolp = reuseI32(f.ucolp, m+1)
+	f.udiag = reuseF64(f.udiag, m)
+	f.p = reuseI32(f.p, m)
+	f.pinv = reuseI32(f.pinv, m)
+	f.q = reuseI32(f.q, m)
+	f.x = reuseF64(f.x, m)
+	f.pos = reuseF64(f.pos, m)
+	f.mark = reuseI32(f.mark, m)
+	f.rowCnt = reuseI32(f.rowCnt, m)
+	f.nnz = reuseI32(f.nnz, m)
+	f.lrows, f.lvals = f.lrows[:0], f.lvals[:0]
+	f.urows, f.uvals = f.urows[:0], f.uvals[:0]
+	f.stamp = 0
+
+	for i := 0; i < m; i++ {
+		f.pinv[i] = -1
+		f.q[i] = int32(i)
+		c := &cols[basicIn[i]]
+		f.nnz[i] = int32(len(c.rows))
+		for _, r := range c.rows {
+			f.rowCnt[r]++
+		}
+	}
+	// Columns are eliminated sparsest-first: with the slack-heavy bases
+	// this solver sees, that keeps L and U near the original pattern
+	// (little fill), which is the whole point of a sparse factorization.
+	order := f.q
+	sort.Slice(order, func(a, b int) bool {
+		if f.nnz[order[a]] != f.nnz[order[b]] {
+			return f.nnz[order[a]] < f.nnz[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	for k := 0; k < m; k++ {
+		c := &cols[basicIn[f.q[k]]]
+		// Pattern of L⁻¹·c by DFS reachability over the columns of L
+		// built so far; f.found ends in postorder.
+		f.found = f.found[:0]
+		f.stamp++
+		for _, r := range c.rows {
+			f.reach(r)
+		}
+		// Numeric sparse triangular solve in reverse postorder.
+		for i, r := range c.rows {
+			f.x[r] = c.coefs[i]
+		}
+		for idx := len(f.found) - 1; idx >= 0; idx-- {
+			r := f.found[idx]
+			t := f.pinv[r]
+			if t < 0 {
+				continue
+			}
+			xr := f.x[r]
+			if tol.IsZero(xr) {
+				continue
+			}
+			for e := f.lcolp[t]; e < f.lcolp[t+1]; e++ {
+				f.x[f.lrows[e]] -= f.lvals[e] * xr
+			}
+		}
+		// Split the pattern: pivoted rows feed U, unpivoted rows are the
+		// pivot candidates for this column.
+		maxAbs := 0.0
+		for _, r := range f.found {
+			if f.pinv[r] >= 0 {
+				continue
+			}
+			if a := math.Abs(f.x[r]); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs < tol.Singular {
+			f.clearFound()
+			return fmt.Errorf("simplex: singular basis during LU factorization (elimination step %d, basis column %d)", k, f.q[k])
+		}
+		pivRow, pivCnt := int32(-1), int32(math.MaxInt32)
+		threshold := tol.Markowitz * maxAbs
+		for _, r := range f.found {
+			if f.pinv[r] >= 0 {
+				continue
+			}
+			if math.Abs(f.x[r]) < threshold {
+				continue
+			}
+			if cnt := f.rowCnt[r]; cnt < pivCnt || (cnt == pivCnt && r < pivRow) {
+				pivRow, pivCnt = r, cnt
+			}
+		}
+		diag := f.x[pivRow]
+		f.udiag[k] = diag
+		for _, r := range f.found {
+			xr := f.x[r]
+			if tol.IsZero(xr) {
+				continue
+			}
+			if t := f.pinv[r]; t >= 0 {
+				f.urows = append(f.urows, t)
+				f.uvals = append(f.uvals, xr)
+			} else if r != pivRow {
+				f.lrows = append(f.lrows, r)
+				f.lvals = append(f.lvals, xr/diag)
+			}
+		}
+		f.p[k] = pivRow
+		f.pinv[pivRow] = int32(k)
+		f.lcolp[k+1] = int32(len(f.lrows))
+		f.ucolp[k+1] = int32(len(f.urows))
+		f.clearFound()
+	}
+	return nil
+}
+
+func (f *luFactor) clearFound() {
+	for _, r := range f.found {
+		f.x[r] = 0
+	}
+}
+
+// reach runs an iterative DFS from row root over the graph of L's
+// columns (an edge r→i for every L entry (i, pinv[r])), appending the
+// visited rows to f.found in postorder.
+func (f *luFactor) reach(root int32) {
+	if f.mark[root] == f.stamp {
+		return
+	}
+	f.stack = append(f.stack[:0], root)
+	f.cstack = append(f.cstack[:0], 0)
+	f.mark[root] = f.stamp
+	for len(f.stack) > 0 {
+		top := len(f.stack) - 1
+		r := f.stack[top]
+		t := f.pinv[r]
+		advanced := false
+		if t >= 0 {
+			for e := f.lcolp[t] + f.cstack[top]; e < f.lcolp[t+1]; e++ {
+				child := f.lrows[e]
+				if f.mark[child] != f.stamp {
+					f.cstack[top] = e - f.lcolp[t] + 1
+					f.stack = append(f.stack, child)
+					f.cstack = append(f.cstack, 0)
+					f.mark[child] = f.stamp
+					advanced = true
+					break
+				}
+			}
+		}
+		if !advanced {
+			f.found = append(f.found, r)
+			f.stack = f.stack[:top]
+			f.cstack = f.cstack[:top]
+		}
+	}
+}
+
+// solveB overwrites v (dense, original-row space) with B⁻¹·v, indexed
+// by basis position: v[i] becomes the multiplier of basis column i.
+func (f *luFactor) solveB(v []float64) {
+	m := f.m
+	// Forward solve L·g = v; g[k] accumulates at row p[k].
+	for k := 0; k < m; k++ {
+		gk := v[f.p[k]]
+		if tol.IsZero(gk) {
+			continue
+		}
+		for e := f.lcolp[k]; e < f.lcolp[k+1]; e++ {
+			v[f.lrows[e]] -= f.lvals[e] * gk
+		}
+	}
+	for k := 0; k < m; k++ {
+		f.pos[k] = v[f.p[k]]
+	}
+	// Backward solve U·z = g in elimination-position space.
+	for k := m - 1; k >= 0; k-- {
+		zk := f.pos[k] / f.udiag[k]
+		f.pos[k] = zk
+		if tol.IsZero(zk) {
+			continue
+		}
+		for e := f.ucolp[k]; e < f.ucolp[k+1]; e++ {
+			f.pos[f.urows[e]] -= f.uvals[e] * zk
+		}
+	}
+	// Scatter to basis positions: z[k] multiplies basis column q[k].
+	for k := 0; k < m; k++ {
+		v[f.q[k]] = f.pos[k]
+	}
+}
+
+// solveBT overwrites v (dense, indexed by basis position: v[i] is the
+// right-hand side for basis column i) with the solution y of yᵀ·B = vᵀ,
+// indexed by original row.
+func (f *luFactor) solveBT(v []float64) {
+	m := f.m
+	for k := 0; k < m; k++ {
+		f.pos[k] = v[f.q[k]]
+	}
+	// Forward solve Uᵀ·h = c in elimination-position space.
+	for k := 0; k < m; k++ {
+		s := f.pos[k]
+		for e := f.ucolp[k]; e < f.ucolp[k+1]; e++ {
+			s -= f.uvals[e] * f.pos[f.urows[e]]
+		}
+		f.pos[k] = s / f.udiag[k]
+	}
+	// Backward solve Lᵀ·y = h back in original-row space.
+	for i := 0; i < m; i++ {
+		v[i] = 0
+	}
+	for k := 0; k < m; k++ {
+		v[f.p[k]] = f.pos[k]
+	}
+	for k := m - 1; k >= 0; k-- {
+		s := v[f.p[k]]
+		for e := f.lcolp[k]; e < f.lcolp[k+1]; e++ {
+			s -= f.lvals[e] * v[f.lrows[e]]
+		}
+		v[f.p[k]] = s
+	}
+}
+
+// etaFile is the product-form update chain: eta e records that basis
+// column pivRow[e] was replaced by a column whose FTRAN image (through
+// the basis as of that pivot) was w, stored as the pivot value w[r] and
+// the sparse off-pivot entries. B⁻¹ after k etas is Eₖ⁻¹·…·E₁⁻¹·B₀⁻¹
+// with B₀ the last factorized basis.
+type etaFile struct {
+	pivRow []int32
+	pivVal []float64
+	start  []int32 // len count+1: offsets into rows/vals
+	rows   []int32
+	vals   []float64
+}
+
+func (e *etaFile) reset() {
+	e.pivRow = e.pivRow[:0]
+	e.pivVal = e.pivVal[:0]
+	e.rows = e.rows[:0]
+	e.vals = e.vals[:0]
+	if len(e.start) == 0 {
+		e.start = append(e.start, 0)
+	}
+	e.start = e.start[:1]
+}
+
+func (e *etaFile) count() int { return len(e.pivRow) }
+
+// push appends the eta for a pivot in row r with FTRAN column w.
+// w[r] must be nonzero (the pivot loop guarantees |w[r]| ≥ tol.Pivot).
+func (e *etaFile) push(r int, w []float64) {
+	e.pivRow = append(e.pivRow, int32(r))
+	e.pivVal = append(e.pivVal, w[r])
+	for i, wi := range w {
+		if i == r || tol.IsZero(wi) {
+			continue
+		}
+		e.rows = append(e.rows, int32(i))
+		e.vals = append(e.vals, wi)
+	}
+	e.start = append(e.start, int32(len(e.rows)))
+}
+
+// ftran applies the eta inverses in order: v ← Eₖ⁻¹·…·E₁⁻¹·v.
+func (e *etaFile) ftran(v []float64) {
+	for k := 0; k < len(e.pivRow); k++ {
+		r := e.pivRow[k]
+		vr := v[r] / e.pivVal[k]
+		v[r] = vr
+		if tol.IsZero(vr) {
+			continue
+		}
+		for idx := e.start[k]; idx < e.start[k+1]; idx++ {
+			v[e.rows[idx]] -= e.vals[idx] * vr
+		}
+	}
+}
+
+// btran applies the transposed eta inverses in reverse order:
+// v ← E₁⁻ᵀ·…·Eₖ⁻ᵀ·v.
+func (e *etaFile) btran(v []float64) {
+	for k := len(e.pivRow) - 1; k >= 0; k-- {
+		r := e.pivRow[k]
+		s := v[r]
+		for idx := e.start[k]; idx < e.start[k+1]; idx++ {
+			s -= e.vals[idx] * v[e.rows[idx]]
+		}
+		v[r] = s / e.pivVal[k]
+	}
+}
+
+// sparseLA bundles the factorization and its eta file into the basis
+// operator the pivot loop uses. refactor() collapses the eta chain back
+// into a fresh LU of the current basis.
+type sparseLA struct {
+	lu   luFactor
+	etas etaFile
+}
+
+func (s *sparseLA) refactor(m int, cols []sparseCol, basicIn []int32) error {
+	if err := s.lu.factorize(m, cols, basicIn); err != nil {
+		return err
+	}
+	s.etas.reset()
+	return nil
+}
+
+// ftran overwrites v (original-row space) with B⁻¹·v (basis positions).
+func (s *sparseLA) ftran(v []float64) {
+	s.lu.solveB(v)
+	s.etas.ftran(v)
+}
+
+// btran overwrites v (basis positions) with B⁻ᵀ·v (original rows).
+func (s *sparseLA) btran(v []float64) {
+	s.etas.btran(v)
+	s.lu.solveBT(v)
+}

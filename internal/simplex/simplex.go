@@ -46,6 +46,21 @@ type Options struct {
 	// after each solve — the hot loop only increments local integers,
 	// keeping the armed overhead far under the 2% pivot-loop budget.
 	Metrics *obs.Metrics
+	// DenseLA selects the legacy dense basis-inverse engine (explicit
+	// m×m inverse, product-form updates, Dantzig pricing with exact
+	// duals every pivot) instead of the default sparse engine (LU +
+	// eta-file basis, devex pricing). The dense engine is retained as an
+	// independently implemented reference: the dense-vs-sparse
+	// equivalence suite solves every LP through both and demands
+	// identical certified objectives. Production callers leave it false.
+	DenseLA bool
+	// RefactorEvery caps the eta-file length of the sparse engine:
+	// after this many basis updates since the last factorization the
+	// basis is refactorized, collapsing accumulated floating-point
+	// error and keeping FTRAN/BTRAN cost bounded. Default 64. The
+	// drift guard (tol.Drift) can force an earlier refactorization.
+	// Ignored by the dense engine.
+	RefactorEvery int
 }
 
 func (o *Options) withDefaults(rows int) Options {
@@ -64,6 +79,9 @@ func (o *Options) withDefaults(rows int) Options {
 	}
 	if out.StallLimit <= 0 {
 		out.StallLimit = 60
+	}
+	if out.RefactorEvery <= 0 {
+		out.RefactorEvery = 64
 	}
 	return out
 }
@@ -124,8 +142,43 @@ type tableau struct {
 	basicIn []int32   // column basic in row i
 	inRow   []int32   // row a basic column occupies; -1 if nonbasic
 
-	binv []float64 // dense m×m row-major basis inverse
+	binv []float64 // dense m×m row-major basis inverse (dense engine)
+	la   *sparseLA // sparse LU + eta-file basis operator (sparse engine)
 	xB   []float64 // values of basic variables by row
+
+	// CSR mirror of the structural columns (row-major), used to form the
+	// pivot row α = ρᵀ·A sparsely: only rows where ρ is nonzero are
+	// visited. Slack and artificial columns are unit columns and are
+	// handled implicitly.
+	rowStart []int32
+	rowVar   []int32
+	rowCoef  []float64
+
+	// Devex pricing state (sparse engine). dj holds the maintained
+	// reduced costs of the active phase; djExact marks them as freshly
+	// recomputed from the basis (a terminal optimal/unbounded verdict is
+	// only ever issued off exact values); djValid marks them usable at
+	// all (Bland-mode pivots skip maintenance and invalidate them).
+	// gamma holds the devex reference weights; cand the retained
+	// candidate buffer of partial pricing; scanFrom the rotating scan
+	// cursor.
+	dj       []float64
+	gamma    []float64
+	djExact  bool
+	djValid  bool
+	cand     []int32
+	scanFrom int
+
+	// Pivot-row scratch: alpha/alphaNZ hold the nonzero entries of
+	// ρᵀ·A for the current pivot row, touch/touchStamp the visited
+	// marks, rho the BTRAN(e_r) result, rhsBuf the shared right-hand
+	// side accumulator of recomputeXB and the drift check.
+	alpha      []float64
+	alphaNZ    []int32
+	touch      []int32
+	touchStamp int32
+	rho        []float64
+	rhsBuf     []float64
 
 	phase     int
 	iters     int
@@ -147,6 +200,14 @@ type tableau struct {
 	warmMisses int
 	p1Skipped  int
 	dualPivots int
+	// Sparse-engine counters: basis factorizations (initial, periodic
+	// and recovery), eta updates appended between them, columns examined
+	// by pricing, and the worst relative primal drift observed at a
+	// periodic check.
+	factorizations   int
+	etaUpdates       int
+	pricedCandidates int64
+	driftMax         float64
 	// lastOptimal records that the most recent solve ended StatusOptimal
 	// in phase 2, i.e. status/basicIn describe an optimal basis that
 	// Solver.Basis can snapshot.
@@ -186,6 +247,14 @@ func (t *tableau) reset(model *lp.Model, opts *Options) error {
 	t.lastOptimal = false
 	t.limit = ""
 	t.pricedCost = nil
+	t.factorizations = 0
+	t.etaUpdates = 0
+	t.pricedCandidates = 0
+	t.driftMax = 0
+	t.djExact = false
+	t.djValid = false
+	t.scanFrom = 0
+	t.touchStamp = 0
 
 	if cap(t.cols) < t.nTotal {
 		t.cols = make([]sparseCol, t.nTotal)
@@ -206,8 +275,24 @@ func (t *tableau) reset(model *lp.Model, opts *Options) error {
 	t.inRow = reuseI32(t.inRow, t.nTotal)
 	t.workCol = reuseF64(t.workCol, m)
 	t.workRow = reuseF64(t.workRow, m)
-	t.binv = reuseF64(t.binv, m*m)
 	t.xB = reuseF64(t.xB, m)
+	if t.opts.DenseLA {
+		t.binv = reuseF64(t.binv, m*m)
+		t.la = nil
+	} else {
+		// The sparse engine never materializes the m×m inverse; its
+		// factors and eta file live in t.la and are rebuilt per solve.
+		t.binv = nil
+		if t.la == nil {
+			t.la = &sparseLA{}
+		}
+		t.dj = reuseF64(t.dj, t.nTotal)
+		t.gamma = reuseF64(t.gamma, t.nTotal)
+	}
+	t.alpha = reuseF64(t.alpha, t.nTotal)
+	t.touch = reuseI32(t.touch, t.nTotal)
+	t.alphaNZ = t.alphaNZ[:0]
+	t.cand = t.cand[:0]
 
 	// Structural columns.
 	for j := 0; j < n; j++ {
@@ -219,13 +304,19 @@ func (t *tableau) reset(model *lp.Model, opts *Options) error {
 		t.upper[j] = v.Upper
 		t.cost[j] = v.Cost
 	}
+	t.rowStart = reuseI32(t.rowStart, m+1)
+	t.rowVar = t.rowVar[:0]
+	t.rowCoef = t.rowCoef[:0]
 	for r := 0; r < m; r++ {
 		row := model.Row(lp.RowID(r))
 		for _, term := range row.Terms {
 			c := &t.cols[term.Var]
 			c.rows = append(c.rows, int32(r))
 			c.coefs = append(c.coefs, term.Coef)
+			t.rowVar = append(t.rowVar, int32(term.Var))
+			t.rowCoef = append(t.rowCoef, term.Coef)
 		}
+		t.rowStart[r+1] = int32(len(t.rowVar))
 		t.b[r] = row.RHS
 		// Slack column j = n + r.
 		s := n + r
@@ -302,10 +393,19 @@ func (t *tableau) solve() (*lp.Solution, error) {
 		t.status[a] = basic
 		t.basicIn[r] = int32(a)
 		t.inRow[a] = int32(r)
-		// Binv = inverse of diag(±1) = diag(±1).
-		t.binv[r*m+r] = t.cols[a].coefs[0]
+		if t.la == nil {
+			// Binv = inverse of diag(±1) = diag(±1).
+			t.binv[r*m+r] = t.cols[a].coefs[0]
+		}
 		if av > t.opts.FeasTol {
 			needPhase1 = true
+		}
+	}
+	if t.la != nil {
+		// Factorize the (trivially triangular) artificial basis so the
+		// first FTRAN/BTRAN have factors to solve against.
+		if err := t.factorizeBasis(); err != nil {
+			return nil, err
 		}
 	}
 
@@ -425,9 +525,18 @@ func (t *tableau) phaseObjective() float64 {
 	return obj
 }
 
-// computeDuals fills y (len m) with cB' · Binv for the active cost vector.
+// computeDuals fills y (len m) with cB' · B⁻¹ for the active cost
+// vector: one BTRAN on the sparse engine, a row-combination of the
+// explicit inverse on the dense one.
 func (t *tableau) computeDuals(y []float64) {
 	m := t.m
+	if t.la != nil {
+		for r := 0; r < m; r++ {
+			y[r] = t.pricedCost[t.basicIn[r]]
+		}
+		t.la.btran(y)
+		return
+	}
 	for i := range y {
 		y[i] = 0
 	}
@@ -455,7 +564,7 @@ func (t *tableau) reducedCost(j int, y []float64) float64 {
 	return d
 }
 
-// ftran computes w = Binv · A_j into t.workCol.
+// ftran computes w = B⁻¹ · A_j into t.workCol.
 func (t *tableau) ftran(j int) {
 	m := t.m
 	w := t.workCol
@@ -463,6 +572,13 @@ func (t *tableau) ftran(j int) {
 		w[i] = 0
 	}
 	c := t.cols[j]
+	if t.la != nil {
+		for k, r := range c.rows {
+			w[r] = c.coefs[k]
+		}
+		t.la.ftran(w)
+		return
+	}
 	for k, r := range c.rows {
 		coef := c.coefs[k]
 		if tol.IsZero(coef) {
@@ -476,12 +592,20 @@ func (t *tableau) ftran(j int) {
 }
 
 // iterate runs primal simplex pivots until optimal/unbounded/limit for
-// the current phase. It returns StatusOptimal when no improving column
-// remains (which in phase 1 means phase-1-optimal, not necessarily
-// feasible).
+// the current phase, dispatching to the engine the tableau was reset
+// for. It returns StatusOptimal when no improving column remains (which
+// in phase 1 means phase-1-optimal, not necessarily feasible).
 func (t *tableau) iterate() (lp.Status, error) {
+	if t.la != nil {
+		return t.iterateSparse()
+	}
+	return t.iterateDense()
+}
+
+// iterateDense is the reference engine's pivot loop: exact duals from
+// the explicit inverse every iteration, full Dantzig pricing.
+func (t *tableau) iterateDense() (lp.Status, error) {
 	const pivTol = tol.Pivot
-	m := t.m
 	y := t.workRow
 	for {
 		if t.iters >= t.opts.MaxIters {
@@ -561,46 +685,7 @@ func (t *tableau) iterate() (lp.Status, error) {
 		t.ftran(enter)
 		w := t.workCol
 
-		// Ratio test: largest step tMax the entering var can move in
-		// direction enterDir.
-		tMax := math.Inf(1)
-		if !math.IsInf(t.lower[enter], -1) && !math.IsInf(t.upper[enter], 1) {
-			tMax = t.upper[enter] - t.lower[enter]
-		}
-		leaveRow := -1
-		leaveToUpper := false
-		consider := func(i int, ratio float64, toUpper bool) {
-			if ratio < 0 {
-				ratio = 0
-			}
-			switch {
-			case ratio < tMax-pivTol:
-				// Strictly tighter limit.
-			case ratio < tMax+pivTol && better(leaveRow, i, w, t):
-				// Tie: prefer the stabler (or Bland-lower) row.
-			default:
-				return
-			}
-			tMax = math.Min(tMax, ratio)
-			leaveRow = i
-			leaveToUpper = toUpper
-		}
-		for i := 0; i < m; i++ {
-			wi := enterDir * w[i]
-			bj := t.basicIn[i]
-			if wi > pivTol {
-				// Basic i decreases toward its lower bound.
-				if lo := t.lower[bj]; !math.IsInf(lo, -1) {
-					consider(i, (t.xB[i]-lo)/wi, false)
-				}
-			} else if wi < -pivTol {
-				// Basic i increases toward its upper bound.
-				if hi := t.upper[bj]; !math.IsInf(hi, 1) {
-					consider(i, (hi-t.xB[i])/(-wi), true)
-				}
-			}
-		}
-
+		tMax, leaveRow, leaveToUpper := t.ratioTest(enter, enterDir, w)
 		if math.IsInf(tMax, 1) {
 			if t.phase == 1 {
 				return 0, fmt.Errorf("simplex: phase-1 unbounded (numerical failure)")
@@ -608,42 +693,10 @@ func (t *tableau) iterate() (lp.Status, error) {
 			return lp.StatusUnbounded, nil
 		}
 
-		t.iters++
-		if tMax <= t.opts.FeasTol {
-			t.degenRun++
-			t.degenTotal++
-			if t.degenRun > t.opts.StallLimit {
-				if !t.blandMode {
-					t.blandFlips++
-				}
-				t.blandMode = true
-			}
-		} else {
-			t.degenRun = 0
-			if !t.opts.Bland {
-				t.blandMode = false
-			}
-		}
-
-		// Apply the step to basic values.
-		if tMax > 0 {
-			for i := 0; i < m; i++ {
-				if !tol.IsZero(w[i]) {
-					t.xB[i] -= enterDir * tMax * w[i]
-					t.value[t.basicIn[i]] = t.xB[i]
-				}
-			}
-		}
+		t.recordStep(enterDir, tMax, w)
 
 		if leaveRow < 0 {
-			// Bound flip: entering moves across its range, basis unchanged.
-			if enterDir > 0 {
-				t.value[enter] = t.upper[enter]
-				t.status[enter] = atUpper
-			} else {
-				t.value[enter] = t.lower[enter]
-				t.status[enter] = atLower
-			}
+			t.boundFlip(enter, enterDir)
 			continue
 		}
 
@@ -659,25 +712,120 @@ func (t *tableau) iterate() (lp.Status, error) {
 			return 0, fmt.Errorf("simplex: pivot element %g too small after %d refactorizations", w[leaveRow], t.refactors)
 		}
 
-		leaving := t.basicIn[leaveRow]
-		if leaveToUpper {
-			t.value[leaving] = t.upper[leaving]
-			t.status[leaving] = atUpper
-		} else {
-			t.value[leaving] = t.lower[leaving]
-			t.status[leaving] = atLower
-		}
-		t.inRow[leaving] = -1
-
-		enterVal := t.value[enter] + enterDir*tMax
-		t.basicIn[leaveRow] = int32(enter)
-		t.inRow[enter] = int32(leaveRow)
-		t.status[enter] = basic
-		t.value[enter] = enterVal
-		t.xB[leaveRow] = enterVal
-
-		t.updateBinv(leaveRow, w)
+		t.pivotBasis(enter, leaveRow, enterDir, tMax, leaveToUpper, w)
 	}
+}
+
+// ratioTest finds the row limiting the entering column's move in
+// direction enterDir given its FTRAN column w. It returns the largest
+// step tMax (+Inf when nothing limits it — unbounded), the leaving row
+// (-1 when the entering variable's opposite bound limits first — a bound
+// flip), and whether the leaving variable exits at its upper bound.
+func (t *tableau) ratioTest(enter int, enterDir float64, w []float64) (tMax float64, leaveRow int, leaveToUpper bool) {
+	const pivTol = tol.Pivot
+	tMax = math.Inf(1)
+	if !math.IsInf(t.lower[enter], -1) && !math.IsInf(t.upper[enter], 1) {
+		tMax = t.upper[enter] - t.lower[enter]
+	}
+	leaveRow = -1
+	consider := func(i int, ratio float64, toUpper bool) {
+		if ratio < 0 {
+			ratio = 0
+		}
+		switch {
+		case ratio < tMax-pivTol:
+			// Strictly tighter limit.
+		case ratio < tMax+pivTol && better(leaveRow, i, w, t):
+			// Tie: prefer the stabler (or Bland-lower) row.
+		default:
+			return
+		}
+		tMax = math.Min(tMax, ratio)
+		leaveRow = i
+		leaveToUpper = toUpper
+	}
+	for i := 0; i < t.m; i++ {
+		wi := enterDir * w[i]
+		bj := t.basicIn[i]
+		if wi > pivTol {
+			// Basic i decreases toward its lower bound.
+			if lo := t.lower[bj]; !math.IsInf(lo, -1) {
+				consider(i, (t.xB[i]-lo)/wi, false)
+			}
+		} else if wi < -pivTol {
+			// Basic i increases toward its upper bound.
+			if hi := t.upper[bj]; !math.IsInf(hi, 1) {
+				consider(i, (hi-t.xB[i])/(-wi), true)
+			}
+		}
+	}
+	return tMax, leaveRow, leaveToUpper
+}
+
+// recordStep counts the pivot, runs the degenerate-run/Bland-switch
+// bookkeeping, and applies the step of length tMax to the basic values.
+func (t *tableau) recordStep(enterDir, tMax float64, w []float64) {
+	t.iters++
+	if tMax <= t.opts.FeasTol {
+		t.degenRun++
+		t.degenTotal++
+		if t.degenRun > t.opts.StallLimit {
+			if !t.blandMode {
+				t.blandFlips++
+			}
+			t.blandMode = true
+		}
+	} else {
+		t.degenRun = 0
+		if !t.opts.Bland {
+			t.blandMode = false
+		}
+	}
+	if tMax > 0 {
+		for i := 0; i < t.m; i++ {
+			if !tol.IsZero(w[i]) {
+				t.xB[i] -= enterDir * tMax * w[i]
+				t.value[t.basicIn[i]] = t.xB[i]
+			}
+		}
+	}
+}
+
+// boundFlip moves the entering variable across its range; the basis is
+// unchanged.
+func (t *tableau) boundFlip(enter int, enterDir float64) {
+	if enterDir > 0 {
+		t.value[enter] = t.upper[enter]
+		t.status[enter] = atUpper
+	} else {
+		t.value[enter] = t.lower[enter]
+		t.status[enter] = atLower
+	}
+}
+
+// pivotBasis makes enter basic in leaveRow and moves the leaving
+// variable to the bound the ratio test hit. The basis operator is
+// updated last, so everything computed against the pre-pivot basis
+// (pivot-row alphas, the FTRAN column itself) stays consistent.
+func (t *tableau) pivotBasis(enter, leaveRow int, enterDir, tMax float64, leaveToUpper bool, w []float64) {
+	leaving := t.basicIn[leaveRow]
+	if leaveToUpper {
+		t.value[leaving] = t.upper[leaving]
+		t.status[leaving] = atUpper
+	} else {
+		t.value[leaving] = t.lower[leaving]
+		t.status[leaving] = atLower
+	}
+	t.inRow[leaving] = -1
+
+	enterVal := t.value[enter] + enterDir*tMax
+	t.basicIn[leaveRow] = int32(enter)
+	t.inRow[enter] = int32(leaveRow)
+	t.status[enter] = basic
+	t.value[enter] = enterVal
+	t.xB[leaveRow] = enterVal
+
+	t.updateBasisLA(leaveRow, w)
 }
 
 // better is the tie-break in the ratio test: prefer the row with the
@@ -691,6 +839,37 @@ func better(cur, cand int, w []float64, t *tableau) bool {
 		return t.basicIn[cand] < t.basicIn[cur]
 	}
 	return math.Abs(w[cand]) > math.Abs(w[cur])
+}
+
+// updateBasisLA records the basis change of a pivot in row r with FTRAN
+// column w against the active linear-algebra backend: an eta appended to
+// the sparse engine's eta file, a product-form update of the dense
+// engine's explicit inverse.
+func (t *tableau) updateBasisLA(r int, w []float64) {
+	if t.la != nil {
+		t.la.etas.push(r, w)
+		t.etaUpdates++
+		return
+	}
+	t.updateBinv(r, w)
+}
+
+// binvRow returns row r of B⁻¹: a direct slice of the explicit inverse
+// on the dense engine, BTRAN(e_r) into the t.rho scratch on the sparse
+// one. The returned slice is only valid until the next binvRow call or
+// basis change.
+func (t *tableau) binvRow(r int) []float64 {
+	if t.la == nil {
+		return t.binv[r*t.m : (r+1)*t.m]
+	}
+	t.rho = reuseF64(t.rho, t.m)
+	rho := t.rho
+	for i := range rho {
+		rho[i] = 0
+	}
+	rho[r] = 1
+	t.la.btran(rho)
+	return rho
 }
 
 // updateBinv applies the product-form update for a pivot in row r with
@@ -719,10 +898,12 @@ func (t *tableau) updateBinv(r int, w []float64) {
 }
 
 // recomputeXB recomputes basic values exactly from nonbasic values:
-// xB = Binv·(b − N·xN).
+// xB = B⁻¹·(b − N·xN). One FTRAN on the sparse engine, an explicit
+// inverse-times-vector on the dense one.
 func (t *tableau) recomputeXB() {
 	m := t.m
-	rhs := make([]float64, m)
+	t.rhsBuf = reuseF64(t.rhsBuf, m)
+	rhs := t.rhsBuf
 	copy(rhs, t.b)
 	for j := 0; j < t.nTotal; j++ {
 		if t.status[j] == basic || tol.IsZero(t.value[j]) {
@@ -732,6 +913,14 @@ func (t *tableau) recomputeXB() {
 		for k, r := range c.rows {
 			rhs[r] -= c.coefs[k] * t.value[j]
 		}
+	}
+	if t.la != nil {
+		t.la.ftran(rhs)
+		for i := 0; i < m; i++ {
+			t.xB[i] = rhs[i]
+			t.value[t.basicIn[i]] = rhs[i]
+		}
+		return
 	}
 	for i := 0; i < m; i++ {
 		row := t.binv[i*m : (i+1)*m]
@@ -746,11 +935,34 @@ func (t *tableau) recomputeXB() {
 	}
 }
 
-// refactorize rebuilds the dense basis inverse from the current basis
-// columns via Gauss-Jordan elimination with partial pivoting, then
-// recomputes basic values.
+// refactorize rebuilds the basis operator from the current basis columns
+// and recomputes basic values. It is the recovery entry point (tiny
+// pivots, drift, eta-file cap); the refactors counter feeds the existing
+// simplex.refactors metric while factorizeBasis counts every
+// factorization including the initial one.
 func (t *tableau) refactorize() error {
 	t.refactors++
+	if err := t.factorizeBasis(); err != nil {
+		return err
+	}
+	t.recomputeXB()
+	return nil
+}
+
+// factorizeBasis rebuilds the basis operator alone: a sparse LU (and an
+// emptied eta file) on the sparse engine, Gauss-Jordan elimination with
+// partial pivoting on the dense one. Basic values are not touched.
+func (t *tableau) factorizeBasis() error {
+	t.factorizations++
+	if t.la != nil {
+		if err := t.la.refactor(t.m, t.cols, t.basicIn); err != nil {
+			return err
+		}
+		// Maintained reduced costs survive a refactorization (the basis is
+		// unchanged) but are no longer verified against fresh factors.
+		t.djExact = false
+		return nil
+	}
 	m := t.m
 	// Build dense B.
 	bm := make([]float64, m*m)
@@ -801,7 +1013,6 @@ func (t *tableau) refactorize() error {
 		}
 	}
 	t.binv = inv
-	t.recomputeXB()
 	return nil
 }
 
@@ -848,6 +1059,20 @@ func (t *tableau) foldMetrics() {
 	}
 	if t.dualPivots > 0 {
 		m.Add(obs.MetricSimplexDualPivots, int64(t.dualPivots))
+	}
+	// Sparse-engine counters, likewise folded only when nonzero so the
+	// dense reference engine's metric snapshots do not grow new keys.
+	if t.factorizations > 0 {
+		m.Add(obs.MetricSimplexFactorizations, int64(t.factorizations))
+	}
+	if t.etaUpdates > 0 {
+		m.Add(obs.MetricSimplexEtaUpdates, int64(t.etaUpdates))
+	}
+	if t.pricedCandidates > 0 {
+		m.Add(obs.MetricSimplexPricedCandidates, t.pricedCandidates)
+	}
+	if t.driftMax > 0 {
+		m.MaxGauge(obs.MetricSimplexRefactorDriftMax, t.driftMax)
 	}
 }
 

@@ -295,13 +295,21 @@ func (t *tableau) dualRestore() (dualOutcome, error) {
 			t.limit = lp.LimitWallClock
 			return restoreLimit, nil
 		}
+		// Restoration can run past the sparse engine's eta-file cap;
+		// collapse the file on the same trigger the pivot loop uses. A
+		// singular basis mid-restore means the snapshot went stale.
+		if t.la != nil && t.la.etas.count() >= t.opts.RefactorEvery {
+			if err := t.refactorize(); err != nil {
+				return restoreStale, nil
+			}
+		}
 
 		bi := t.basicIn[r]
 		target, leaveStatus := t.lower[bi], atLower
 		if !toLower {
 			target, leaveStatus = t.upper[bi], atUpper
 		}
-		rho := t.binv[r*m : (r+1)*m]
+		rho := t.binvRow(r)
 		t.computeDuals(y)
 
 		// Dual ratio test: among nonbasic columns able to move xB[r]
@@ -401,7 +409,7 @@ func (t *tableau) dualRestore() (dualOutcome, error) {
 		t.status[enter] = basic
 		t.value[enter] = enterVal
 		t.xB[r] = enterVal
-		t.updateBinv(r, w)
+		t.updateBasisLA(r, w)
 	}
 	return restoreStale, nil
 }

@@ -39,6 +39,21 @@ const (
 	// Singular is the partial-pivoting threshold below which a basis
 	// matrix is declared singular during refactorization.
 	Singular = 1e-12
+	// Markowitz is the relative threshold-pivoting tolerance of the
+	// sparse LU factorization: a row is stability-acceptable as the
+	// pivot of its column when its magnitude is at least Markowitz times
+	// the column's largest eliminable magnitude; among acceptable rows
+	// the sparsest (fewest basis-matrix nonzeros) is chosen. Larger
+	// values favor stability, smaller values favor sparsity; 0.1 is the
+	// textbook compromise.
+	Markowitz = 0.1
+	// Drift is the relative primal-residual bound of the refactorization
+	// policy: when ‖b − A·x‖∞ / max(1, ‖b‖∞) exceeds Drift between
+	// periodic checks, the eta chain is deemed to have accumulated too
+	// much floating-point error and the basis is refactorized. Kept a
+	// decade under Feas so drift is repaired before it can masquerade as
+	// infeasibility.
+	Drift = 1e-7
 	// Tie is the strict-improvement epsilon for incumbent updates and
 	// most-fractional branching tie-breaks.
 	Tie = 1e-12

@@ -5,13 +5,17 @@
 #                                       run at -scale bench (x0.25
 #                                       datasets), the source of the
 #                                       README's Performance table
-#   docs/benchmarks/BENCH_5.json        machine-readable: schema
+#   docs/benchmarks/BENCH_<n>.json      machine-readable: schema
 #                                       etransform-bench/v1 (obs.BenchReport),
 #                                       one record per case-study solve,
 #                                       each dataset solved cold and again
 #                                       with warm-started node LPs (the
 #                                       "+warm" scenarios carry warm_hits /
-#                                       warm_misses / phase1_skipped)
+#                                       warm_misses / phase1_skipped).
+#                                       <n> is one past the highest
+#                                       BENCH_*.json already checked in,
+#                                       so each PR's run lands in a fresh
+#                                       file; override with BENCH_PR=<n>.
 #
 # Usage:
 #
@@ -26,8 +30,24 @@ set -eu
 cd "$(dirname "$0")/.."
 
 out=docs/benchmarks/etbench_bench.txt
-json=docs/benchmarks/BENCH_5.json
 mkdir -p docs/benchmarks
+
+# Derive the artifact number from what is already checked in (max + 1),
+# so the script never silently overwrites a prior PR's trajectory point.
+if [ -z "${BENCH_PR:-}" ]; then
+    last=0
+    for f in docs/benchmarks/BENCH_*.json; do
+        [ -e "$f" ] || continue
+        n=${f#docs/benchmarks/BENCH_}
+        n=${n%.json}
+        case $n in
+        *[!0-9]*) continue ;;
+        esac
+        [ "$n" -gt "$last" ] && last=$n
+    done
+    BENCH_PR=$((last + 1))
+fi
+json=docs/benchmarks/BENCH_$BENCH_PR.json
 
 # No pipe into tee here: POSIX sh has no pipefail, so `etbench | tee`
 # would let a failed run still move half-written artifacts into place.
@@ -37,7 +57,7 @@ if ! {
     echo "# CPUs: $(getconf _NPROCESSORS_ONLN)"
     echo "# date: $(date -u +%Y-%m-%dT%H:%M:%SZ)"
     echo
-    go run ./cmd/etbench -scale bench -json "$json.tmp" -json-pr 5 "$@"
+    go run ./cmd/etbench -scale bench -json "$json.tmp" -json-pr "$BENCH_PR" "$@"
 } > "$out.tmp" 2>&1; then
     cat "$out.tmp" >&2
     rm -f "$out.tmp" "$json.tmp"

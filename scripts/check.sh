@@ -17,9 +17,13 @@
 #   7. obs cover   internal/obs must hold >= 70% statement coverage —
 #                  the observability layer is what every other number in
 #                  a trace or metrics file is trusted against
-#   8. output lock the golden-plan and metamorphic suites, explicitly:
+#   8. bench lock  every docs/benchmarks/BENCH_*.json must strict-parse
+#                  against the etransform-bench/v1 schema (etbench
+#                  -validate) — the perf trajectory is part of the
+#                  reviewed surface, not a scratch directory
+#   9. output lock the golden-plan and metamorphic suites, explicitly:
 #                  byte-stable plan JSON + certified-objective invariance
-#   9. fault smoke each injectable fault class forced against a small
+#  10. fault smoke each injectable fault class forced against a small
 #                  dataset end to end: the planner must exit 0 (recovered)
 #                  or 3 (degraded-but-feasible), never crash; a corrupted
 #                  standalone solve must fail cleanly with exit 1
@@ -64,6 +68,9 @@ if ! awk -v c="$cover" 'BEGIN { exit !(c >= 70.0) }'; then
     exit 1
 fi
 echo "    internal/obs coverage: ${cover}%"
+
+echo "==> bench report schema validation (docs/benchmarks)"
+go run ./cmd/etbench -validate docs/benchmarks
 
 echo "==> golden plan + metamorphic output locks"
 go test ./cmd/etransform -run TestGoldenPlans
