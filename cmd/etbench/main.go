@@ -14,11 +14,13 @@
 // nodes, iterations, workers, certified gap, wall/busy time and plan
 // cost); -json-pr stamps the PR number the artifact belongs to.
 //
-// -validate checks every BENCH_*.json in DIR against the schema (the
-// same strict parse ReadBenchReport applies: unknown fields and
-// contract violations are errors) and runs nothing else; scripts/check.sh
-// uses it to gate the checked-in perf trajectory. See
-// docs/benchmarks/README.md for the schema, field by field.
+// -validate checks every BENCH_*.json (etransform-bench/v1) and
+// ROBUST_*.json (etransform-robust/v1) in DIR against its schema (the
+// same strict parses ReadBenchReport/ReadRobustReport apply: unknown
+// fields and contract violations are errors) and runs nothing else;
+// scripts/check.sh uses it to gate the checked-in perf trajectory and
+// the robustness smoke. See docs/benchmarks/README.md for both schemas,
+// field by field.
 //
 // At -scale bench the Federal dataset is shrunk (the shrink factor
 // appears in the output) so a full run fits a laptop budget; -scale full
@@ -53,19 +55,23 @@ func main() {
 	}
 }
 
-// validateReports strict-parses every BENCH_*.json under dir and fails
-// on the first file that does not satisfy the etransform-bench/v1
-// contract. A directory with no reports is an error too — a typo'd path
-// must not read as "all valid".
+// validateReports strict-parses every BENCH_*.json and ROBUST_*.json
+// under dir and fails on the first file that does not satisfy its
+// schema contract. A directory with no reports of either kind is an
+// error too — a typo'd path must not read as "all valid".
 func validateReports(dir string) error {
-	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	benches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
 	if err != nil {
 		return err
 	}
-	if len(paths) == 0 {
-		return fmt.Errorf("no BENCH_*.json files in %s", dir)
+	robusts, err := filepath.Glob(filepath.Join(dir, "ROBUST_*.json"))
+	if err != nil {
+		return err
 	}
-	for _, path := range paths {
+	if len(benches)+len(robusts) == 0 {
+		return fmt.Errorf("no BENCH_*.json or ROBUST_*.json files in %s", dir)
+	}
+	for _, path := range benches {
 		f, err := os.Open(path)
 		if err != nil {
 			return err
@@ -76,6 +82,18 @@ func validateReports(dir string) error {
 			return fmt.Errorf("%s: %w", path, err)
 		}
 		fmt.Printf("%s: ok (PR %d, %d scenarios)\n", path, rep.PR, len(rep.Scenarios))
+	}
+	for _, path := range robusts {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		rep, err := obs.ReadRobustReport(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Printf("%s: ok (%s, %d samples, %d ranked plans)\n", path, rep.Dataset, rep.Samples, len(rep.Plans))
 	}
 	return nil
 }

@@ -15,6 +15,17 @@
 //	etransform -state asis.json -lp model.lp        # export for CPLEX
 //	etransform -state asis.json -pin ag-0012=target-3 -forbid ag-0040=target-1
 //	etransform -state asis.json -workers 1 -trace solve.jsonl -metrics m.json
+//	etransform -state asis.json -robust spec.json -samples 500 -seed 7 -robust-out r.json
+//
+// With -robust the command runs a Monte Carlo robustness batch instead
+// of a single solve: the as-is inputs are perturbed -samples times under
+// the uncertainty spec (internal/model, "etransform-uncertainty/v1"),
+// every scenario is solved to a certified optimum, and the report
+// captures the nominal plan's regret distribution, per-decision flip
+// rates, and a robustness-ranked plan selection by CVaR(-cvar) regret.
+// The JSON report (-robust-out) is byte-identical for one (state, spec,
+// -seed, -samples, -cvar) tuple at any -workers value; -plan then writes
+// the robustness-ranked choice instead of the nominal plan.
 //
 // Observability (all off by default, zero cost when off): -trace streams
 // structured solve events as JSONL (byte-stable across runs at
@@ -89,6 +100,11 @@ func run(args []string) (degraded bool, err error) {
 	profileDir := fs.String("profile", "", "write cpu.pprof and heap.pprof profiles into this directory")
 	faults := fs.String("faults", "", `fault-injection spec, e.g. "pivot@5x2,corrupt" (testing only)`)
 	faultSeed := fs.Int64("faultseed", 1, "seed for probabilistic fault injection")
+	robustSpec := fs.String("robust", "", "run a Monte Carlo robustness batch under this uncertainty spec JSON")
+	samples := fs.Int("samples", 200, "with -robust: number of sampled scenarios")
+	seed := fs.Int64("seed", 1, "with -robust: batch seed (same seed+spec => byte-identical report)")
+	cvar := fs.Float64("cvar", 0.9, "with -robust: CVaR tail level alpha in [0,1)")
+	robustOut := fs.String("robust-out", "", "with -robust: write the etransform-robust/v1 report JSON to this file")
 	var pins, forbids multiFlag
 	fs.Var(&pins, "pin", "pin GROUP=DC (repeatable): force a group's primary site")
 	fs.Var(&forbids, "forbid", "forbid GROUP=DC (repeatable): exclude a site for a group")
@@ -127,7 +143,7 @@ func run(args []string) (degraded bool, err error) {
 		return false, fmt.Errorf("unknown formulation %q", *formulation)
 	}
 
-	planner, err := core.New(state, core.Options{
+	coreOpts := core.Options{
 		DR:                  *dr,
 		DedicatedBackups:    *dedicated,
 		ComputeShadowPrices: *shadow,
@@ -146,7 +162,14 @@ func run(args []string) (degraded bool, err error) {
 			Trace:      obsrv.Tracer,
 			Metrics:    obsrv.Metrics,
 		},
-	})
+	}
+	if *robustSpec != "" {
+		// Per-sample injectors are derived inside the harness from the
+		// spec string; the shared injector must not leak into the nominal
+		// reference solve or double-arm the samples.
+		coreOpts.Solver.Inject = nil
+	}
+	planner, err := core.New(state, coreOpts)
 	if err != nil {
 		return false, err
 	}
@@ -167,6 +190,21 @@ func run(args []string) (degraded bool, err error) {
 		if err := planner.Forbid(g, dc); err != nil {
 			return false, err
 		}
+	}
+
+	if *robustSpec != "" {
+		return runRobust(state, coreOpts, robustFlags{
+			specPath:  *robustSpec,
+			samples:   *samples,
+			seed:      *seed,
+			cvar:      *cvar,
+			workers:   *workers,
+			faults:    *faults,
+			faultSeed: *faultSeed,
+			reportOut: *robustOut,
+			planOut:   *planOut,
+			show:      *showReport,
+		})
 	}
 
 	if *lpOut != "" || *mpsOut != "" {

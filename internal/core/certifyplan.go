@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/etransform/etransform/internal/certify"
+	"github.com/etransform/etransform/internal/lp"
+	"github.com/etransform/etransform/internal/model"
+	"github.com/etransform/etransform/internal/tol"
+)
+
+// CertifyPlan independently certifies an externally produced plan —
+// e.g. a per-sample optimum the robustness harness wants to promote to
+// the ranked-plan list — against this planner's exact MILP: the concrete
+// assignment is encoded as a full variable point (placements, backup
+// pools, space-segment fills) and checked by internal/certify with the
+// same tolerances every solver-produced plan passes through. It returns
+// the certificate summary; an error means the plan is not feasible for
+// this planner's state and options.
+//
+// The model is built without candidate pruning so no legal placement is
+// missing a column, and the paper DR formulation is certified through
+// its exact pair reformulation (the same route the fallback stages use,
+// since encodePoint speaks the pair encoding).
+func (p *Planner) CertifyPlan(plan *model.Plan) (string, error) {
+	if plan == nil {
+		return "", fmt.Errorf("core: nil plan")
+	}
+	cp := p
+	if p.opts.DR && p.opts.Formulation == FormulationPaper {
+		pair := &Planner{state: p.state, opts: p.opts}
+		pair.opts.Formulation = FormulationPair
+		cp = pair
+	}
+	b, err := cp.build(0)
+	if err != nil {
+		return "", err
+	}
+	s := p.state
+	placement := make([]int, len(s.Groups))
+	var secondary []int
+	if p.opts.DR {
+		secondary = make([]int, len(s.Groups))
+	}
+	for i := range s.Groups {
+		a := plan.AssignmentFor(s.Groups[i].ID)
+		if a == nil {
+			return "", fmt.Errorf("core: plan misses group %q", s.Groups[i].ID)
+		}
+		j := s.Target.DCIndex(a.PrimaryDC)
+		if j < 0 {
+			return "", fmt.Errorf("core: plan places group %q at unknown DC %q", a.GroupID, a.PrimaryDC)
+		}
+		placement[i] = j
+		if secondary != nil {
+			sj := s.Target.DCIndex(a.SecondaryDC)
+			if sj < 0 {
+				return "", fmt.Errorf("core: plan gives group %q unknown secondary DC %q", a.GroupID, a.SecondaryDC)
+			}
+			secondary[i] = sj
+		}
+	}
+	x, ok := b.encodePoint(placement, secondary)
+	if !ok {
+		return "", fmt.Errorf("core: plan for %s cannot be encoded as a model point", b.m.Name)
+	}
+	sol := &lp.Solution{Status: lp.StatusFeasible, X: x, Objective: b.m.Objective(x), Gap: unknownGap}
+	cert, err := certify.CheckSolution(b.m, sol, &certify.Options{FeasTol: tol.Accept, IntTol: tol.Accept})
+	if err != nil {
+		return "", fmt.Errorf("core: certifying plan for %s: %w", b.m.Name, err)
+	}
+	if cert == nil {
+		return "", fmt.Errorf("core: certifier produced no certificate for %s", b.m.Name)
+	}
+	if err := cert.Err(); err != nil {
+		return "", fmt.Errorf("core: plan for %s failed certification: %w", b.m.Name, err)
+	}
+	return cert.Summary(), nil
+}

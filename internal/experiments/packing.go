@@ -111,7 +111,7 @@ func Figure10(sc Scale) (*Figure10Result, error) {
 		FillOrder:   make([][]int, len(Fig10GroupCounts)),
 	}
 	res.CostRank = rankByCost(fig9.TotalCost)
-	err = forEach(len(Fig10GroupCounts), sc.sweepWorkers(), func(i int) error {
+	err = ForEach(len(Fig10GroupCounts), sc.sweepWorkers(), func(i int) error {
 		n := Fig10GroupCounts[i]
 		cfg := datagen.Fig9Config()
 		cfg.Groups = n

@@ -5,13 +5,13 @@ import (
 	"sync"
 )
 
-// forEach runs fn(0) … fn(n-1) across at most workers goroutines (0
+// ForEach runs fn(0) … fn(n-1) across at most workers goroutines (0
 // selects runtime.NumCPU()). Callers write results into index i of a
 // preallocated slice inside fn, so assembly order — and therefore every
 // rendered table — is deterministic regardless of scheduling. All jobs
 // run even after a failure; the error for the smallest index wins, so
 // repeated runs report the same failure.
-func forEach(n, workers int, fn func(i int) error) error {
+func ForEach(n, workers int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}

@@ -54,7 +54,7 @@ func Figure7(sc Scale) (*Figure7Result, error) {
 	type point struct{ total, space, lat float64 }
 	nPen := len(Fig7Penalties)
 	points := make([]point, len(Fig7Splits)*nPen)
-	err := forEach(len(points), sc.sweepWorkers(), func(i int) error {
+	err := ForEach(len(points), sc.sweepWorkers(), func(i int) error {
 		split, pen := Fig7Splits[i/nPen], Fig7Penalties[i%nPen]
 		cfg := datagen.Fig7Config()
 		cfg.UserSplit = split
@@ -120,7 +120,7 @@ func Figure8(sc Scale) (*Figure8Result, error) {
 		DCsUsed:      make([]int, len(Fig8Costs)),
 		DRServers:    make([]int, len(Fig8Costs)),
 	}
-	err := forEach(len(Fig8Costs), sc.sweepWorkers(), func(i int) error {
+	err := ForEach(len(Fig8Costs), sc.sweepWorkers(), func(i int) error {
 		zeta := Fig8Costs[i]
 		cfg := datagen.Fig7Config() // same topology, §VI-E: penalty 0
 		cfg.PenaltyPerUser = 0

@@ -302,6 +302,16 @@ func (s *AsIsState) validateEstate(label string, e *Estate, r int, required bool
 		if required {
 			return fmt.Errorf("model: %s estate has no data centers", label)
 		}
+		// An absent estate must be absent throughout: stray latency or VPN
+		// rows against zero data centers would be silently ignored by the
+		// cost evaluator but index-panic in anything that trusts the
+		// declared dimensions.
+		if len(e.LatencyMs) != 0 {
+			return fmt.Errorf("model: %s.latency_ms has %d rows but the %s estate has no data centers", label, len(e.LatencyMs), label)
+		}
+		if len(e.VPNLinkMonthly) != 0 {
+			return fmt.Errorf("model: %s.vpn_link_monthly has %d rows but the %s estate has no data centers", label, len(e.VPNLinkMonthly), label)
+		}
 		return nil
 	}
 	seen := make(map[string]bool, len(e.DCs))
@@ -331,29 +341,29 @@ func (s *AsIsState) validateEstate(label string, e *Estate, r int, required bool
 		}
 	}
 	if len(e.LatencyMs) != r {
-		return fmt.Errorf("model: %s estate latency matrix has %d rows, want %d user locations", label, len(e.LatencyMs), r)
+		return fmt.Errorf("model: %s.latency_ms has %d rows, want %d (one per user location)", label, len(e.LatencyMs), r)
 	}
 	for u, row := range e.LatencyMs {
 		if len(row) != len(e.DCs) {
-			return fmt.Errorf("model: %s latency row %d has %d entries, want %d", label, u, len(row), len(e.DCs))
+			return fmt.Errorf("model: %s.latency_ms[%d] has %d entries, want %d (one per %s data center)", label, u, len(row), len(e.DCs), label)
 		}
 		for j, v := range row {
 			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
-				return fmt.Errorf("model: %s latency[%d][%d] = %v", label, u, j, v)
+				return fmt.Errorf("model: %s.latency_ms[%d][%d] = %v: must be finite and non-negative", label, u, j, v)
 			}
 		}
 	}
 	if len(e.VPNLinkMonthly) > 0 {
 		if len(e.VPNLinkMonthly) != len(e.DCs) {
-			return fmt.Errorf("model: %s VPN matrix has %d rows, want %d DCs", label, len(e.VPNLinkMonthly), len(e.DCs))
+			return fmt.Errorf("model: %s.vpn_link_monthly has %d rows, want %d (one per %s data center)", label, len(e.VPNLinkMonthly), len(e.DCs), label)
 		}
 		for j, row := range e.VPNLinkMonthly {
 			if len(row) != r {
-				return fmt.Errorf("model: %s VPN row %d has %d entries, want %d", label, j, len(row), r)
+				return fmt.Errorf("model: %s.vpn_link_monthly[%d] has %d entries, want %d (one per user location)", label, j, len(row), r)
 			}
 			for u, v := range row {
 				if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
-					return fmt.Errorf("model: %s VPN[%d][%d] = %v", label, j, u, v)
+					return fmt.Errorf("model: %s.vpn_link_monthly[%d][%d] = %v: must be finite and non-negative", label, j, u, v)
 				}
 			}
 		}

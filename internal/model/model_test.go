@@ -108,6 +108,67 @@ func TestValidateCatchesProblems(t *testing.T) {
 	}
 }
 
+// TestValidateMatrixFieldPaths locks the latency/VPN dimension checks to
+// JSON field paths: a ragged or mis-sized matrix in a perturbed or
+// hand-edited state must be reported by the exact row that is wrong, not
+// by a later index panic or a silent mis-costing.
+func TestValidateMatrixFieldPaths(t *testing.T) {
+	cases := []struct {
+		name     string
+		mut      func(*AsIsState)
+		wantPath string
+	}{
+		{"latency-missing-row", func(s *AsIsState) { s.Target.LatencyMs = s.Target.LatencyMs[:1] }, "target.latency_ms"},
+		{"latency-extra-row", func(s *AsIsState) {
+			s.Current.LatencyMs = append(s.Current.LatencyMs, []float64{1, 1})
+		}, "current.latency_ms"},
+		{"latency-ragged-row", func(s *AsIsState) { s.Target.LatencyMs[1] = []float64{1} }, "target.latency_ms[1]"},
+		{"latency-wide-row", func(s *AsIsState) { s.Current.LatencyMs[0] = []float64{1, 2, 3} }, "current.latency_ms[0]"},
+		{"latency-nan-cell", func(s *AsIsState) { s.Target.LatencyMs[1][0] = math.NaN() }, "target.latency_ms[1][0]"},
+		{"latency-negative-cell", func(s *AsIsState) { s.Target.LatencyMs[0][1] = -3 }, "target.latency_ms[0][1]"},
+		{"vpn-missing-row", func(s *AsIsState) {
+			s.Target.VPNLinkMonthly = [][]float64{{1, 2}}
+			s.Params.VPNLinkCapacityMb = 10
+		}, "target.vpn_link_monthly"},
+		{"vpn-ragged-row", func(s *AsIsState) {
+			s.Target.VPNLinkMonthly = [][]float64{{1, 2}, {3}}
+			s.Params.VPNLinkCapacityMb = 10
+		}, "target.vpn_link_monthly[1]"},
+		{"vpn-inf-cell", func(s *AsIsState) {
+			s.Target.VPNLinkMonthly = [][]float64{{1, 2}, {3, math.Inf(1)}}
+			s.Params.VPNLinkCapacityMb = 10
+		}, "target.vpn_link_monthly[1][1]"},
+		{"latency-without-dcs", func(s *AsIsState) {
+			s.Current.DCs = nil
+			s.Groups[0].CurrentDC = ""
+			s.Groups[1].CurrentDC = ""
+			s.Groups[2].CurrentDC = ""
+		}, "current.latency_ms"},
+		{"vpn-without-dcs", func(s *AsIsState) {
+			s.Current.DCs = nil
+			s.Current.LatencyMs = nil
+			s.Current.VPNLinkMonthly = [][]float64{{1, 2}}
+			s.Params.VPNLinkCapacityMb = 10
+			s.Groups[0].CurrentDC = ""
+			s.Groups[1].CurrentDC = ""
+			s.Groups[2].CurrentDC = ""
+		}, "current.vpn_link_monthly"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			s := testState(t)
+			tt.mut(s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted a mis-dimensioned matrix")
+			}
+			if !strings.Contains(err.Error(), tt.wantPath) {
+				t.Errorf("error %q does not name field path %q", err, tt.wantPath)
+			}
+		})
+	}
+}
+
 // TestValidateRejectsNonFinite covers the NaN/Inf/negative hardening:
 // every numeric cost or capacity field must reject non-finite values, and
 // the error must carry the JSON field path so the offending record in a

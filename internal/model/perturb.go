@@ -1,0 +1,355 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+)
+
+// This file defines the input-uncertainty model behind the Monte Carlo
+// robustness harness (internal/robust): a declarative distribution spec
+// over the model quantities the paper treats as point estimates — power
+// price, traffic volume, WAN tariffs, latency — and a deterministic
+// perturbation operator that applies one correlated draw of the spec to
+// an AsIsState. Everything is driven by a caller-supplied *rand.Rand
+// with a fixed draw order, so a (seed, spec) pair replays to the exact
+// same sampled state on any machine and at any harness worker count.
+
+// UncertaintySpecSchema identifies the uncertainty-spec JSON format; the
+// optional "schema" field, when present, must match it.
+const UncertaintySpecSchema = "etransform-uncertainty/v1"
+
+// Distribution kinds accepted by Distribution.Dist.
+const (
+	DistNormal     = "normal"
+	DistLognormal  = "lognormal"
+	DistUniform    = "uniform"
+	DistTriangular = "triangular"
+)
+
+// Distribution declares one marginal input distribution. The fields a
+// kind reads:
+//
+//	normal      mean, stddev            → mean + stddev·Z
+//	lognormal   mean, stddev (log-space)→ exp(mean + stddev·Z)
+//	uniform     min, max                → quantile of U = Φ(Z)
+//	triangular  min, mode, max          → quantile of U = Φ(Z)
+//
+// Corr, in [0, 1], correlates the draws of one application of the
+// distribution (e.g. the per-data-center power-price factors of a single
+// sample) through a Gaussian copula: each draw's standard normal is
+// √Corr·Z_shared + √(1−Corr)·Z_own, so Corr = 0 is independent and
+// Corr = 1 moves every data center together (a market-wide price swing
+// rather than site-local noise).
+type Distribution struct {
+	Dist   string  `json:"dist"`
+	Mean   float64 `json:"mean,omitempty"`
+	StdDev float64 `json:"stddev,omitempty"`
+	Min    float64 `json:"min,omitempty"`
+	Max    float64 `json:"max,omitempty"`
+	Mode   float64 `json:"mode,omitempty"`
+	Corr   float64 `json:"corr,omitempty"`
+}
+
+// Validate checks the distribution, naming errors by the JSON field path
+// rooted at path.
+func (d *Distribution) Validate(path string) error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"mean", d.Mean}, {"stddev", d.StdDev}, {"min", d.Min},
+		{"max", d.Max}, {"mode", d.Mode}, {"corr", d.Corr},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("model: %s.%s = %v: must be finite", path, f.name, f.v)
+		}
+	}
+	switch d.Dist {
+	case DistNormal, DistLognormal:
+		if d.StdDev < 0 {
+			return fmt.Errorf("model: %s.stddev = %v: must not be negative", path, d.StdDev)
+		}
+	case DistUniform:
+		if d.Max < d.Min {
+			return fmt.Errorf("model: %s: max %v < min %v", path, d.Max, d.Min)
+		}
+	case DistTriangular:
+		if d.Max <= d.Min {
+			return fmt.Errorf("model: %s: triangular needs min < max, have [%v, %v]", path, d.Min, d.Max)
+		}
+		if d.Mode < d.Min || d.Mode > d.Max {
+			return fmt.Errorf("model: %s.mode = %v: must lie in [%v, %v]", path, d.Mode, d.Min, d.Max)
+		}
+	case "":
+		return fmt.Errorf("model: %s.dist is empty; want normal, lognormal, uniform or triangular", path)
+	default:
+		return fmt.Errorf("model: %s.dist = %q: want normal, lognormal, uniform or triangular", path, d.Dist)
+	}
+	if d.Corr < 0 || d.Corr > 1 {
+		return fmt.Errorf("model: %s.corr = %v: must lie in [0, 1]", path, d.Corr)
+	}
+	return nil
+}
+
+// stdNormalCDF is Φ, the standard normal CDF, used to push copula
+// normals through the uniform/triangular quantile functions.
+func stdNormalCDF(z float64) float64 { return 0.5 * (1 + math.Erf(z/math.Sqrt2)) }
+
+// value maps one standard-normal copula draw to the distribution's
+// scale. Validate must have accepted the distribution first.
+func (d *Distribution) value(z float64) float64 {
+	switch d.Dist {
+	case DistNormal:
+		return d.Mean + d.StdDev*z
+	case DistLognormal:
+		return math.Exp(d.Mean + d.StdDev*z)
+	case DistUniform:
+		return d.Min + (d.Max-d.Min)*stdNormalCDF(z)
+	case DistTriangular:
+		return d.triangularQuantile(stdNormalCDF(z))
+	}
+	return d.Mean
+}
+
+// triangularQuantile is the closed-form inverse CDF of the triangular
+// distribution on [Min, Max] with mode Mode.
+func (d *Distribution) triangularQuantile(u float64) float64 {
+	span := d.Max - d.Min
+	cut := (d.Mode - d.Min) / span
+	if u <= cut {
+		return d.Min + math.Sqrt(u*span*(d.Mode-d.Min))
+	}
+	return d.Max - math.Sqrt((1-u)*span*(d.Max-d.Mode))
+}
+
+// drawer starts one correlated application of the distribution: it
+// consumes one shared normal immediately and then one normal per next()
+// call, keeping the total draw count — and therefore the RNG stream
+// layout — independent of Corr.
+type drawer struct {
+	d      *Distribution
+	rng    *rand.Rand
+	shared float64
+	a, b   float64
+}
+
+func (d *Distribution) drawer(rng *rand.Rand) *drawer {
+	return &drawer{
+		d: d, rng: rng,
+		shared: rng.NormFloat64(),
+		a:      math.Sqrt(d.Corr),
+		b:      math.Sqrt(1 - d.Corr),
+	}
+}
+
+func (c *drawer) next() float64 {
+	z := c.a*c.shared + c.b*c.rng.NormFloat64()
+	return c.d.value(z)
+}
+
+// UncertaintySpec declares which model inputs are uncertain and how.
+// Multiplicative factors (power, traffic, WAN) are clamped at zero;
+// latency jitter is additive milliseconds, clamped so no latency goes
+// negative. Only the target estate is perturbed: the current estate is
+// the fixed as-is baseline, while the sampled quantities are the
+// to-be-decision inputs the consolidation plan must be robust against.
+type UncertaintySpec struct {
+	// Schema, when present, must equal UncertaintySpecSchema.
+	Schema string `json:"schema,omitempty"`
+	// PowerPrice draws one multiplicative factor per target data center
+	// applied to PowerCostPerKWh (Corr correlates data centers).
+	PowerPrice *Distribution `json:"power_price,omitempty"`
+	// TrafficScale draws one factor per group×user-location cell; each
+	// group's DataMbPerMonth is scaled by its user-share-weighted average
+	// factor (Corr correlates the locations of one group).
+	TrafficScale *Distribution `json:"traffic_scale,omitempty"`
+	// WANTariff draws one multiplicative factor per target data center
+	// applied to WANCostPerMb and, when present, the data center's
+	// VPNLinkMonthly row (Corr correlates data centers).
+	WANTariff *Distribution `json:"wan_tariff,omitempty"`
+	// LatencyJitterMs draws additive milliseconds per (user location,
+	// target data center) pair (Corr correlates the data centers seen
+	// from one location).
+	LatencyJitterMs *Distribution `json:"latency_jitter_ms,omitempty"`
+}
+
+// Validate checks the spec: a known schema tag, at least one declared
+// distribution, and each distribution internally consistent.
+func (u *UncertaintySpec) Validate() error {
+	if u.Schema != "" && u.Schema != UncertaintySpecSchema {
+		return fmt.Errorf("model: uncertainty spec schema %q, want %q", u.Schema, UncertaintySpecSchema)
+	}
+	n := 0
+	for _, f := range []struct {
+		path string
+		d    *Distribution
+	}{
+		{"power_price", u.PowerPrice},
+		{"traffic_scale", u.TrafficScale},
+		{"wan_tariff", u.WANTariff},
+		{"latency_jitter_ms", u.LatencyJitterMs},
+	} {
+		if f.d == nil {
+			continue
+		}
+		n++
+		if err := f.d.Validate(f.path); err != nil {
+			return err
+		}
+	}
+	if n == 0 {
+		return fmt.Errorf("model: uncertainty spec declares no distributions")
+	}
+	return nil
+}
+
+// ReadUncertaintySpec parses and validates a spec stream. Unknown fields
+// are rejected: a typo in a field name must not silently mean "no
+// uncertainty there".
+func ReadUncertaintySpec(r io.Reader) (*UncertaintySpec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	u := &UncertaintySpec{}
+	if err := dec.Decode(u); err != nil {
+		return nil, fmt.Errorf("model: parsing uncertainty spec: %w", err)
+	}
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// LoadUncertaintySpec reads a spec from a file.
+func LoadUncertaintySpec(path string) (*UncertaintySpec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	u, err := ReadUncertaintySpec(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return u, nil
+}
+
+// Clone deep-copies the state: every slice the perturbation operator (or
+// a caller) may mutate gets its own backing array. Stepwise curves and
+// latency-penalty functions are shared — they are immutable by API
+// (their segment slices are unexported and only copied out).
+func (s *AsIsState) Clone() *AsIsState {
+	c := *s
+	c.Groups = append([]AppGroup(nil), s.Groups...)
+	for i := range c.Groups {
+		g := &c.Groups[i]
+		g.UsersByLocation = append([]int(nil), g.UsersByLocation...)
+		if g.AllowedRegions != nil {
+			g.AllowedRegions = append(g.AllowedRegions[:0:0], g.AllowedRegions...)
+		}
+		if g.ForbiddenDCs != nil {
+			g.ForbiddenDCs = append([]string(nil), g.ForbiddenDCs...)
+		}
+	}
+	c.UserLocations = append(s.UserLocations[:0:0], s.UserLocations...)
+	c.Current = s.Current.clone()
+	c.Target = s.Target.clone()
+	return &c
+}
+
+func (e *Estate) clone() Estate {
+	c := *e
+	c.DCs = append([]DataCenter(nil), e.DCs...)
+	c.LatencyMs = cloneMatrix(e.LatencyMs)
+	c.VPNLinkMonthly = cloneMatrix(e.VPNLinkMonthly)
+	return c
+}
+
+func cloneMatrix(m [][]float64) [][]float64 {
+	if m == nil {
+		return nil
+	}
+	c := make([][]float64, len(m))
+	for i, row := range m {
+		c[i] = append([]float64(nil), row...)
+	}
+	return c
+}
+
+// Perturb returns one sampled copy of the state under the spec, leaving
+// the receiver untouched. The draw order is fixed — power factors per
+// target DC, traffic factors per group×location, WAN factors per target
+// DC, latency jitter per (location, DC) — so a given (spec, rng seed)
+// pair always produces the same sampled state. The sampled state is
+// re-validated before it is returned: clamping keeps every perturbed
+// quantity in its legal domain, so a failure here means the input state
+// was already inconsistent.
+func (s *AsIsState) Perturb(spec *UncertaintySpec, rng *rand.Rand) (*AsIsState, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("model: nil uncertainty spec")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	c := s.Clone()
+	t := &c.Target
+
+	if d := spec.PowerPrice; d != nil {
+		dr := d.drawer(rng)
+		for j := range t.DCs {
+			t.DCs[j].PowerCostPerKWh *= clampFactor(dr.next())
+		}
+	}
+	if d := spec.TrafficScale; d != nil {
+		for i := range c.Groups {
+			g := &c.Groups[i]
+			dr := d.drawer(rng)
+			total := g.TotalUsers()
+			factor := 0.0
+			for r := range g.UsersByLocation {
+				f := clampFactor(dr.next())
+				if total > 0 {
+					factor += f * float64(g.UsersByLocation[r]) / float64(total)
+				} else {
+					factor += f / float64(len(g.UsersByLocation))
+				}
+			}
+			g.DataMbPerMonth *= factor
+		}
+	}
+	if d := spec.WANTariff; d != nil {
+		dr := d.drawer(rng)
+		for j := range t.DCs {
+			f := clampFactor(dr.next())
+			t.DCs[j].WANCostPerMb *= f
+			if j < len(t.VPNLinkMonthly) {
+				row := t.VPNLinkMonthly[j]
+				for r := range row {
+					row[r] *= f
+				}
+			}
+		}
+	}
+	if d := spec.LatencyJitterMs; d != nil {
+		for r := range t.LatencyMs {
+			dr := d.drawer(rng)
+			row := t.LatencyMs[r]
+			for j := range row {
+				row[j] = math.Max(0, row[j]+dr.next())
+			}
+		}
+	}
+
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("model: perturbed state invalid: %w", err)
+	}
+	return c, nil
+}
+
+// clampFactor keeps a multiplicative factor in the model's legal domain:
+// a heavy-tailed draw may go negative (normal with large stddev), and a
+// negative price or traffic volume is meaningless, not "very cheap".
+func clampFactor(f float64) float64 { return math.Max(0, f) }

@@ -1,0 +1,222 @@
+package model
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/etransform/etransform/internal/tol"
+)
+
+// testSpec returns a spec touching all four uncertain inputs.
+func testSpec() *UncertaintySpec {
+	return &UncertaintySpec{
+		Schema:          UncertaintySpecSchema,
+		PowerPrice:      &Distribution{Dist: DistLognormal, Mean: 0, StdDev: 0.2, Corr: 0.5},
+		TrafficScale:    &Distribution{Dist: DistTriangular, Min: 0.6, Mode: 1.0, Max: 1.8, Corr: 0.3},
+		WANTariff:       &Distribution{Dist: DistUniform, Min: 0.8, Max: 1.3},
+		LatencyJitterMs: &Distribution{Dist: DistNormal, Mean: 0, StdDev: 4, Corr: 0.7},
+	}
+}
+
+func TestPerturbDeterministicReplay(t *testing.T) {
+	s := testState(t)
+	spec := testSpec()
+	a, err := s.Perturb(spec, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Perturb(spec, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatal("same seed produced different sampled states")
+	}
+	c, err := s.Perturb(spec, rand.New(rand.NewSource(43)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jc, _ := json.Marshal(c)
+	if string(ja) == string(jc) {
+		t.Fatal("different seeds produced identical sampled states")
+	}
+}
+
+func TestPerturbLeavesReceiverUntouched(t *testing.T) {
+	s := testState(t)
+	before, _ := json.Marshal(s)
+	if _, err := s.Perturb(testSpec(), rand.New(rand.NewSource(7))); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := json.Marshal(s)
+	if string(before) != string(after) {
+		t.Fatal("Perturb mutated the receiver state")
+	}
+}
+
+func TestPerturbRespectsDistributionSupports(t *testing.T) {
+	s := testState(t)
+	spec := &UncertaintySpec{
+		PowerPrice: &Distribution{Dist: DistUniform, Min: 0.8, Max: 1.2},
+		WANTariff:  &Distribution{Dist: DistTriangular, Min: 0.5, Mode: 1, Max: 1.5, Corr: 1},
+	}
+	for seed := int64(0); seed < 50; seed++ {
+		p, err := s.Perturb(spec, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range p.Target.DCs {
+			pf := p.Target.DCs[j].PowerCostPerKWh / s.Target.DCs[j].PowerCostPerKWh
+			if !tol.Geq(pf, 0.8, tol.Accept) || !tol.Leq(pf, 1.2, tol.Accept) {
+				t.Fatalf("seed %d: power factor %v outside uniform [0.8, 1.2]", seed, pf)
+			}
+			wf := p.Target.DCs[j].WANCostPerMb / s.Target.DCs[j].WANCostPerMb
+			if !tol.Geq(wf, 0.5, tol.Accept) || !tol.Leq(wf, 1.5, tol.Accept) {
+				t.Fatalf("seed %d: WAN factor %v outside triangular [0.5, 1.5]", seed, wf)
+			}
+		}
+		// Full correlation moves every data center by the same factor.
+		wf0 := p.Target.DCs[0].WANCostPerMb / s.Target.DCs[0].WANCostPerMb
+		wf1 := p.Target.DCs[1].WANCostPerMb / s.Target.DCs[1].WANCostPerMb
+		if !tol.Eq(wf0, wf1, tol.Accept) {
+			t.Fatalf("seed %d: corr=1 WAN factors diverge: %v vs %v", seed, wf0, wf1)
+		}
+	}
+}
+
+func TestPerturbClampsAtZero(t *testing.T) {
+	s := testState(t)
+	// A wildly negative-prone normal: factors must clamp to 0, never go
+	// negative, and the sampled state must still validate.
+	spec := &UncertaintySpec{
+		PowerPrice:      &Distribution{Dist: DistNormal, Mean: 0.1, StdDev: 50},
+		TrafficScale:    &Distribution{Dist: DistNormal, Mean: 0.1, StdDev: 50},
+		LatencyJitterMs: &Distribution{Dist: DistNormal, Mean: -1000, StdDev: 1},
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		p, err := s.Perturb(spec, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range p.Target.DCs {
+			if p.Target.DCs[j].PowerCostPerKWh < 0 {
+				t.Fatal("negative power price survived clamping")
+			}
+		}
+		for i := range p.Groups {
+			if p.Groups[i].DataMbPerMonth < 0 {
+				t.Fatal("negative traffic survived clamping")
+			}
+		}
+		for _, row := range p.Target.LatencyMs {
+			for _, v := range row {
+				if v < 0 {
+					t.Fatal("negative latency survived clamping")
+				}
+			}
+		}
+	}
+}
+
+func TestPerturbScalesVPNRows(t *testing.T) {
+	s := testState(t)
+	s.Target.VPNLinkMonthly = [][]float64{{200, 400}, {300, 100}}
+	s.Params.VPNLinkCapacityMb = 100
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	spec := &UncertaintySpec{WANTariff: &Distribution{Dist: DistUniform, Min: 2, Max: 2}}
+	p, err := s.Perturb(spec, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, row := range p.Target.VPNLinkMonthly {
+		for r, v := range row {
+			if !tol.EqScaled(v, 2*s.Target.VPNLinkMonthly[j][r], tol.Accept) {
+				t.Fatalf("VPN[%d][%d] = %v, want doubled %v", j, r, v, 2*s.Target.VPNLinkMonthly[j][r])
+			}
+		}
+	}
+}
+
+func TestDistributionValidation(t *testing.T) {
+	bad := []struct {
+		name string
+		d    Distribution
+		want string
+	}{
+		{"unknown-kind", Distribution{Dist: "beta"}, "spec.dist"},
+		{"empty-kind", Distribution{}, "spec.dist"},
+		{"nan-mean", Distribution{Dist: DistNormal, Mean: math.NaN()}, "spec.mean"},
+		{"neg-stddev", Distribution{Dist: DistNormal, StdDev: -1}, "spec.stddev"},
+		{"uniform-flipped", Distribution{Dist: DistUniform, Min: 2, Max: 1}, "max"},
+		{"triangular-flat", Distribution{Dist: DistTriangular, Min: 1, Max: 1, Mode: 1}, "min < max"},
+		{"triangular-mode-out", Distribution{Dist: DistTriangular, Min: 0, Max: 1, Mode: 2}, "spec.mode"},
+		{"corr-out-of-range", Distribution{Dist: DistNormal, StdDev: 1, Corr: 1.5}, "spec.corr"},
+		{"neg-corr", Distribution{Dist: DistNormal, StdDev: 1, Corr: -0.1}, "spec.corr"},
+	}
+	for _, tt := range bad {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.d.Validate("spec")
+			if err == nil {
+				t.Fatal("Validate accepted a broken distribution")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not mention %q", err, tt.want)
+			}
+		})
+	}
+	good := Distribution{Dist: DistTriangular, Min: 0.5, Mode: 1, Max: 2, Corr: 1}
+	if err := good.Validate("spec"); err != nil {
+		t.Errorf("Validate rejected a valid distribution: %v", err)
+	}
+}
+
+func TestReadUncertaintySpec(t *testing.T) {
+	if _, err := ReadUncertaintySpec(strings.NewReader(`{"power_price":{"dist":"normal","mean":1,"stddev":0.1},"bogus":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := ReadUncertaintySpec(strings.NewReader(`{"schema":"etransform-robust/v1","power_price":{"dist":"normal","mean":1}}`)); err == nil {
+		t.Error("wrong schema tag accepted")
+	}
+	if _, err := ReadUncertaintySpec(strings.NewReader(`{}`)); err == nil {
+		t.Error("empty spec accepted")
+	}
+	u, err := ReadUncertaintySpec(strings.NewReader(`{"schema":"etransform-uncertainty/v1","wan_tariff":{"dist":"uniform","min":0.9,"max":1.1,"corr":0.25}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.WANTariff == nil || !tol.Same(u.WANTariff.Corr, 0.25) {
+		t.Errorf("spec round-trip lost fields: %+v", u)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := testState(t)
+	s.Target.VPNLinkMonthly = [][]float64{{1, 2}, {3, 4}}
+	s.Params.VPNLinkCapacityMb = 100
+	c := s.Clone()
+	c.Groups[0].UsersByLocation[0] = 999
+	c.Groups[0].ForbiddenDCs = append(c.Groups[0].ForbiddenDCs, "t2")
+	c.Target.DCs[0].PowerCostPerKWh = 99
+	c.Target.LatencyMs[0][0] = 99
+	c.Target.VPNLinkMonthly[0][0] = 99
+	c.UserLocations[0].ID = "mutated"
+	if s.Groups[0].UsersByLocation[0] == 999 || len(s.Groups[0].ForbiddenDCs) != 0 {
+		t.Error("group mutation leaked into the original")
+	}
+	if tol.Same(s.Target.DCs[0].PowerCostPerKWh, 99) || tol.Same(s.Target.LatencyMs[0][0], 99) || tol.Same(s.Target.VPNLinkMonthly[0][0], 99) {
+		t.Error("estate mutation leaked into the original")
+	}
+	if s.UserLocations[0].ID == "mutated" {
+		t.Error("user-location mutation leaked into the original")
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("original state broken after clone mutation: %v", err)
+	}
+}

@@ -70,8 +70,22 @@ const (
 	MetricFaultFired       = "fault.fired"
 	MetricFaultFiredPrefix = "fault.fired."
 
+	// Monte Carlo robustness harness (internal/robust): sample outcomes
+	// (solved + excluded = total; degraded is a subset of excluded) and
+	// the candidate-plan funnel of the robustness ranking.
+	MetricRobustSamples            = "robust.samples"
+	MetricRobustSamplesSolved      = "robust.samples_solved"
+	MetricRobustSamplesDegraded    = "robust.samples_degraded"
+	MetricRobustSamplesExcluded    = "robust.samples_excluded"
+	MetricRobustCandidates         = "robust.candidates"
+	MetricRobustCandidatesRejected = "robust.candidates_rejected"
+	MetricRobustDecisionsFlipped   = "robust.decisions_flipped"
+
 	// Histograms.
 	MetricHistPivotsPerSolve = "simplex.pivots_per_solve"
+	// MetricHistRobustFlips observes, per application group, the number
+	// of samples whose optimal plan moved the group off its nominal site.
+	MetricHistRobustFlips = "robust.flips_per_group"
 )
 
 // Metrics is a registry of named counters, gauges and histograms. All

@@ -238,13 +238,13 @@ func TestBenchReportValidateAndRoundTrip(t *testing.T) {
 	}
 
 	bad := []BenchReport{
-		{PR: 4, GoVersion: "go1.23", CPUs: 8, Scenarios: good.Scenarios},                                              // missing schema
-		{Schema: BenchSchema, GoVersion: "go1.23", CPUs: 8, Scenarios: good.Scenarios},                                // PR 0
-		{Schema: BenchSchema, PR: 4, CPUs: 8, Scenarios: good.Scenarios},                                              // no go version
-		{Schema: BenchSchema, PR: 4, GoVersion: "go1.23", Scenarios: good.Scenarios},                                  // CPUs 0
-		{Schema: BenchSchema, PR: 4, GoVersion: "go1.23", CPUs: 8},                                                    // no scenarios
-		{Schema: BenchSchema, PR: 4, GoVersion: "go1.23", CPUs: 8, Scenarios: []BenchScenario{{Rows: 1, Cols: 1}}},    // unnamed scenario
-		{Schema: BenchSchema, PR: 4, GoVersion: "go1.23", CPUs: 8, Scenarios: []BenchScenario{{Name: "x"}}},           // empty model
+		{PR: 4, GoVersion: "go1.23", CPUs: 8, Scenarios: good.Scenarios},                                                               // missing schema
+		{Schema: BenchSchema, GoVersion: "go1.23", CPUs: 8, Scenarios: good.Scenarios},                                                 // PR 0
+		{Schema: BenchSchema, PR: 4, CPUs: 8, Scenarios: good.Scenarios},                                                               // no go version
+		{Schema: BenchSchema, PR: 4, GoVersion: "go1.23", Scenarios: good.Scenarios},                                                   // CPUs 0
+		{Schema: BenchSchema, PR: 4, GoVersion: "go1.23", CPUs: 8},                                                                     // no scenarios
+		{Schema: BenchSchema, PR: 4, GoVersion: "go1.23", CPUs: 8, Scenarios: []BenchScenario{{Rows: 1, Cols: 1}}},                     // unnamed scenario
+		{Schema: BenchSchema, PR: 4, GoVersion: "go1.23", CPUs: 8, Scenarios: []BenchScenario{{Name: "x"}}},                            // empty model
 		{Schema: BenchSchema, PR: 4, GoVersion: "go1.23", CPUs: 8, Scenarios: []BenchScenario{{Name: "x", Rows: 1, Cols: 1, Gap: -2}}}, // negative gap
 	}
 	for i := range bad {

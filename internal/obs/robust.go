@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// RobustSchema identifies the ROBUST_<n>.json format version: the
+// machine-readable output of the Monte Carlo robustness harness
+// (internal/robust). Like the bench schema, it is a contract — readers
+// refuse unknown schemas and unknown fields.
+//
+// The report deliberately carries NO timing or host fields: every value
+// in it is a pure function of (dataset, spec, seed, sample count, CVaR
+// level, planner options), so rerunning the same configuration at any
+// harness worker count must reproduce the file byte for byte. Wall
+// clocks and worker counts belong in the metrics snapshot and on
+// stdout, not here.
+const RobustSchema = "etransform-robust/v1"
+
+// RegretStats summarizes a regret distribution (monthly dollars vs each
+// sample's own certified optimum) over the solved, non-degraded samples.
+type RegretStats struct {
+	// Count is the number of samples the statistics are over.
+	Count int `json:"count"`
+	// Mean/Min/Max are the distribution's moments and range; P50 and P90
+	// are nearest-rank percentiles.
+	Mean float64 `json:"mean"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	// CVaR is the conditional value at risk at the report's cvar_alpha:
+	// the mean of the worst ceil((1−α)·count) regrets.
+	CVaR float64 `json:"cvar"`
+}
+
+// DCShare is one alternative placement a flipping decision moved to.
+type DCShare struct {
+	// DC is the target data center ID.
+	DC string `json:"dc"`
+	// Count is the number of solved samples whose optimum used it.
+	Count int `json:"count"`
+}
+
+// DecisionFlip records one unstable group→DC decision: a group whose
+// per-sample optimal primary site differs from the nominal plan's in at
+// least one solved sample. Stable groups are omitted.
+type DecisionFlip struct {
+	// GroupID names the application group; NominalDC its primary site in
+	// the nominal plan.
+	GroupID   string `json:"group_id"`
+	NominalDC string `json:"nominal_dc"`
+	// FlipRate is the fraction of solved samples whose optimum placed
+	// the group elsewhere, in (0, 1].
+	FlipRate float64 `json:"flip_rate"`
+	// Alternatives lists the sites flipped to, most frequent first.
+	Alternatives []DCShare `json:"alternatives"`
+}
+
+// RankedPlan is one candidate in the robustness ranking: the nominal
+// plan or a deduplicated per-sample optimum, scored across all solved
+// samples.
+type RankedPlan struct {
+	// Signature is the FNV-64a hash (hex) of the plan's full assignment
+	// vector; two candidates with the same placements share it.
+	Signature string `json:"signature"`
+	// Source is "nominal" or "sample".
+	Source string `json:"source"`
+	// SampleCount is the number of solved samples whose own optimum had
+	// this signature (the nominal candidate may score > 0 here too).
+	SampleCount int `json:"sample_count"`
+	// NominalCost is the plan's total monthly cost under the unperturbed
+	// inputs.
+	NominalCost float64 `json:"nominal_cost"`
+	// ExpectedRegret and CVaRRegret are the plan's mean and tail regret
+	// vs each sample's certified optimum, over the solved samples.
+	ExpectedRegret float64 `json:"expected_regret"`
+	CVaRRegret     float64 `json:"cvar_regret"`
+	// Certificate is the internal/certify summary of the plan checked
+	// against the nominal MILP.
+	Certificate string `json:"certificate,omitempty"`
+	// Chosen marks the plan the ranking selected (exactly one).
+	Chosen bool `json:"chosen,omitempty"`
+}
+
+// ExcludedSample records one sample left out of the regret statistics:
+// its solve degraded to a fallback stage, exhausted a budget, or failed
+// outright.
+type ExcludedSample struct {
+	// Index is the sample's position in the batch (the sample's RNG
+	// stream is derived from the batch seed and this index).
+	Index int `json:"index"`
+	// Stage/Reason/Limit come from the solve's lp.DegradationReport when
+	// one exists; Reason alone when the solve failed before producing one.
+	Stage  string `json:"stage,omitempty"`
+	Reason string `json:"reason"`
+	Limit  string `json:"limit,omitempty"`
+	// Degraded marks a sample that produced a feasible-but-degraded plan
+	// (excluded because its "optimum" carries no optimality certificate).
+	Degraded bool `json:"degraded,omitempty"`
+}
+
+// RobustReport is the schema of a robustness-harness run.
+type RobustReport struct {
+	// Schema must equal RobustSchema.
+	Schema string `json:"schema"`
+	// Dataset names the as-is state; Seed and Samples the batch
+	// configuration; CVaRAlpha the tail level of every CVaR figure.
+	Dataset   string  `json:"dataset"`
+	Seed      int64   `json:"seed"`
+	Samples   int     `json:"samples"`
+	CVaRAlpha float64 `json:"cvar_alpha"`
+	// Spec echoes the uncertainty spec the batch ran under, verbatim.
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Sample accounting: SamplesSolved + SamplesExcluded == Samples, and
+	// SamplesDegraded ≤ SamplesExcluded (the degraded ones are excluded
+	// with their degradation stage recorded).
+	SamplesSolved   int `json:"samples_solved"`
+	SamplesDegraded int `json:"samples_degraded"`
+	SamplesExcluded int `json:"samples_excluded"`
+	// NominalCost is the nominal plan's total under nominal inputs.
+	NominalCost float64 `json:"nominal_cost"`
+	// Regret is the nominal plan's regret distribution across solved
+	// samples; nil when no sample solved.
+	Regret *RegretStats `json:"regret,omitempty"`
+	// Flips lists the unstable group→DC decisions (stable ones omitted).
+	Flips []DecisionFlip `json:"flips,omitempty"`
+	// Plans is the robustness ranking, best first. Chosen names the
+	// selected plan's signature.
+	Plans  []RankedPlan `json:"plans"`
+	Chosen string       `json:"chosen"`
+	// Excluded details each excluded sample, in index order.
+	Excluded []ExcludedSample `json:"excluded,omitempty"`
+}
+
+// Validate checks the report against the schema contract.
+func (r *RobustReport) Validate() error {
+	if r.Schema != RobustSchema {
+		return fmt.Errorf("obs: robust report schema %q, want %q", r.Schema, RobustSchema)
+	}
+	if r.Dataset == "" {
+		return fmt.Errorf("obs: robust report missing dataset")
+	}
+	if r.Samples <= 0 {
+		return fmt.Errorf("obs: robust report samples %d, want > 0", r.Samples)
+	}
+	if r.CVaRAlpha < 0 || r.CVaRAlpha >= 1 {
+		return fmt.Errorf("obs: robust report cvar_alpha %v, want [0, 1)", r.CVaRAlpha)
+	}
+	if r.SamplesSolved < 0 || r.SamplesExcluded < 0 || r.SamplesSolved+r.SamplesExcluded != r.Samples {
+		return fmt.Errorf("obs: robust report accounting: %d solved + %d excluded != %d samples",
+			r.SamplesSolved, r.SamplesExcluded, r.Samples)
+	}
+	if r.SamplesDegraded < 0 || r.SamplesDegraded > r.SamplesExcluded {
+		return fmt.Errorf("obs: robust report has %d degraded samples but only %d excluded",
+			r.SamplesDegraded, r.SamplesExcluded)
+	}
+	if len(r.Excluded) != r.SamplesExcluded {
+		return fmt.Errorf("obs: robust report lists %d excluded samples, header says %d",
+			len(r.Excluded), r.SamplesExcluded)
+	}
+	if r.SamplesSolved > 0 {
+		if r.Regret == nil {
+			return fmt.Errorf("obs: robust report has %d solved samples but no regret stats", r.SamplesSolved)
+		}
+		if r.Regret.Count != r.SamplesSolved {
+			return fmt.Errorf("obs: regret stats cover %d samples, want %d", r.Regret.Count, r.SamplesSolved)
+		}
+	} else if r.Regret != nil {
+		return fmt.Errorf("obs: robust report has regret stats but no solved samples")
+	}
+	for i, f := range r.Flips {
+		if f.GroupID == "" || f.NominalDC == "" {
+			return fmt.Errorf("obs: flip %d missing group or nominal DC", i)
+		}
+		if f.FlipRate <= 0 || f.FlipRate > 1 {
+			return fmt.Errorf("obs: flip %q rate %v, want (0, 1]", f.GroupID, f.FlipRate)
+		}
+		if len(f.Alternatives) == 0 {
+			return fmt.Errorf("obs: flip %q lists no alternative sites", f.GroupID)
+		}
+	}
+	if len(r.Plans) == 0 {
+		return fmt.Errorf("obs: robust report ranks no plans")
+	}
+	chosen := 0
+	for i, p := range r.Plans {
+		if p.Signature == "" {
+			return fmt.Errorf("obs: ranked plan %d missing signature", i)
+		}
+		if p.Source != "nominal" && p.Source != "sample" {
+			return fmt.Errorf("obs: ranked plan %q source %q, want nominal or sample", p.Signature, p.Source)
+		}
+		if p.SampleCount < 0 || p.SampleCount > r.SamplesSolved {
+			return fmt.Errorf("obs: ranked plan %q sample count %d outside [0, %d]", p.Signature, p.SampleCount, r.SamplesSolved)
+		}
+		if p.Chosen {
+			chosen++
+			if p.Signature != r.Chosen {
+				return fmt.Errorf("obs: chosen plan %q disagrees with header %q", p.Signature, r.Chosen)
+			}
+		}
+	}
+	if chosen != 1 {
+		return fmt.Errorf("obs: robust report marks %d chosen plans, want exactly 1", chosen)
+	}
+	return nil
+}
+
+// WriteRobustReport validates and writes r as indented JSON. The output
+// is byte-deterministic: struct field order plus sorted slices, no
+// timestamps, no durations.
+func WriteRobustReport(w io.Writer, r *RobustReport) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadRobustReport parses and validates a ROBUST_<n>.json stream.
+// Unknown fields are rejected.
+func ReadRobustReport(rd io.Reader) (*RobustReport, error) {
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	r := &RobustReport{}
+	if err := dec.Decode(r); err != nil {
+		return nil, fmt.Errorf("obs: parsing robust report: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

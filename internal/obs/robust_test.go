@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// validRobust builds a minimal valid report.
+func validRobust() *RobustReport {
+	return &RobustReport{
+		Schema:          RobustSchema,
+		Dataset:         "test",
+		Seed:            42,
+		Samples:         4,
+		CVaRAlpha:       0.9,
+		SamplesSolved:   3,
+		SamplesDegraded: 1,
+		SamplesExcluded: 1,
+		NominalCost:     1000,
+		Regret:          &RegretStats{Count: 3, Mean: 5, Min: 0, Max: 12, P50: 3, P90: 12, CVaR: 12},
+		Flips: []DecisionFlip{{
+			GroupID: "g1", NominalDC: "t1", FlipRate: 1.0 / 3,
+			Alternatives: []DCShare{{DC: "t2", Count: 1}},
+		}},
+		Plans: []RankedPlan{
+			{Signature: "a1b2", Source: "sample", SampleCount: 2, NominalCost: 1001, ExpectedRegret: 2, CVaRRegret: 4, Chosen: true},
+			{Signature: "c3d4", Source: "nominal", SampleCount: 1, NominalCost: 1000, ExpectedRegret: 5, CVaRRegret: 12},
+		},
+		Chosen:   "a1b2",
+		Excluded: []ExcludedSample{{Index: 2, Stage: "exact", Reason: "wall-clock budget", Limit: "wall-clock", Degraded: true}},
+	}
+}
+
+func TestRobustReportRoundTrip(t *testing.T) {
+	r := validRobust()
+	var buf bytes.Buffer
+	if err := WriteRobustReport(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRobustReport(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Chosen != r.Chosen || got.SamplesSolved != r.SamplesSolved || len(got.Plans) != len(r.Plans) {
+		t.Errorf("round trip changed the report: %+v", got)
+	}
+	// Writing twice yields identical bytes: the schema has no clocks.
+	var buf2 bytes.Buffer
+	if err := WriteRobustReport(&buf2, r); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("two writes of the same report differ")
+	}
+}
+
+func TestRobustReportRejectsUnknownFields(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRobustReport(&buf, validRobust()); err != nil {
+		t.Fatal(err)
+	}
+	doctored := strings.Replace(buf.String(), `"dataset"`, `"wall_millis": 3, "dataset"`, 1)
+	if _, err := ReadRobustReport(strings.NewReader(doctored)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestRobustReportValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*RobustReport)
+		want string
+	}{
+		{"bad-schema", func(r *RobustReport) { r.Schema = "etransform-bench/v1" }, "schema"},
+		{"no-dataset", func(r *RobustReport) { r.Dataset = "" }, "dataset"},
+		{"no-samples", func(r *RobustReport) { r.Samples = 0 }, "samples"},
+		{"alpha-high", func(r *RobustReport) { r.CVaRAlpha = 1 }, "cvar_alpha"},
+		{"alpha-negative", func(r *RobustReport) { r.CVaRAlpha = -0.1 }, "cvar_alpha"},
+		{"accounting", func(r *RobustReport) { r.SamplesSolved = 4 }, "accounting"},
+		{"degraded-overflow", func(r *RobustReport) { r.SamplesDegraded = 2 }, "degraded"},
+		{"excluded-list", func(r *RobustReport) { r.Excluded = nil }, "excluded"},
+		{"regret-missing", func(r *RobustReport) { r.Regret = nil }, "regret"},
+		{"regret-count", func(r *RobustReport) { r.Regret.Count = 2 }, "regret"},
+		{"regret-orphan", func(r *RobustReport) {
+			r.SamplesSolved = 0
+			r.SamplesExcluded = 4
+			r.SamplesDegraded = 1
+			r.Excluded = append(r.Excluded,
+				ExcludedSample{Index: 0, Reason: "x"},
+				ExcludedSample{Index: 1, Reason: "x"},
+				ExcludedSample{Index: 3, Reason: "x"})
+			r.Flips = nil
+			r.Plans = []RankedPlan{{Signature: "a1b2", Source: "nominal", Chosen: true}}
+			r.Chosen = "a1b2"
+		}, "regret stats but no solved"},
+		{"flip-no-group", func(r *RobustReport) { r.Flips[0].GroupID = "" }, "flip"},
+		{"flip-rate-zero", func(r *RobustReport) { r.Flips[0].FlipRate = 0 }, "rate"},
+		{"flip-rate-high", func(r *RobustReport) { r.Flips[0].FlipRate = 1.5 }, "rate"},
+		{"flip-no-alternatives", func(r *RobustReport) { r.Flips[0].Alternatives = nil }, "alternative"},
+		{"no-plans", func(r *RobustReport) { r.Plans = nil }, "plans"},
+		{"plan-no-signature", func(r *RobustReport) { r.Plans[0].Signature = "" }, "signature"},
+		{"plan-bad-source", func(r *RobustReport) { r.Plans[0].Source = "greedy" }, "source"},
+		{"plan-count-overflow", func(r *RobustReport) { r.Plans[0].SampleCount = 5 }, "sample count"},
+		{"chosen-mismatch", func(r *RobustReport) { r.Chosen = "c3d4" }, "chosen"},
+		{"two-chosen", func(r *RobustReport) { r.Plans[1].Chosen = true }, "chosen"},
+		{"no-chosen", func(r *RobustReport) {
+			r.Plans[0].Chosen = false
+			r.Chosen = ""
+		}, "chosen"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			r := validRobust()
+			tt.mut(r)
+			err := r.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted a broken report")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not mention %q", err, tt.want)
+			}
+		})
+	}
+	if err := validRobust().Validate(); err != nil {
+		t.Errorf("valid report rejected: %v", err)
+	}
+}

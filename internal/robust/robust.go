@@ -1,0 +1,603 @@
+package robust
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"github.com/etransform/etransform/internal/core"
+	"github.com/etransform/etransform/internal/experiments"
+	"github.com/etransform/etransform/internal/model"
+	"github.com/etransform/etransform/internal/obs"
+	"github.com/etransform/etransform/internal/resilience/faultinject"
+)
+
+// Options configure one robustness batch.
+type Options struct {
+	// Samples is N, the number of sampled scenarios (≥ 1).
+	Samples int
+	// Seed drives every sample's RNG: sample i draws from a stream
+	// seeded by mix(Seed, i), so the sample set is a pure function of
+	// (Seed, spec) at any worker count.
+	Seed int64
+	// Workers bounds the harness fan-out (0 = all CPUs). It schedules
+	// sample solves only; each solve itself runs the deterministic
+	// Workers=1 branch & bound regardless.
+	Workers int
+	// CVaRAlpha is the tail level α of every CVaR figure: CVaR is the
+	// mean of the worst ceil((1−α)·n) regrets. 0 averages the whole
+	// distribution (CVaR = expected regret); must lie in [0, 1).
+	CVaRAlpha float64
+	// Faults, when non-empty, arms a deterministic fault injector for
+	// every sample solve (spec grammar of internal/resilience/faultinject,
+	// seeded FaultSeed+index per sample). The nominal solve never runs
+	// with faults: it is the reference. Testing only.
+	Faults    string
+	FaultSeed int64
+	// Planner carries the planner/solver options every solve runs with.
+	// The harness forces Solver.Workers=1, drops Solver.Trace and
+	// Solver.Inject, and disables shadow prices for sample solves; the
+	// nominal solve keeps tracing and shadow prices but is also pinned
+	// to one solver worker so the reference plan is replayable.
+	Planner core.Options
+}
+
+// Result is a completed batch: the machine-readable report plus the two
+// plans a caller usually wants in hand.
+type Result struct {
+	// Report is the validated etransform-robust/v1 report.
+	Report *obs.RobustReport
+	// Nominal is the plan solved from the unperturbed state.
+	Nominal *model.Plan
+	// Chosen is the robustness-ranked selection, costed under the
+	// nominal inputs and carrying its re-certification summary. It
+	// aliases Nominal when the nominal plan won the ranking.
+	Chosen *model.Plan
+}
+
+// sampleOutcome is the phase-1 record of one sample, indexed by sample
+// number so folds are deterministic.
+type sampleOutcome struct {
+	excluded bool
+	degraded bool
+	stage    string
+	reason   string
+	limit    string
+	plan     *model.Plan // the sample's own certified optimal plan
+	opt      float64     // plan.Cost.Total() under the sampled inputs
+	nom      float64     // nominal plan re-costed under the sampled inputs
+}
+
+func (o *sampleOutcome) exclude(stage, reason, limit string, degraded bool) {
+	o.excluded = true
+	o.degraded = degraded
+	o.stage = stage
+	o.reason = reason
+	o.limit = limit
+	o.plan = nil
+}
+
+// candidate is one entry of the robustness ranking under construction.
+type candidate struct {
+	key     string // full assignment signature (dedup key)
+	sig     string // FNV-64a hex of key (reported form)
+	plan    *model.Plan
+	source  string
+	count   int     // solved samples whose optimum had this signature
+	nomCost float64 // cost under nominal inputs
+	cert    string
+	exp     float64
+	cvar    float64
+}
+
+// Run executes one robustness batch: solve the nominal plan, fan N
+// sampled scenarios through the worker pool, and assemble the stability
+// report. See the package comment for the replay and failure-isolation
+// contracts.
+func Run(ctx context.Context, state *model.AsIsState, spec *model.UncertaintySpec, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if state == nil {
+		return nil, fmt.Errorf("robust: nil state")
+	}
+	if spec == nil {
+		return nil, fmt.Errorf("robust: nil uncertainty spec")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Samples < 1 {
+		return nil, fmt.Errorf("robust: samples %d, want >= 1", opts.Samples)
+	}
+	if opts.CVaRAlpha < 0 || opts.CVaRAlpha >= 1 {
+		return nil, fmt.Errorf("robust: cvar alpha %v, want [0, 1)", opts.CVaRAlpha)
+	}
+	if _, err := faultinject.ParseSpec(opts.Faults, opts.FaultSeed); err != nil {
+		return nil, fmt.Errorf("robust: fault spec: %w", err)
+	}
+	met := opts.Planner.Solver.Metrics
+
+	// Nominal reference solve: deterministic, fault-free.
+	nomOpts := opts.Planner
+	nomOpts.Solver.Workers = 1
+	nomOpts.Solver.Inject = nil
+	nomPlanner, err := core.New(state, nomOpts)
+	if err != nil {
+		return nil, err
+	}
+	nominal, err := nomPlanner.SolveContext(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("robust: nominal solve: %w", err)
+	}
+
+	// Phase 1: fan the sampled scenarios through the bounded pool. Each
+	// sample perturbs from its own seeded RNG, solves at one solver
+	// worker, and records its outcome at its own index — the pool's
+	// scheduling order can never reach the report.
+	n := opts.Samples
+	outcomes := make([]sampleOutcome, n)
+	err = experiments.ForEach(n, opts.Workers, func(i int) error {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		o := &outcomes[i]
+		ps, perr := state.Perturb(spec, rand.New(rand.NewSource(sampleSeed(opts.Seed, i))))
+		if perr != nil {
+			o.exclude("perturb", perr.Error(), "", false)
+			return nil
+		}
+		plan, serr := solveSample(ctx, ps, samplePlanner(&opts, i))
+		if serr != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+			o.exclude("", serr.Error(), "", false)
+			return nil
+		}
+		if d := plan.Stats.Degradation; d != nil && d.Degraded {
+			o.exclude(d.Stage, d.Reason, d.Limit, true)
+			return nil
+		}
+		bd, eerr := model.EvaluatePlan(ps, nominal)
+		if eerr != nil {
+			o.exclude("", fmt.Sprintf("re-costing nominal plan under the sample: %v", eerr), "", false)
+			return nil
+		}
+		o.plan = plan
+		o.opt = plan.Cost.Total()
+		o.nom = bd.Total()
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("robust: sample batch: %w", err)
+	}
+
+	// Candidate set: the nominal plan first, then each distinct
+	// per-sample optimum in first-seen (index) order.
+	nomBD, err := model.EvaluatePlan(state, nominal)
+	if err != nil {
+		return nil, fmt.Errorf("robust: costing nominal plan: %w", err)
+	}
+	cands := []*candidate{{
+		key: planKey(state, nominal), sig: sigHash(planKey(state, nominal)),
+		plan: nominal, source: "nominal", nomCost: nomBD.Total(),
+	}}
+	byKey := map[string]*candidate{cands[0].key: cands[0]}
+	solved := 0
+	for i := range outcomes {
+		o := &outcomes[i]
+		if o.excluded {
+			continue
+		}
+		solved++
+		key := planKey(state, o.plan)
+		if c, ok := byKey[key]; ok {
+			c.count++
+			continue
+		}
+		bd, eerr := model.EvaluatePlan(state, o.plan)
+		if eerr != nil {
+			// The sample's optimum does not translate to the nominal
+			// inputs (should be impossible: perturbation never changes
+			// the feasible set). Keep the batch alive without it.
+			continue
+		}
+		c := &candidate{key: key, sig: sigHash(key), plan: o.plan, source: "sample", count: 1, nomCost: bd.Total()}
+		byKey[key] = c
+		cands = append(cands, c)
+	}
+
+	// Phase 2: score every candidate under every solved sample by
+	// regenerating the sampled states from their seeds — replay instead
+	// of retention, so a 10k-sample batch never holds 10k estates.
+	rows := make([][]float64, n)
+	err = experiments.ForEach(n, opts.Workers, func(i int) error {
+		if outcomes[i].excluded {
+			return nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		ps, perr := state.Perturb(spec, rand.New(rand.NewSource(sampleSeed(opts.Seed, i))))
+		if perr != nil {
+			return fmt.Errorf("robust: sample %d replay: %w", i, perr)
+		}
+		row := make([]float64, len(cands))
+		for c, cand := range cands {
+			bd, eerr := model.EvaluatePlan(ps, cand.plan)
+			if eerr != nil {
+				row[c] = math.NaN()
+				continue
+			}
+			row[c] = bd.Total()
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Fold regrets in index order, score and certify candidates, rank.
+	regrets := make([]float64, 0, solved)
+	for i := range outcomes {
+		if !outcomes[i].excluded {
+			regrets = append(regrets, outcomes[i].nom-outcomes[i].opt)
+		}
+	}
+	rejected := 0
+	kept := cands[:0]
+	for c, cand := range cands {
+		vals := make([]float64, 0, solved)
+		bad := false
+		for i := range outcomes {
+			if outcomes[i].excluded {
+				continue
+			}
+			v := rows[i][c]
+			if math.IsNaN(v) {
+				bad = true
+				break
+			}
+			vals = append(vals, v-outcomes[i].opt)
+		}
+		if bad {
+			rejected++
+			continue
+		}
+		summary, cerr := nomPlanner.CertifyPlan(cand.plan)
+		if cerr != nil {
+			rejected++
+			continue
+		}
+		cand.cert = summary
+		cand.exp = mean(vals)
+		sort.Float64s(vals)
+		cand.cvar = tailMean(vals, opts.CVaRAlpha)
+		kept = append(kept, cand)
+	}
+	cands = kept
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("robust: no candidate plan survived certification")
+	}
+	sort.SliceStable(cands, func(a, b int) bool {
+		ca, cb := cands[a], cands[b]
+		if ca.cvar < cb.cvar {
+			return true
+		}
+		if cb.cvar < ca.cvar {
+			return false
+		}
+		if ca.exp < cb.exp {
+			return true
+		}
+		if cb.exp < ca.exp {
+			return false
+		}
+		if ca.nomCost < cb.nomCost {
+			return true
+		}
+		if cb.nomCost < ca.nomCost {
+			return false
+		}
+		return ca.sig < cb.sig
+	})
+
+	report, err := assembleReport(state, spec, &opts, nominal, nomBD.Total(), outcomes, regrets, cands)
+	if err != nil {
+		return nil, err
+	}
+
+	met.Add(obs.MetricRobustSamples, int64(n))
+	met.Add(obs.MetricRobustSamplesSolved, int64(report.SamplesSolved))
+	met.Add(obs.MetricRobustSamplesDegraded, int64(report.SamplesDegraded))
+	met.Add(obs.MetricRobustSamplesExcluded, int64(report.SamplesExcluded))
+	met.Add(obs.MetricRobustCandidates, int64(len(cands)))
+	met.Add(obs.MetricRobustCandidatesRejected, int64(rejected))
+	met.Add(obs.MetricRobustDecisionsFlipped, int64(len(report.Flips)))
+
+	chosen := cands[0]
+	chosenPlan := nominal
+	if chosen.plan != nominal {
+		bd, eerr := model.EvaluatePlan(state, chosen.plan)
+		if eerr != nil {
+			return nil, fmt.Errorf("robust: costing chosen plan: %w", eerr)
+		}
+		chosenPlan = &model.Plan{
+			Assignments:   chosen.plan.Assignments,
+			BackupServers: chosen.plan.BackupServers,
+			Cost:          bd,
+			Stats:         model.SolveStats{Certificate: chosen.cert},
+		}
+	}
+	return &Result{Report: report, Nominal: nominal, Chosen: chosenPlan}, nil
+}
+
+// assembleReport folds outcomes and ranked candidates into the
+// validated schema struct.
+func assembleReport(state *model.AsIsState, spec *model.UncertaintySpec, opts *Options,
+	nominal *model.Plan, nominalCost float64, outcomes []sampleOutcome,
+	regrets []float64, cands []*candidate) (*obs.RobustReport, error) {
+
+	rawSpec, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("robust: encoding spec: %w", err)
+	}
+	r := &obs.RobustReport{
+		Schema:      obs.RobustSchema,
+		Dataset:     state.Name,
+		Seed:        opts.Seed,
+		Samples:     opts.Samples,
+		CVaRAlpha:   opts.CVaRAlpha,
+		Spec:        rawSpec,
+		NominalCost: nominalCost,
+	}
+	for i := range outcomes {
+		o := &outcomes[i]
+		if o.excluded {
+			r.SamplesExcluded++
+			if o.degraded {
+				r.SamplesDegraded++
+			}
+			r.Excluded = append(r.Excluded, obs.ExcludedSample{
+				Index: i, Stage: o.stage, Reason: o.reason, Limit: o.limit, Degraded: o.degraded,
+			})
+		} else {
+			r.SamplesSolved++
+		}
+	}
+	if r.SamplesSolved > 0 {
+		sorted := append([]float64(nil), regrets...)
+		sort.Float64s(sorted)
+		r.Regret = &obs.RegretStats{
+			Count: len(sorted),
+			Mean:  mean(regrets),
+			Min:   sorted[0],
+			Max:   sorted[len(sorted)-1],
+			P50:   percentile(sorted, 0.5),
+			P90:   percentile(sorted, 0.9),
+			CVaR:  tailMean(sorted, opts.CVaRAlpha),
+		}
+	}
+	r.Flips = decisionFlips(state, nominal, outcomes, opts.Planner.Solver.Metrics)
+	for rank, c := range cands {
+		p := obs.RankedPlan{
+			Signature:      c.sig,
+			Source:         c.source,
+			SampleCount:    c.count,
+			NominalCost:    c.nomCost,
+			ExpectedRegret: c.exp,
+			CVaRRegret:     c.cvar,
+			Certificate:    c.cert,
+			Chosen:         rank == 0,
+		}
+		r.Plans = append(r.Plans, p)
+	}
+	r.Chosen = cands[0].sig
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("robust: internal: assembled report invalid: %w", err)
+	}
+	return r, nil
+}
+
+// decisionFlips computes, for every application group, how often the
+// sampled optima moved it off its nominal primary site. Stable groups
+// are omitted from the report but still observed into the flip
+// histogram (count 0), so the histogram covers the whole estate.
+func decisionFlips(state *model.AsIsState, nominal *model.Plan, outcomes []sampleOutcome, met *obs.Metrics) []obs.DecisionFlip {
+	solved := 0
+	counts := make([]map[string]int, len(state.Groups))
+	for g := range counts {
+		counts[g] = make(map[string]int)
+	}
+	for i := range outcomes {
+		o := &outcomes[i]
+		if o.excluded {
+			continue
+		}
+		solved++
+		at := primaries(o.plan)
+		for g := range state.Groups {
+			counts[g][at[state.Groups[g].ID]]++
+		}
+	}
+	if solved == 0 {
+		return nil
+	}
+	nomAt := primaries(nominal)
+	var flips []obs.DecisionFlip
+	for g := range state.Groups {
+		id := state.Groups[g].ID
+		nom := nomAt[id]
+		flipped := solved - counts[g][nom]
+		met.Observe(obs.MetricHistRobustFlips, float64(flipped))
+		if flipped == 0 {
+			continue
+		}
+		dcs := make([]string, 0, len(counts[g]))
+		for dc := range counts[g] {
+			dcs = append(dcs, dc)
+		}
+		sort.Strings(dcs)
+		alts := make([]obs.DCShare, 0, len(dcs))
+		for _, dc := range dcs {
+			if dc == nom {
+				continue
+			}
+			alts = append(alts, obs.DCShare{DC: dc, Count: counts[g][dc]})
+		}
+		sort.SliceStable(alts, func(a, b int) bool { return alts[a].Count > alts[b].Count })
+		flips = append(flips, obs.DecisionFlip{
+			GroupID:      id,
+			NominalDC:    nom,
+			FlipRate:     float64(flipped) / float64(solved),
+			Alternatives: alts,
+		})
+	}
+	return flips
+}
+
+// primaries maps group ID → primary DC ID for one plan.
+func primaries(p *model.Plan) map[string]string {
+	at := make(map[string]string, len(p.Assignments))
+	for i := range p.Assignments {
+		at[p.Assignments[i].GroupID] = p.Assignments[i].PrimaryDC
+	}
+	return at
+}
+
+// samplePlanner derives the per-sample planner options: one solver
+// worker (bit-for-bit deterministic solves), no tracing (events would
+// interleave across the pool), no shadow prices (dead weight at batch
+// scale), and a per-sample fault injector when the batch runs under
+// fault testing.
+func samplePlanner(opts *Options, i int) core.Options {
+	po := opts.Planner
+	po.Solver.Workers = 1
+	po.Solver.Trace = nil
+	po.Solver.Inject = nil
+	po.ComputeShadowPrices = false
+	if opts.Faults != "" {
+		// ParseSpec was validated up front; a per-sample seed keeps any
+		// probabilistic fault schedule replayable at any worker count.
+		inj, err := faultinject.ParseSpec(opts.Faults, opts.FaultSeed+int64(i))
+		if err == nil {
+			po.Solver.Inject = inj
+		}
+	}
+	return po
+}
+
+// solveSample builds and solves one sampled scenario, converting a
+// panicking solve into an excludable error so a poisoned sample can
+// never abort the batch.
+func solveSample(ctx context.Context, ps *model.AsIsState, po core.Options) (plan *model.Plan, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			plan, err = nil, fmt.Errorf("sample solve panicked: %v", r)
+		}
+	}()
+	planner, err := core.New(ps, po)
+	if err != nil {
+		return nil, err
+	}
+	return planner.SolveContext(ctx)
+}
+
+// planKey renders a plan's full assignment vector in state group order:
+// the dedup identity of a candidate. Backup pool sizes are implied by
+// the assignments, so they are not part of the key.
+func planKey(state *model.AsIsState, p *model.Plan) string {
+	var b strings.Builder
+	for i := range state.Groups {
+		a := p.AssignmentFor(state.Groups[i].ID)
+		if a == nil {
+			b.WriteString(state.Groups[i].ID)
+			b.WriteString("=?;")
+			continue
+		}
+		b.WriteString(a.GroupID)
+		b.WriteByte('=')
+		b.WriteString(a.PrimaryDC)
+		if a.SecondaryDC != "" {
+			b.WriteByte('+')
+			b.WriteString(a.SecondaryDC)
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// sigHash is the reported (short) form of a plan key.
+func sigHash(key string) string {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// sampleSeed derives sample i's RNG seed from the batch seed with a
+// splitmix64-style mix, so neighboring indices share no low-bit
+// structure.
+func sampleSeed(seed int64, i int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(i+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z >> 1) // keep it non-negative for rand.NewSource hygiene
+}
+
+func mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// percentile returns the nearest-rank p-quantile of an ascending slice.
+func percentile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	k := int(math.Ceil(p * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return sorted[k-1]
+}
+
+// tailMean returns CVaR_α of an ascending slice: the mean of the worst
+// ceil((1−α)·n) values.
+func tailMean(sorted []float64, alpha float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	k := int(math.Ceil((1 - alpha) * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	s := 0.0
+	for _, v := range sorted[n-k:] {
+		s += v
+	}
+	return s / float64(k)
+}

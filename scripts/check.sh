@@ -27,6 +27,11 @@
 #                  dataset end to end: the planner must exit 0 (recovered)
 #                  or 3 (degraded-but-feasible), never crash; a corrupted
 #                  standalone solve must fail cleanly with exit 1
+#  11. robust smoke a fixed-seed Monte Carlo robustness batch, run twice
+#                  at different -workers values: the two
+#                  etransform-robust/v1 reports must be byte-identical
+#                  (the replay contract) and strict-parse via etbench
+#                  -validate
 #
 # Run from anywhere; it operates on the repo root. Exits non-zero on the
 # first failing stage.
@@ -124,5 +129,22 @@ if [ "$rc" -ne 0 ]; then
     echo "lpsolve (clean): exit $rc, want 0" >&2
     exit 1
 fi
+
+echo "==> robustness determinism smoke"
+# One fixed-seed batch at two worker counts: the replay contract says
+# the JSON reports must match byte for byte, and both must strict-parse.
+"$SMOKE_DIR/etransform" -state "$SMOKE_DIR/asis.json" -report=false \
+    -robust scripts/robust_smoke.json -samples 6 -seed 42 -workers 2 \
+    -robust-out "$SMOKE_DIR/ROBUST_1.json" > /dev/null
+"$SMOKE_DIR/etransform" -state "$SMOKE_DIR/asis.json" -report=false \
+    -robust scripts/robust_smoke.json -samples 6 -seed 42 -workers 1 \
+    -robust-out "$SMOKE_DIR/ROBUST_2.json" > /dev/null
+if ! cmp -s "$SMOKE_DIR/ROBUST_1.json" "$SMOKE_DIR/ROBUST_2.json"; then
+    echo "robustness reports differ across -workers values (replay contract broken):" >&2
+    diff "$SMOKE_DIR/ROBUST_1.json" "$SMOKE_DIR/ROBUST_2.json" >&2 || true
+    exit 1
+fi
+go run ./cmd/etbench -validate "$SMOKE_DIR"
+echo "    robust batch byte-stable at -workers 1 vs 2"
 
 echo "==> all checks passed"
