@@ -195,6 +195,9 @@ func run(args []string) error {
 			s.EtaUpdates = m.Counters[obs.MetricSimplexEtaUpdates]
 			s.PricedCandidates = m.Counters[obs.MetricSimplexPricedCandidates]
 			s.RefactorDriftMax = m.Gauges[obs.MetricSimplexRefactorDriftMax]
+			s.CutsSeparated = m.Counters[obs.MetricMILPCutsSeparated]
+			s.CutsActive = m.Counters[obs.MetricMILPCutsActive]
+			s.KernelIncumbents = m.Counters[obs.MetricMILPKernelIncumbents]
 		}
 		return s
 	}
@@ -209,6 +212,7 @@ func run(args []string) error {
 		// Solve the datasets concurrently; render in the fixed order.
 		results := make([]*experiments.CaseStudyResult, len(cfgs))
 		warmResults := make([]*experiments.CaseStudyResult, len(cfgs))
+		cutsResults := make([]*experiments.CaseStudyResult, len(cfgs))
 		errs := make([]error, len(cfgs))
 		var wg sync.WaitGroup
 		for i := range cfgs {
@@ -224,6 +228,13 @@ func run(args []string) error {
 				scWarm := scCold
 				scWarm.ReuseBasis = true
 				warmResults[i], errs[i] = experiments.CaseStudy(cfgs[i], scWarm, dr)
+				if errs[i] != nil {
+					return
+				}
+				scCuts := scCold
+				scCuts.Cuts = true
+				scCuts.Kernel = true
+				cutsResults[i], errs[i] = experiments.CaseStudy(cfgs[i], scCuts, dr)
 			}(i)
 		}
 		wg.Wait()
@@ -243,6 +254,15 @@ func run(args []string) error {
 					wres.Stats.Nodes, wres.Stats.Iterations, wres.Stats.WallMillis,
 					ws.WarmHits, ws.WarmMisses, wres.Cost("ETRANSFORM")-res.Cost("ETRANSFORM"))
 				benchScenarios = append(benchScenarios, ws)
+			}
+			if cres := cutsResults[i]; cres != nil {
+				cs := scenario(fig+"/"+cfg.Name+"+cuts", dr, cres, false)
+				cs.CutsEnabled = true
+				fmt.Printf("cuts+kernel re-solve: %d nodes, %d iterations, wall %dms, gap %.2g, %d cuts (%d active), %d kernel incumbents, cost Δ %+.2f\n\n",
+					cres.Stats.Nodes, cres.Stats.Iterations, cres.Stats.WallMillis, cres.Stats.Gap,
+					cs.CutsSeparated, cs.CutsActive, cs.KernelIncumbents,
+					cres.Cost("ETRANSFORM")-res.Cost("ETRANSFORM"))
+				benchScenarios = append(benchScenarios, cs)
 			}
 			var rows [][]string
 			for _, algo := range experiments.AlgorithmNames {

@@ -50,6 +50,7 @@ import (
 	"github.com/etransform/etransform/internal/core"
 	"github.com/etransform/etransform/internal/lp"
 	"github.com/etransform/etransform/internal/milp"
+	"github.com/etransform/etransform/internal/milp/cuts"
 	"github.com/etransform/etransform/internal/model"
 	"github.com/etransform/etransform/internal/obs"
 	"github.com/etransform/etransform/internal/report"
@@ -95,6 +96,8 @@ func run(args []string) (degraded bool, err error) {
 	memBudget := fs.Int64("membudget", 0, "open-node queue memory budget in bytes (0 = unlimited)")
 	workers := fs.Int("workers", 0, "branch & bound worker goroutines (0 = all CPUs, 1 = deterministic)")
 	warmLP := fs.Bool("warmlp", false, "warm-start node LPs from the parent's simplex basis (same answer, fewer pivots)")
+	cutsOn := fs.Bool("cuts", false, "separate Gomory and cover cuts at the root (same answer, tighter bound)")
+	kernelOn := fs.Bool("kernel", false, "run the kernel-search primal heuristic at the root (same answer, earlier incumbents)")
 	traceOut := fs.String("trace", "", "write a structured JSONL solve trace to this file (byte-stable at -workers 1)")
 	metricsOut := fs.String("metrics", "", "write the solve metrics snapshot JSON to this file")
 	profileDir := fs.String("profile", "", "write cpu.pprof and heap.pprof profiles into this directory")
@@ -157,6 +160,8 @@ func run(args []string) (degraded bool, err error) {
 			TimeLimit:  *timeLimit,
 			Workers:    *workers,
 			ReuseBasis: *warmLP,
+			Cuts:       cuts.Options{Enable: *cutsOn},
+			Kernel:     milp.KernelOptions{Enable: *kernelOn},
 			Budget:     milp.Budget{MemoryBytes: *memBudget},
 			Inject:     inject,
 			Trace:      obsrv.Tracer,

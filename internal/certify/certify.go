@@ -209,6 +209,43 @@ func Check(m *lp.Model, x []float64, opts *Options) (*Certificate, error) {
 	return c, nil
 }
 
+// CheckCut verifies that a candidate cutting plane preserves a stash of
+// known integer-feasible points: a valid cut may never violate any of
+// them. It returns nil when every point satisfies the inequality within
+// FeasTol (scaled by max(1, |rhs|), matching row checks), and an error
+// naming the first eliminated point otherwise. The MILP solver treats
+// that error as fatal — a cut that kills a known solution is a solver
+// bug, not a degradation.
+func CheckCut(row lp.Row, points [][]float64, opts *Options) error {
+	o := opts.withDefaults()
+	scaled := o.FeasTol * math.Max(1, math.Abs(row.RHS))
+	for i, x := range points {
+		a := 0.0
+		for _, t := range row.Terms {
+			if int(t.Var) >= len(x) {
+				return fmt.Errorf("certify: cut %q references variable %d beyond point %d (len %d)", row.Name, t.Var, i, len(x))
+			}
+			a += t.Coef * x[t.Var]
+		}
+		var rv float64
+		switch row.Sense {
+		case lp.LE:
+			rv = a - row.RHS
+		case lp.GE:
+			rv = row.RHS - a
+		case lp.EQ:
+			rv = math.Abs(a - row.RHS)
+		default:
+			return fmt.Errorf("certify: cut %q has invalid sense %d", row.Name, int(row.Sense))
+		}
+		if tol.Pos(rv, scaled) {
+			return fmt.Errorf("certify: cut %q eliminates feasible point %d: activity %v %s %v violated by %.3g",
+				row.Name, i, a, row.Sense, row.RHS, rv)
+		}
+	}
+	return nil
+}
+
 // CheckSolution certifies a solver result against the model: the primal
 // point is checked like Check, and the solution's claimed objective must
 // match the recomputed one within ObjTol (scaled). Solutions without a

@@ -1,10 +1,11 @@
-package certify
+package certify_test
 
 import (
 	"math"
 	"strings"
 	"testing"
 
+	"github.com/etransform/etransform/internal/certify"
 	"github.com/etransform/etransform/internal/lp"
 	"github.com/etransform/etransform/internal/milp"
 )
@@ -33,7 +34,7 @@ func TestCertifyAcceptsOptimalSolution(t *testing.T) {
 	if sol.Status != lp.StatusOptimal {
 		t.Fatalf("status = %v, want optimal", sol.Status)
 	}
-	cert, err := CheckSolution(m, sol, nil)
+	cert, err := certify.CheckSolution(m, sol, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestCertifyRejectsPerturbedInfeasible(t *testing.T) {
 	for j := range x {
 		x[j] = 1
 	}
-	cert, err := Check(m, x, nil)
+	cert, err := certify.Check(m, x, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestCertifyRejectsPerturbedInfeasible(t *testing.T) {
 
 func TestCertifyRejectsFractionalInteger(t *testing.T) {
 	m := knapsack(t)
-	cert, err := Check(m, []float64{0.5, 0, 0}, nil)
+	cert, err := certify.Check(m, []float64{0.5, 0, 0}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestCertifyRejectsBoundViolationAndNaN(t *testing.T) {
 	}
 	for _, tt := range cases {
 		t.Run(tt.name, func(t *testing.T) {
-			cert, err := Check(m, tt.x, nil)
+			cert, err := certify.Check(m, tt.x, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -148,7 +149,7 @@ func TestCertifyObjectiveMismatch(t *testing.T) {
 	}
 	claimed := *sol
 	claimed.Objective = sol.Objective + 100 // lie about the objective
-	cert, err := CheckSolution(m, &claimed, nil)
+	cert, err := certify.CheckSolution(m, &claimed, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestCertifyObjectiveMismatch(t *testing.T) {
 func TestCertifyNonSolutionStatuses(t *testing.T) {
 	m := knapsack(t)
 	for _, status := range []lp.Status{lp.StatusInfeasible, lp.StatusUnbounded} {
-		cert, err := CheckSolution(m, &lp.Solution{Status: status}, nil)
+		cert, err := certify.CheckSolution(m, &lp.Solution{Status: status}, nil)
 		if err != nil {
 			t.Fatalf("status %v: %v", status, err)
 		}
@@ -178,19 +179,19 @@ func TestCertifyNonSolutionStatuses(t *testing.T) {
 		}
 	}
 	// A solution-bearing status with no point is a structural error.
-	if _, err := CheckSolution(m, &lp.Solution{Status: lp.StatusOptimal}, nil); err == nil {
+	if _, err := certify.CheckSolution(m, &lp.Solution{Status: lp.StatusOptimal}, nil); err == nil {
 		t.Error("optimal status without X accepted")
 	}
 }
 
 func TestCertifyStructuralErrors(t *testing.T) {
 	m := knapsack(t)
-	if _, err := Check(m, []float64{0}, nil); err == nil {
+	if _, err := certify.Check(m, []float64{0}, nil); err == nil {
 		t.Error("wrong-length point accepted")
 	}
 	bad := lp.NewModel("bad")
 	bad.AddContinuous("x", 5, 1, 0) // lower > upper: sticky model error
-	if _, err := Check(bad, []float64{0}, nil); err == nil {
+	if _, err := certify.Check(bad, []float64{0}, nil); err == nil {
 		t.Error("broken model accepted")
 	}
 }
@@ -204,7 +205,7 @@ func TestCertifyViolationCap(t *testing.T) {
 	for j := range x {
 		x[j] = 0.5 // every variable fractional
 	}
-	cert, err := Check(m, x, &Options{MaxViolations: 3})
+	cert, err := certify.Check(m, x, &certify.Options{MaxViolations: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

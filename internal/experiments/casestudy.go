@@ -24,6 +24,7 @@ import (
 	"github.com/etransform/etransform/internal/core"
 	"github.com/etransform/etransform/internal/datagen"
 	"github.com/etransform/etransform/internal/milp"
+	"github.com/etransform/etransform/internal/milp/cuts"
 	"github.com/etransform/etransform/internal/model"
 	"github.com/etransform/etransform/internal/obs"
 	"github.com/etransform/etransform/internal/report"
@@ -58,6 +59,13 @@ type Scale struct {
 	// simplex pivots; off by default to keep default trajectories
 	// byte-stable.
 	ReuseBasis bool
+	// Cuts separates Gomory and cover cuts at the root node
+	// (milp.Options.Cuts). Same certified answers, tighter dual bound;
+	// off by default like ReuseBasis.
+	Cuts bool
+	// Kernel runs the kernel-search primal heuristic at the root
+	// (milp.Options.Kernel). Same certified answers, earlier incumbents.
+	Kernel bool
 	// CollectMetrics arms an observability registry on each solve so the
 	// result's SolveStats.Metrics snapshot carries the solver counters
 	// (pivots, warm hits, phase-1 skips, …). Off by default: metrics
@@ -86,6 +94,8 @@ func (sc Scale) solver() milp.Options {
 	o := milp.Options{
 		GapTol: sc.GapTol, MaxNodes: sc.MaxNodes, TimeLimit: sc.TimeLimit,
 		Workers: workers, ReuseBasis: sc.ReuseBasis,
+		Cuts:   cuts.Options{Enable: sc.Cuts},
+		Kernel: milp.KernelOptions{Enable: sc.Kernel},
 	}
 	if sc.CollectMetrics {
 		o.Metrics = obs.NewMetrics()

@@ -1,0 +1,199 @@
+package cuts
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/etransform/etransform/internal/lp"
+	"github.com/etransform/etransform/internal/tol"
+)
+
+// coverItem is one binary variable of a knapsack row with its weight
+// and its LP value at the separating point.
+type coverItem struct {
+	v lp.VarID
+	a float64
+	x float64
+}
+
+// knapsackItems extracts the 0/1 knapsack structure of a row, or nil
+// when the row is not a knapsack: sense LE, every coefficient strictly
+// positive, every variable an integral 0/1 variable (lower ≥ 0,
+// upper ≤ 1 — the group→DC assignment vars in the consolidation model
+// are exactly this shape; aggregate-mode count variables with upper
+// bounds above 1 disqualify their rows here).
+func knapsackItems(row lp.Row, isInt []bool, x []float64) []coverItem {
+	if row.Sense != lp.LE || len(row.Terms) == 0 {
+		return nil
+	}
+	items := make([]coverItem, 0, len(row.Terms))
+	for _, t := range row.Terms {
+		if int(t.Var) >= len(isInt) || !isInt[t.Var] {
+			return nil
+		}
+		if !(t.Coef > gmiCoefZero) || math.IsInf(t.Coef, 0) {
+			return nil
+		}
+		items = append(items, coverItem{v: t.Var, a: t.Coef, x: x[t.Var]})
+	}
+	return items
+}
+
+// binary01 reports whether every item's variable is bounded in [0,1].
+func binary01(m *lp.Model, items []coverItem) bool {
+	for _, it := range items {
+		v := m.Var(it.v)
+		if v.Lower < -tol.Int || v.Upper > 1+tol.Int {
+			return false
+		}
+	}
+	return true
+}
+
+// separateCoverRow derives one extended cover cut from a knapsack row
+// Σ a_j·x_j ≤ rhs at the fractional point x, or ok=false.
+//
+// Degenerate rows are rejected up front rather than looped over
+// (regression: zero-capacity DCs yield rhs = 0 knapsacks whose "cover"
+// is the empty set — the greedy loop below would terminate immediately
+// and emit the vacuous cut Σ∅ ≤ −1, which is violated by every point
+// including feasible ones):
+//
+//   - rhs ≤ 0: every variable is already forced to 0 by the row itself;
+//     there is no cover to separate (presolve/bound territory, not cuts);
+//   - Σ a_j ≤ rhs: the row can never be violated by 0/1 points, no
+//     cover exists.
+//
+// Otherwise a greedy cover C is built in order of increasing
+// (1 − x*_j)/a_j (cheapest violation first), minimalized, and extended
+// to E(C) = C ∪ {j : a_j ≥ max_{i∈C} a_i}. The cut Σ_{E(C)} x_j ≤
+// |C|−1 is valid: any |C|-subset S of E(C) has Σ_S a ≥ Σ_C a > rhs
+// (each element of E(C)\C weighs at least the heaviest element of C),
+// so no feasible 0/1 point sets |C| or more of them to 1.
+func separateCoverRow(items []coverItem, rhs float64) (cover, extra []coverItem, ok bool) {
+	if !(rhs > gmiCoefZero) {
+		return nil, nil, false
+	}
+	total := 0.0
+	for _, it := range items {
+		total += it.a
+	}
+	if total <= rhs+gmiCoefZero {
+		return nil, nil, false
+	}
+
+	// Greedy cover: take items by ascending (1−x)/a until the weight
+	// exceeds rhs. Ties break on variable id for determinism.
+	byRatio := append([]coverItem(nil), items...)
+	sort.SliceStable(byRatio, func(i, j int) bool {
+		ri := (1 - byRatio[i].x) / byRatio[i].a
+		rj := (1 - byRatio[j].x) / byRatio[j].a
+		if !tol.Same(ri, rj) {
+			return ri < rj
+		}
+		return byRatio[i].v < byRatio[j].v
+	})
+	weight := 0.0
+	cover = cover[:0]
+	for _, it := range byRatio {
+		cover = append(cover, it)
+		weight += it.a
+		if weight > rhs+gmiCoefZero {
+			break
+		}
+	}
+	if !(weight > rhs+gmiCoefZero) {
+		return nil, nil, false // numerical dust defeated the Σa > rhs pre-check
+	}
+
+	// Minimalize: drop items whose removal keeps the cover property,
+	// least useful (largest 1−x, i.e. smallest x*) first, so the
+	// violated part of the cover survives.
+	order := make([]int, len(cover))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if !tol.Same(cover[order[i]].x, cover[order[j]].x) {
+			return cover[order[i]].x < cover[order[j]].x
+		}
+		return cover[order[i]].v < cover[order[j]].v
+	})
+	dropped := make([]bool, len(cover))
+	for _, i := range order {
+		if weight-cover[i].a > rhs+gmiCoefZero {
+			weight -= cover[i].a
+			dropped[i] = true
+		}
+	}
+	kept := cover[:0]
+	for i, it := range cover {
+		if !dropped[i] {
+			kept = append(kept, it)
+		}
+	}
+	cover = kept
+	if len(cover) == 0 {
+		return nil, nil, false
+	}
+
+	// Extend: every item at least as heavy as the heaviest cover
+	// member joins the left-hand side for free.
+	aMax := 0.0
+	inCover := make(map[lp.VarID]bool, len(cover))
+	for _, it := range cover {
+		if it.a > aMax {
+			aMax = it.a
+		}
+		inCover[it.v] = true
+	}
+	for _, it := range items {
+		if !inCover[it.v] && it.a >= aMax-gmiCoefZero {
+			extra = append(extra, it)
+		}
+	}
+	return cover, extra, true
+}
+
+// SeparateCovers derives extended knapsack-cover cuts from the model's
+// 0/1 knapsack rows (LE, positive coefficients, integral [0,1]
+// variables) at the point x. isInt marks integral structural
+// variables (the model is typically a relaxation). One cut per
+// violated row; normalization and the violation/density filters come
+// from Options.
+func SeparateCovers(m *lp.Model, isInt []bool, x []float64, o *Options) []Cut {
+	if m == nil || len(x) != m.NumVars() || len(isInt) != m.NumVars() {
+		return nil
+	}
+	var out []Cut
+	for r := 0; r < m.NumRows(); r++ {
+		row := m.Row(lp.RowID(r))
+		items := knapsackItems(row, isInt, x)
+		if items == nil || !binary01(m, items) {
+			continue
+		}
+		cover, extra, ok := separateCoverRow(items, row.RHS)
+		if !ok {
+			continue
+		}
+		terms := make([]lp.Term, 0, len(cover)+len(extra))
+		for _, it := range cover {
+			terms = append(terms, lp.Term{Var: it.v, Coef: 1})
+		}
+		for _, it := range extra {
+			terms = append(terms, lp.Term{Var: it.v, Coef: 1})
+		}
+		c := Cut{
+			Name:  fmt.Sprintf("cover_r%d", r),
+			Terms: terms,
+			Sense: lp.LE,
+			RHS:   float64(len(cover) - 1),
+			Kind:  "cover",
+		}
+		if c.finish(x, o) {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+package milp
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"github.com/etransform/etransform/internal/lp"
+	"github.com/etransform/etransform/internal/tol"
+)
+
+// KernelOptions configure the kernel-search primal heuristic: solve
+// small restricted MILPs over the root LP's support plus buckets of
+// the best-reduced-cost remaining variables, feeding any improvement
+// to the shared incumbent so best-bound pruning bites early. The zero
+// value disables the heuristic; Enable with everything else zero
+// applies defaults.
+type KernelOptions struct {
+	// Enable turns the heuristic on. Off by default (byte-stable default
+	// trajectories).
+	Enable bool
+	// MaxBuckets caps how many reduced-cost buckets are tried. Default 6.
+	MaxBuckets int
+	// BucketSize is the number of out-of-kernel integer variables
+	// unlocked per bucket. 0 derives max(16, nInt/8) from the model's
+	// integer-variable count.
+	BucketSize int
+	// NodeBudget caps each restricted solve's branch & bound nodes; the
+	// primary stopping lever, chosen over time so the heuristic's
+	// trajectory is deterministic when no deadline is set. Default 400.
+	NodeBudget int
+	// TimeShare is the fraction of the remaining wall budget the whole
+	// kernel phase may spend when the solve has a deadline. Default 0.25.
+	TimeShare float64
+}
+
+func (o *KernelOptions) withDefaults(nInt int) KernelOptions {
+	out := KernelOptions{}
+	if o != nil {
+		out = *o
+	}
+	if out.MaxBuckets <= 0 {
+		out.MaxBuckets = 6
+	}
+	if out.BucketSize <= 0 {
+		out.BucketSize = nInt / 8
+		if out.BucketSize < 16 {
+			out.BucketSize = 16
+		}
+	}
+	if out.NodeBudget <= 0 {
+		out.NodeBudget = 400
+	}
+	if out.TimeShare <= 0 || out.TimeShare > 1 {
+		out.TimeShare = 0.25
+	}
+	return out
+}
+
+// kernelMaxMisses stops the bucket loop after this many consecutive
+// non-improving buckets: later buckets carry ever-worse reduced costs,
+// so two dry buckets in a row is strong evidence the rest are barren.
+const kernelMaxMisses = 2
+
+// kernelSearch runs the kernel-search heuristic in the sequential root
+// phase. The kernel starts as the root LP's integer support (variables
+// the relaxation already uses); the remaining integer variables are
+// sorted by reduced cost — the dual-feasible measure of how expensive
+// forcing them into the solution would be — and chunked into buckets.
+// Each pass unlocks one more bucket, fixes every integer variable
+// outside kernel∪bucket at its lower bound, and solves the restricted
+// MILP under a node budget with Workers=1 and cuts/kernel off (no
+// recursion). An improving solution goes through tryAccept (verified
+// against the cut-free model like every incumbent) and grows the
+// kernel by the bucket variables it actually used.
+//
+// Failures are swallowed: the heuristic may stop early (deadline,
+// sub-solve error, consecutive dry buckets) but never fails the solve.
+//
+//etlint:ignore lockguard runs in the sequential root phase before worker fan-out; incumbent reads/installs go through snapshotIncumbent/tryAccept which lock
+func (c *coordinator) kernelSearch(w0 *worker, root *lp.Solution) {
+	ko := c.opts.Kernel.withDefaults(len(c.intVars))
+	base := c.model
+	if c.cutModel != nil {
+		base = c.cutModel
+	}
+	if len(root.X) != base.NumVars() || len(root.DualValues) != w0.work.NumRows() {
+		return
+	}
+	// Reduced costs d_j = c_j − yᵀA_j against the root LP's duals (the
+	// cut-strengthened relaxation when cuts ran: w0.work is the model
+	// those duals price).
+	n := base.NumVars()
+	d := make([]float64, n)
+	for j := 0; j < n; j++ {
+		d[j] = w0.work.Var(lp.VarID(j)).Cost
+	}
+	for r := 0; r < w0.work.NumRows(); r++ {
+		y := root.DualValues[r]
+		if tol.IsZero(y) {
+			continue
+		}
+		for _, t := range w0.work.Row(lp.RowID(r)).Terms {
+			d[t.Var] -= y * t.Coef
+		}
+	}
+
+	// Kernel = integer support of the root LP; everything else is
+	// bucketed by ascending reduced cost (cheapest to activate first).
+	// Variables that cannot be fixed (infinite lower bound) stay in the
+	// kernel. Sorting makes the order independent of any PerturbSeed
+	// shuffle of intVars.
+	var outside []lp.VarID
+	for _, v := range c.intVars {
+		if root.X[v] > lp.IntTol || math.IsInf(base.Var(v).Lower, -1) {
+			continue // in the kernel: never fixed below
+		}
+		outside = append(outside, v)
+	}
+	if len(outside) == 0 {
+		return
+	}
+	sort.SliceStable(outside, func(i, j int) bool {
+		if !tol.Same(d[outside[i]], d[outside[j]]) {
+			return d[outside[i]] < d[outside[j]]
+		}
+		return outside[i] < outside[j]
+	})
+
+	// Kernel-phase wall budget: a share of what remains until the solve
+	// deadline. Without a deadline the node budget is the only stop, so
+	// the trajectory is deterministic.
+	var kernelDeadline time.Time
+	if !c.deadline.IsZero() {
+		kernelDeadline = time.Now().Add(
+			time.Duration(ko.TimeShare * float64(time.Until(c.deadline))))
+	}
+
+	rm := base.Clone()
+	fix := func(v lp.VarID) {
+		lo := base.Var(v).Lower
+		rm.SetBounds(v, lo, lo)
+	}
+	unfix := func(v lp.VarID) {
+		bv := base.Var(v)
+		rm.SetBounds(v, bv.Lower, bv.Upper)
+	}
+	for _, v := range outside {
+		fix(v)
+	}
+	if rm.Err() != nil {
+		return
+	}
+
+	misses := 0
+	for b := 0; b < ko.MaxBuckets && len(outside) > 0 && misses < kernelMaxMisses; b++ {
+		if c.expired() || c.ctx.Err() != nil {
+			return
+		}
+		if !kernelDeadline.IsZero() && time.Now().After(kernelDeadline) {
+			return
+		}
+		take := ko.BucketSize
+		if take > len(outside) {
+			take = len(outside)
+		}
+		bucket := outside[:take]
+		outside = outside[take:]
+		for _, v := range bucket {
+			unfix(v)
+		}
+		so := Options{
+			GapTol:   c.opts.GapTol,
+			MaxNodes: ko.NodeBudget,
+			Workers:  1,
+			Simplex:  c.opts.Simplex,
+		}
+		// Sub-solves are anonymous helpers: no tracing/metrics/fault
+		// injection of their own (their only observable output is the
+		// incumbent, counted by milp.kernel_incumbents).
+		so.Simplex.Trace = nil
+		so.Simplex.Metrics = nil
+		so.Simplex.Inject = nil
+		if !kernelDeadline.IsZero() {
+			so.TimeLimit = time.Until(kernelDeadline)
+			if so.TimeLimit <= 0 {
+				return
+			}
+		}
+		before, haveBefore := c.snapshotIncumbent()
+		if inc := c.incumbentSnapshot(); inc != nil {
+			p := make([]float64, len(inc))
+			copy(p, inc)
+			so.WarmStarts = [][]float64{p}
+		}
+		sub, err := SolveContext(c.goCtx, rm, &so)
+		if err != nil || sub == nil {
+			return
+		}
+		w0.iterations += sub.Iterations
+		improved := false
+		if sub.Status.HasSolution() && sub.X != nil && finiteSolution(sub) {
+			c.tryAccept(sub.X, sub.Objective, 0)
+			after, haveAfter := c.snapshotIncumbent()
+			improved = haveAfter && (!haveBefore || after < before-tol.Tie)
+		}
+		if improved {
+			c.kernelIncumbents++
+			// Grow the kernel by the bucket variables the solution used;
+			// re-fix the ones it ignored.
+			for _, v := range bucket {
+				if sub.X != nil && sub.X[v] > base.Var(v).Lower+lp.IntTol {
+					continue // joins the kernel: stays unlocked
+				}
+				fix(v)
+			}
+			misses = 0
+			continue
+		}
+		for _, v := range bucket {
+			fix(v)
+		}
+		misses++
+	}
+}
+
+// incumbentSnapshot returns the current incumbent point (nil when none).
+func (c *coordinator) incumbentSnapshot() []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.incumbent
+}

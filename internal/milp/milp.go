@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/etransform/etransform/internal/lp"
+	"github.com/etransform/etransform/internal/milp/cuts"
 	"github.com/etransform/etransform/internal/obs"
 	"github.com/etransform/etransform/internal/resilience/faultinject"
 	"github.com/etransform/etransform/internal/simplex"
@@ -104,6 +105,24 @@ type Options struct {
 	// their pivot counters. Production callers leave both nil: every
 	// instrumentation site is then a single pointer comparison.
 	Metrics *obs.Metrics
+	// Cuts configures root-node cutting planes (Gomory mixed-integer +
+	// knapsack covers; see internal/milp/cuts). Off by default: the
+	// default search trajectory must stay byte-stable for golden traces.
+	// Cut separation runs sequentially at the root before workers fan
+	// out, so the cut set is identical at any worker count; every
+	// accepted cut is re-verified against the stash of known
+	// integer-feasible points (warm starts, incumbent) and a violation
+	// is a hard solver error. The incumbent path never depends on cuts:
+	// tryAccept verifies candidate points against the cut-free model, so
+	// a wrong cut could only weaken the bound side, never certify an
+	// infeasible plan.
+	Cuts cuts.Options
+	// Kernel configures the kernel-search primal heuristic (see
+	// kernel.go): after the root LP (and cut rounds), restricted MILPs
+	// over the LP support plus best-reduced-cost buckets are solved
+	// under a node budget to seed the shared incumbent early. Off by
+	// default for the same byte-stability reason.
+	Kernel KernelOptions
 	// Workers is the number of branch & bound worker goroutines that
 	// pull nodes from the shared best-bound queue. 0 selects
 	// runtime.NumCPU(). Workers=1 runs the fully sequential search and
@@ -199,6 +218,9 @@ func SolveContext(ctx context.Context, model *lp.Model, opts *Options) (*lp.Solu
 		o.MaxNodes = o.Budget.Nodes
 	}
 	c := newCoordinator(ctx, o, model.Clone())
+	// The kernel heuristic launches recursive restricted solves and needs
+	// the full context, not just the Err-polling subset.
+	c.goCtx = ctx
 	for j := 0; j < model.NumVars(); j++ {
 		if model.Var(lp.VarID(j)).Type != lp.Continuous {
 			c.intVars = append(c.intVars, lp.VarID(j))

@@ -31,6 +31,20 @@ type coordinator struct {
 	deadlineIsCtx bool
 	memLimit      int64 // open-node memory budget; 0 = unlimited
 	start         time.Time
+	goCtx         context.Context // full context for kernel sub-solves
+
+	// Root-phase state, written only by the sequential root phase before
+	// worker fan-out (no lock needed; see solve's phase argument).
+	// cutModel is the integral model plus the root cuts that survived
+	// activity aging; workers relax it for their node LPs. nil when
+	// cutting is off or separated nothing. The incumbent path
+	// deliberately never sees it: tryAccept verifies points against the
+	// cut-free c.model.
+	cutModel         *lp.Model
+	stash            [][]float64 // known integer-feasible points guarding cut validity
+	cutsSeparated    int64
+	cutsActive       int64
+	kernelIncumbents int64
 
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -99,7 +113,14 @@ type worker struct {
 }
 
 func (c *coordinator) newWorker(id int) *worker {
-	return &worker{id: id, c: c, work: c.model.Relax(), sx: simplex.NewSolver(&c.opts.Simplex)}
+	base := c.model
+	if c.cutModel != nil {
+		// Tree workers search over the cut-strengthened relaxation; the
+		// extra rows are valid for every integer point, so subtree bounds
+		// only tighten.
+		base = c.cutModel
+	}
+	return &worker{id: id, c: c, work: base.Relax(), sx: simplex.NewSolver(&c.opts.Simplex)}
 }
 
 func (c *coordinator) expired() bool {
@@ -666,6 +687,29 @@ func (c *coordinator) solve() (*lp.Solution, error) {
 		w0.busy = time.Since(t0)
 		return c.assembleFinish(root.Objective, lp.StatusOptimal, []*worker{w0})
 	}
+	// Root cut rounds tighten the relaxation before the tree search, and
+	// the kernel heuristic then mines the (possibly cut-strengthened)
+	// root LP for an early incumbent. Both run here in the sequential
+	// root phase, so the cut set and kernel trajectory are identical at
+	// any worker count.
+	if c.opts.Cuts.Enable {
+		var cerr error
+		root, cerr = c.rootCuts(w0, root)
+		c.iterations += w0.takeIterations()
+		if cerr != nil {
+			return nil, cerr
+		}
+		if v, _ := c.mostFractional(root.X); v < 0 {
+			// The cut LP optimum went integral: it is optimal for the MILP.
+			c.tryAccept(root.X, root.Objective, 1)
+			w0.busy = time.Since(t0)
+			return c.assembleFinish(root.Objective, lp.StatusOptimal, []*worker{w0})
+		}
+	}
+	if c.opts.Kernel.Enable {
+		c.kernelSearch(w0, root)
+		c.iterations += w0.takeIterations()
+	}
 	// The root's optimal basis seeds both first children; snapshot it
 	// before the dive re-solves other LPs on the same solver.
 	rootBasis := w0.lastBasis()
@@ -873,4 +917,16 @@ func (c *coordinator) foldMetrics(sol *lp.Solution) {
 	}
 	m.Add(obs.MetricMILPWallMicros, sol.WallTime.Microseconds())
 	m.Add(obs.MetricMILPWorkMicros, sol.WorkTime.Microseconds())
+	// Cut/kernel counters fold only when the features ran and produced
+	// something, so default-configuration metric snapshots keep their
+	// exact key set (golden reconciliation tests depend on it).
+	if c.cutsSeparated > 0 {
+		m.Add(obs.MetricMILPCutsSeparated, c.cutsSeparated)
+	}
+	if c.cutsActive > 0 {
+		m.Add(obs.MetricMILPCutsActive, c.cutsActive)
+	}
+	if c.kernelIncumbents > 0 {
+		m.Add(obs.MetricMILPKernelIncumbents, c.kernelIncumbents)
+	}
 }

@@ -60,6 +60,16 @@ const (
 	// 1-based worker; the per-worker counters sum to MetricMILPNodes.
 	MetricMILPNodesWorkerPrefix = "milp.nodes.worker."
 
+	// Root cutting planes and the kernel-search heuristic (both opt-in
+	// and root-sequential). CutsSeparated counts cuts accepted into the
+	// pool across all root rounds, CutsActive the cuts still live (not
+	// retired by activity aging) in the model handed to the tree search,
+	// KernelIncumbents the incumbent improvements found by restricted
+	// kernel solves.
+	MetricMILPCutsSeparated    = "milp.cuts_separated"
+	MetricMILPCutsActive       = "milp.cuts_active"
+	MetricMILPKernelIncumbents = "milp.kernel_incumbents"
+
 	// Fallback-chain wall-clock, microseconds. The per-stage counters
 	// (prefix + stage name) sum to at most the pipeline total.
 	MetricPipelineMicros    = "core.pipeline_us"

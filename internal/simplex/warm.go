@@ -72,6 +72,43 @@ func (s *Solver) Basis() *Basis {
 	return b
 }
 
+// ExtendRows returns a copy of the snapshot extended for a model with k
+// extra rows appended after the ones it was taken from — the cut-round
+// case, where each round appends freshly separated cut rows to the root
+// LP. The new rows' slacks enter the basis in their own rows, so the
+// extended basis matrix is block lower triangular
+//
+//	[ B  0 ]
+//	[ C  I ]
+//
+// (B the old basis, C the cut-row coefficients of the old basic
+// columns) and therefore nonsingular whenever B was. Because the new
+// slacks carry zero cost, the old duals and reduced costs are
+// unchanged: the extension is dual feasible by construction, and
+// SolveFrom's dual-simplex restoration drives the (cut-violating) new
+// slacks back inside their bounds — the textbook cut re-solve. Slack
+// column indices survive the extension unchanged (structurals come
+// first in the column layout), so old statuses copy over verbatim.
+// A nil receiver or k ≤ 0 returns the receiver.
+func (b *Basis) ExtendRows(k int) *Basis {
+	if b == nil || k <= 0 {
+		return b
+	}
+	nb := &Basis{
+		n:       b.n,
+		m:       b.m + k,
+		status:  make([]varStatus, b.n+b.m+k),
+		basicIn: make([]int32, b.m+k),
+	}
+	copy(nb.status[:b.n+b.m], b.status)
+	copy(nb.basicIn[:b.m], b.basicIn)
+	for i := 0; i < k; i++ {
+		nb.status[b.n+b.m+i] = basic
+		nb.basicIn[b.m+i] = int32(b.n + b.m + i)
+	}
+	return nb
+}
+
 // SolveFrom solves the continuous relaxation of model starting from an
 // inherited basis instead of a cold two-phase start. The intended use
 // is branch & bound: basis came from the parent node's optimal LP and

@@ -72,6 +72,25 @@ const (
 	Objective = 1e-4
 	// Shadow is the smallest dual value reported as a shadow price.
 	Shadow = 1e-9
+	// CutCoefZero is the cut-separation noise floor: tableau read-back
+	// coefficients at or below it are treated as exact zeros, and a
+	// knapsack capacity must exceed it to be a usable cover row. Kept
+	// well under Feas because a dropped "zero" re-enters the cut as RHS
+	// weakening, never as violation.
+	CutCoefZero = 1e-11
+	// CutIntEps recognizes integral coefficients, bounds and RHS values
+	// during Gomory integer-slack rounding; only exactly-modeled
+	// integer data should pass, so it sits at simplex pivot precision
+	// rather than at Int.
+	CutIntEps = 1e-9
+	// CutDropRel is the relative (to the largest coefficient) threshold
+	// below which post-substitution dust is dropped from a cut, with
+	// the mandatory RHS weakening that keeps the cut valid.
+	CutDropRel = 1e-12
+	// CutViolation is the default minimum violation of the fractional
+	// LP point a separated cut must achieve to enter the pool — cuts
+	// shallower than this churn the root LP without moving the bound.
+	CutViolation = 1e-4
 )
 
 // Eq reports |a−b| ≤ eps.

@@ -32,6 +32,14 @@
 #                  etransform-robust/v1 reports must be byte-identical
 #                  (the replay contract) and strict-parse via etbench
 #                  -validate
+#  12. cut validity the 16-seed subset of the cut-validity property
+#                  suite (no separated cut may eliminate an enumerated
+#                  integer-feasible point) plus a short fuzz pass over
+#                  both separators
+#  13. cut/kernel determinism smoke: one -cuts -kernel planner solve at
+#                  -workers 1 and 4 must produce the identical plan cost
+#                  block (cuts and the kernel run in the sequential root
+#                  phase, so worker count must not leak into the answer)
 #
 # Run from anywhere; it operates on the repo root. Exits non-zero on the
 # first failing stage.
@@ -146,5 +154,27 @@ if ! cmp -s "$SMOKE_DIR/ROBUST_1.json" "$SMOKE_DIR/ROBUST_2.json"; then
 fi
 go run ./cmd/etbench -validate "$SMOKE_DIR"
 echo "    robust batch byte-stable at -workers 1 vs 2"
+
+echo "==> cut validity smoke (16-seed subset + short fuzz)"
+go test -run 'TestCutValiditySmoke16|TestCoverDegenerateRows' ./internal/milp/cuts
+go test -run '^$' -fuzz FuzzGomoryRow -fuzztime 5s ./internal/milp/cuts
+go test -run '^$' -fuzz FuzzCoverSeparation -fuzztime 5s ./internal/milp/cuts
+
+echo "==> cut/kernel determinism smoke (-workers 1 vs 4)"
+# Cuts and the kernel heuristic run in the sequential root phase, so the
+# certified plan — in particular its full cost breakdown — must be
+# identical at any worker count.
+"$SMOKE_DIR/etransform" -state "$SMOKE_DIR/asis.json" -report=false \
+    -cuts -kernel -workers 1 -plan "$SMOKE_DIR/plan_w1.json" > /dev/null
+"$SMOKE_DIR/etransform" -state "$SMOKE_DIR/asis.json" -report=false \
+    -cuts -kernel -workers 4 -plan "$SMOKE_DIR/plan_w4.json" > /dev/null
+jq .cost "$SMOKE_DIR/plan_w1.json" > "$SMOKE_DIR/cost_w1.json"
+jq .cost "$SMOKE_DIR/plan_w4.json" > "$SMOKE_DIR/cost_w4.json"
+if ! cmp -s "$SMOKE_DIR/cost_w1.json" "$SMOKE_DIR/cost_w4.json"; then
+    echo "cuts+kernel plan cost differs across -workers values:" >&2
+    diff "$SMOKE_DIR/cost_w1.json" "$SMOKE_DIR/cost_w4.json" >&2 || true
+    exit 1
+fi
+echo "    cuts+kernel plan cost identical at -workers 1 vs 4"
 
 echo "==> all checks passed"
