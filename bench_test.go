@@ -11,6 +11,7 @@ package etransform_test
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"testing"
 	"time"
@@ -92,7 +93,7 @@ func BenchmarkFig7_LatencyPenalty(b *testing.B) {
 	var res *experiments.Figure7Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = experiments.Figure7(sc)
+		res, err = experiments.Figure7(context.Background(), sc)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -113,7 +114,7 @@ func BenchmarkFig8_DRServerCost(b *testing.B) {
 	var res *experiments.Figure8Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = experiments.Figure8(sc)
+		res, err = experiments.Figure8(context.Background(), sc)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -147,7 +148,7 @@ func BenchmarkFig10_PlacementGrowth(b *testing.B) {
 	var res *experiments.Figure10Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = experiments.Figure10(sc)
+		res, err = experiments.Figure10(context.Background(), sc)
 		if err != nil {
 			b.Fatal(err)
 		}

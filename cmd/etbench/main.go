@@ -33,6 +33,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -304,7 +305,7 @@ func run(args []string) error {
 		{"fig4", func() error { return caseStudies("fig4", false) }},
 		{"fig6", func() error { return caseStudies("fig6", true) }},
 		{"fig7", func() error {
-			res, err := experiments.Figure7(sc)
+			res, err := experiments.Figure7(context.Background(), sc)
 			if err != nil {
 				return err
 			}
@@ -334,7 +335,7 @@ func run(args []string) error {
 			return nil
 		}},
 		{"fig8", func() error {
-			res, err := experiments.Figure8(sc)
+			res, err := experiments.Figure8(context.Background(), sc)
 			if err != nil {
 				return err
 			}
@@ -364,7 +365,7 @@ func run(args []string) error {
 			return writeCSV("fig9.csv", []string{"location", "space_cost", "wan_cost", "total_cost"}, crows)
 		}},
 		{"fig10", func() error {
-			res, err := experiments.Figure10(sc)
+			res, err := experiments.Figure10(context.Background(), sc)
 			if err != nil {
 				return err
 			}

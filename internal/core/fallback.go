@@ -54,6 +54,11 @@ func (p *Planner) solvePipeline(ctx context.Context, candidateK int) (*model.Pla
 	}
 	report := &lp.DegradationReport{Gap: unknownGap}
 	warm := b.warmStarts()
+	if x, ok := b.seedPoint(); ok {
+		// A registered previous plan outranks the heuristic candidates:
+		// it goes first so re-planning starts from yesterday's answer.
+		warm = append([][]float64{x}, warm...)
+	}
 
 	// Per-attempt observability spans: stage_start/stage_end trace
 	// events bracketing every try, and per-stage wall-clock counters

@@ -81,6 +81,11 @@ func (o Options) withDefaults() Options {
 type Planner struct {
 	state *model.AsIsState
 	opts  Options
+	// seedPlacement/seedSecondary hold a previous plan's assignment,
+	// mapped to this state's indices by SeedPlan, to be encoded as the
+	// first warm-start point of the next solve.
+	seedPlacement []int
+	seedSecondary []int
 }
 
 // New validates the state and returns a Planner.
@@ -151,6 +156,32 @@ func (p *Planner) findGroup(id string) *model.AppGroup {
 			return &p.state.Groups[i]
 		}
 	}
+	return nil
+}
+
+// SeedPlan registers a previously computed plan as the starting point of
+// the next solve: its assignment is encoded as a feasible incumbent and
+// handed to branch & bound ahead of the heuristic warm starts, so a
+// re-plan after a small state or option change prunes against yesterday's
+// answer from node zero instead of rediscovering it. The seed only
+// accelerates — the solver still proves optimality (or its gap) against
+// the current model, and a seed the new model rejects is simply unused.
+// Passing nil clears the seed.
+//
+// The plan must speak this state's vocabulary: every group covered, every
+// named data center present in the target estate (secondary sites too,
+// when the planner runs with DR). Vocabulary errors are reported here, at
+// registration, rather than surfacing mid-solve.
+func (p *Planner) SeedPlan(prev *model.Plan) error {
+	if prev == nil {
+		p.seedPlacement, p.seedSecondary = nil, nil
+		return nil
+	}
+	placement, secondary, err := p.assignmentIndices(prev)
+	if err != nil {
+		return fmt.Errorf("core: seed plan: %w", err)
+	}
+	p.seedPlacement, p.seedSecondary = placement, secondary
 	return nil
 }
 

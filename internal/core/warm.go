@@ -120,6 +120,21 @@ func (b *builder) warmStarts() [][]float64 {
 	return out
 }
 
+// seedPoint encodes the planner's registered seed plan (SeedPlan) as a
+// full variable point for this build, or ok=false when no seed is set,
+// the formulation cannot encode concrete points (paper DR), or the seed
+// names a column this model pruned away. A seed that fails to encode is
+// silently unused — it is an accelerator, never a requirement.
+func (b *builder) seedPoint() ([]float64, bool) {
+	if b.p.seedPlacement == nil {
+		return nil, false
+	}
+	if b.p.opts.DR && b.p.opts.Formulation == FormulationPaper {
+		return nil, false
+	}
+	return b.encodePoint(b.p.seedPlacement, b.p.seedSecondary)
+}
+
 // improvable bounds the local-search effort: on very large estates a
 // single sweep costs too much, so polishing is skipped (the structural
 // warm starts still apply).

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -86,7 +87,7 @@ func TestFigure6Enterprise1DR(t *testing.T) {
 }
 
 func TestFigure7Shape(t *testing.T) {
-	res, err := Figure7(testScale())
+	res, err := Figure7(context.Background(), testScale())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestFigure7Shape(t *testing.T) {
 }
 
 func TestFigure8Shape(t *testing.T) {
-	res, err := Figure8(testScale())
+	res, err := Figure8(context.Background(), testScale())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +200,7 @@ func TestFigure9UShape(t *testing.T) {
 }
 
 func TestFigure10Growth(t *testing.T) {
-	res, err := Figure10(testScale())
+	res, err := Figure10(context.Background(), testScale())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -99,8 +100,9 @@ type Figure10Result struct {
 
 // Figure10 reproduces §VI-F's packing study: tight 100-server locations
 // force the planner to open more sites as the estate grows, and it opens
-// them in increasing order of Figure 9's total cost.
-func Figure10(sc Scale) (*Figure10Result, error) {
+// them in increasing order of Figure 9's total cost. Cancelling ctx
+// abandons the sweep after in-flight points finish.
+func Figure10(ctx context.Context, sc Scale) (*Figure10Result, error) {
 	fig9, err := Figure9()
 	if err != nil {
 		return nil, err
@@ -111,7 +113,7 @@ func Figure10(sc Scale) (*Figure10Result, error) {
 		FillOrder:   make([][]int, len(Fig10GroupCounts)),
 	}
 	res.CostRank = rankByCost(fig9.TotalCost)
-	err = ForEach(len(Fig10GroupCounts), sc.sweepWorkers(), func(i int) error {
+	err = ForEachContext(ctx, len(Fig10GroupCounts), sc.sweepWorkers(), func(i int) error {
 		n := Fig10GroupCounts[i]
 		cfg := datagen.Fig9Config()
 		cfg.Groups = n

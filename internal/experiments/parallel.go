@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -12,8 +13,23 @@ import (
 // run even after a failure; the error for the smallest index wins, so
 // repeated runs report the same failure.
 func ForEach(n, workers int, fn func(i int) error) error {
+	return ForEachContext(context.Background(), n, workers, fn)
+}
+
+// ForEachContext is ForEach with cancellation: once ctx is done, no new
+// job starts (jobs already running finish normally), so an abandoned
+// batch stops burning CPU instead of draining to the end. Error
+// selection stays index-deterministic given which jobs ran: scanning
+// indices in order, a job's own error wins at the first index that
+// failed, and ctx.Err() is returned at the first index that never
+// started. A fully completed batch returns its ForEach answer even if
+// ctx expired after the last job was fed.
+func ForEachContext(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -22,8 +38,13 @@ func ForEach(n, workers int, fn func(i int) error) error {
 		workers = n
 	}
 	errs := make([]error, n)
+	ran := make([]bool, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				break
+			}
+			ran[i] = true
 			errs[i] = fn(i)
 		}
 	} else {
@@ -38,15 +59,28 @@ func ForEach(n, workers int, fn func(i int) error) error {
 				}
 			}()
 		}
+	feed:
 		for i := 0; i < n; i++ {
-			jobs <- i
+			select {
+			case jobs <- i:
+				ran[i] = true
+			case <-ctx.Done():
+				break feed
+			}
 		}
 		close(jobs)
 		wg.Wait()
 	}
-	for _, err := range errs {
-		if err != nil {
-			return err
+	for i := 0; i < n; i++ {
+		if !ran[i] {
+			// The batch was cut short; the context's error is the cause.
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			return nil
+		}
+		if errs[i] != nil {
+			return errs[i]
 		}
 	}
 	return nil

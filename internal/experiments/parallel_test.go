@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachContextCancelMidBatch cancels a batch while every worker is
+// blocked inside a job: the feeder must stop handing out work, so only
+// the in-flight jobs (one per worker) ever start, and the batch reports
+// the context's error.
+func TestForEachContextCancelMidBatch(t *testing.T) {
+	const n, workers = 100, 4
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var started atomic.Int64
+	occupied := make(chan struct{}, n) // one token per job that began
+	hold := make(chan struct{})        // released after cancellation
+	go func() {
+		// Wait until every worker holds a job, then cut the batch short
+		// and let the stragglers finish.
+		for i := 0; i < workers; i++ {
+			<-occupied
+		}
+		cancel()
+		close(hold)
+	}()
+
+	err := ForEachContext(ctx, n, workers, func(i int) error {
+		started.Add(1)
+		occupied <- struct{}{}
+		<-hold
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := started.Load(); got != workers {
+		t.Fatalf("%d jobs started, want exactly the %d in flight at cancellation", got, workers)
+	}
+}
+
+// TestForEachContextJobErrorBeatsCancel pins the index-deterministic
+// error selection: when the job at index 0 fails and then triggers the
+// cancellation itself, its own error — not context.Canceled — is what
+// the batch returns, because index 0 ran-and-failed before the first
+// never-started index.
+func TestForEachContextJobErrorBeatsCancel(t *testing.T) {
+	boom := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := ForEachContext(ctx, 8, 1, func(i int) error {
+		if i == 0 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the job's own error", err)
+	}
+}
+
+// TestForEachContextCancelBeforeAnyFailure: index 0 succeeds but cancels
+// the batch, so the first interesting index is 1 — never started — and
+// the context's error is the answer.
+func TestForEachContextCancelBeforeAnyFailure(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int64
+	err := ForEachContext(ctx, 8, 1, func(i int) error {
+		ran.Add(1)
+		cancel()
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 1 {
+		t.Fatalf("%d jobs ran, want 1", got)
+	}
+}
+
+// TestForEachContextLateCancelAfterCompletion: a context that expires
+// after the final job was fed does not poison an otherwise clean batch.
+func TestForEachContextLateCancelAfterCompletion(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := ForEachContext(ctx, 3, 1, func(i int) error {
+		if i == 2 {
+			cancel() // fires after the last index has already started
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("err = %v, want nil for a fully completed batch", err)
+	}
+}
+
+// TestForEachBackgroundUnchanged: the ctx-less wrapper still runs every
+// job and still reports the smallest-index error.
+func TestForEachBackgroundUnchanged(t *testing.T) {
+	first, second := errors.New("first"), errors.New("second")
+	var ran atomic.Int64
+	err := ForEach(10, 4, func(i int) error {
+		ran.Add(1)
+		switch i {
+		case 3:
+			return first
+		case 7:
+			return second
+		}
+		return nil
+	})
+	if !errors.Is(err, first) {
+		t.Fatalf("err = %v, want the smallest-index error", err)
+	}
+	if got := ran.Load(); got != 10 {
+		t.Fatalf("%d jobs ran, want all 10 despite failures", got)
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/etransform/etransform/internal/core"
@@ -41,8 +42,9 @@ type Figure7Result struct {
 
 // Figure7 reproduces §VI-D: ten linear locations with rising space cost
 // and latency; as the per-user penalty grows, the planner abandons the
-// cheap far location and moves groups toward their users.
-func Figure7(sc Scale) (*Figure7Result, error) {
+// cheap far location and moves groups toward their users. Cancelling ctx
+// abandons the sweep after in-flight points finish.
+func Figure7(ctx context.Context, sc Scale) (*Figure7Result, error) {
 	res := &Figure7Result{
 		Penalties: Fig7Penalties,
 		TotalCost: make(map[float64][]float64),
@@ -54,7 +56,7 @@ func Figure7(sc Scale) (*Figure7Result, error) {
 	type point struct{ total, space, lat float64 }
 	nPen := len(Fig7Penalties)
 	points := make([]point, len(Fig7Splits)*nPen)
-	err := ForEach(len(points), sc.sweepWorkers(), func(i int) error {
+	err := ForEachContext(ctx, len(points), sc.sweepWorkers(), func(i int) error {
 		split, pen := Fig7Splits[i/nPen], Fig7Penalties[i%nPen]
 		cfg := datagen.Fig7Config()
 		cfg.UserSplit = split
@@ -114,13 +116,14 @@ type Figure8Result struct {
 // Figure8 reproduces §VI-E: cheap DR servers favour full consolidation
 // (2 sites, a full-estate pool); expensive DR servers favour spreading
 // primaries so a small shared pool covers any single failure.
-func Figure8(sc Scale) (*Figure8Result, error) {
+// Cancelling ctx abandons the sweep after in-flight points finish.
+func Figure8(ctx context.Context, sc Scale) (*Figure8Result, error) {
 	res := &Figure8Result{
 		DRServerCost: Fig8Costs,
 		DCsUsed:      make([]int, len(Fig8Costs)),
 		DRServers:    make([]int, len(Fig8Costs)),
 	}
-	err := ForEach(len(Fig8Costs), sc.sweepWorkers(), func(i int) error {
+	err := ForEachContext(ctx, len(Fig8Costs), sc.sweepWorkers(), func(i int) error {
 		zeta := Fig8Costs[i]
 		cfg := datagen.Fig7Config() // same topology, §VI-E: penalty 0
 		cfg.PenaltyPerUser = 0

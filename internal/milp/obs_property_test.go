@@ -1,9 +1,12 @@
 package milp
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -183,9 +186,72 @@ func TestObsDeterministicReplay(t *testing.T) {
 			t.Fatalf("seed=%d: %d vs %d events", seed, len(streams[0]), len(streams[1]))
 		}
 		for i := range streams[0] {
-			if streams[0][i] != streams[1][i] {
-				t.Fatalf("seed=%d: event %d differs: %+v vs %+v", seed, i, streams[0][i], streams[1][i])
+			a, err := json.Marshal(streams[0][i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := json.Marshal(streams[1][i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a, b) {
+				t.Fatalf("seed=%d: event %d differs: %s vs %s", seed, i, a, b)
 			}
 		}
+	}
+}
+
+// TestTraceRootClosedZeroGap pins the zero-value trace bugfix end to
+// end: a solve whose LP relaxation is already integral closes at the
+// root with objective 0, 0 nodes and an exactly-zero certified gap —
+// and every one of those zeros must appear explicitly in the JSONL
+// stream. Before the fix, omitempty dropped all three, making a
+// root-closed optimal solve indistinguishable from a gap-unknown one.
+func TestTraceRootClosedZeroGap(t *testing.T) {
+	m := lp.NewModel("root-closed")
+	// min x + y over binaries with a slack cover row: the relaxation's
+	// optimum (0,0) is integral, so branch & bound never opens a node.
+	x := m.AddBinary("x", 1)
+	y := m.AddBinary("y", 1)
+	m.AddRow("cap", []lp.Term{{Var: x, Coef: 1}, {Var: y, Coef: 1}}, lp.LE, 2)
+
+	var buf bytes.Buffer
+	sink := obs.NewJSONLSink(&buf)
+	sol, err := Solve(m, &Options{Workers: 1, Trace: obs.NewDeterministic(sink)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.StatusOptimal || sol.Objective != 0 {
+		t.Fatalf("status %v objective %v, want optimal 0", sol.Status, sol.Objective)
+	}
+	if sol.Nodes != 0 || sol.Gap != 0 {
+		t.Fatalf("nodes=%d gap=%v, want a root-closed zero-gap solve", sol.Nodes, sol.Gap)
+	}
+	var end string
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if strings.Contains(line, `"kind":"solve_end"`) {
+			end = line
+		}
+	}
+	if end == "" {
+		t.Fatalf("no solve_end in trace:\n%s", buf.String())
+	}
+	for _, want := range []string{`"value":0`, `"nodes":0`, `"gap":0`, `"status":"optimal"`} {
+		if !strings.Contains(end, want) {
+			t.Errorf("solve_end %s misses %s", end, want)
+		}
+	}
+
+	// The parsed view agrees: presence-aware fields carry the zeros.
+	evs, err := obs.Replay(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := evs[len(evs)-1]
+	if last.Kind != obs.KindSolveEnd {
+		t.Fatalf("last event %+v, want solve_end", last)
+	}
+	if last.Value == nil || *last.Value != 0 || last.Gap == nil || *last.Gap != 0 || last.Nodes == nil || *last.Nodes != 0 {
+		t.Fatalf("solve_end zeros lost: %+v", last)
 	}
 }

@@ -176,7 +176,7 @@ func (c *coordinator) advanceBoundLocked(b float64) {
 	c.lastBound = b
 	c.opts.Metrics.Add(obs.MetricMILPBoundImprove, 1)
 	if c.opts.Trace != nil && !math.IsInf(b, 0) {
-		c.opts.Trace.Emit(obs.Event{Kind: obs.KindBound, Value: b, Nodes: c.nodes})
+		c.opts.Trace.Emit(obs.Event{Kind: obs.KindBound, Value: obs.Float64(b), Nodes: obs.Int(c.nodes)})
 	}
 }
 
@@ -288,7 +288,7 @@ func (c *coordinator) tryAccept(x []float64, gateObj float64, worker int) {
 		c.opts.Metrics.Add(obs.MetricMILPIncumbents, 1)
 		if c.opts.Trace != nil {
 			c.opts.Trace.Emit(obs.Event{
-				Kind: obs.KindIncumbent, Value: obj, Worker: worker, Nodes: c.nodes,
+				Kind: obs.KindIncumbent, Value: obs.Float64(obj), Worker: worker, Nodes: obs.Int(c.nodes),
 			})
 		}
 	}
@@ -870,12 +870,12 @@ func (c *coordinator) emitSolveEnd(sol *lp.Solution, err error) {
 			e.Status = sol.Status.String()
 		}
 		e.Limit = sol.Limit
-		e.Nodes = sol.Nodes
+		e.Nodes = obs.Int(sol.Nodes)
 		e.Iterations = sol.Iterations
 		if sol.X != nil && !math.IsNaN(sol.Objective) && !math.IsInf(sol.Objective, 0) {
-			e.Value = sol.Objective
+			e.Value = obs.Float64(sol.Objective)
 		}
-		e.Gap = jsonSafeEventGap(sol.Gap)
+		e.Gap = obs.Float64(jsonSafeEventGap(sol.Gap))
 	}
 	tr.Emit(e)
 }

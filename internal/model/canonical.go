@@ -1,0 +1,39 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+)
+
+// CanonicalBytes returns the canonical encoding of a state: the compact
+// JSON produced by marshaling the in-memory struct. Two states that are
+// semantically identical — however their source documents ordered
+// fields, indented lines, or escaped strings — decode to the same
+// struct and therefore canonicalize to the same bytes: encoding/json
+// emits struct fields in declaration order and sorts any map keys, so
+// the output carries no trace of the input's formatting. This is the
+// byte string behind CanonicalHash; callers that persist it should
+// treat it as opaque.
+func CanonicalBytes(s *AsIsState) ([]byte, error) {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("model: canonical encoding: %w", err)
+	}
+	return b, nil
+}
+
+// CanonicalHash returns a content hash of the state: FNV-64a over
+// CanonicalBytes, rendered as 16 lowercase hex digits. Equal states hash
+// equal regardless of how their JSON was laid out; any one-field change
+// yields a different key with the usual 64-bit collision odds. It is a
+// cache key, not a cryptographic commitment.
+func CanonicalHash(s *AsIsState) (string, error) {
+	b, err := CanonicalBytes(s)
+	if err != nil {
+		return "", err
+	}
+	h := fnv.New64a()
+	h.Write(b) // fnv never errors
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}

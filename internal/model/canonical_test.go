@@ -1,0 +1,171 @@
+package model
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"regexp"
+	"sort"
+	"testing"
+)
+
+// permuteJSON re-serializes a JSON document with every object's keys in
+// a random order (arrays keep theirs), plus random indentation choices —
+// a formatting-only transformation of the same value. Numbers pass
+// through as their original text via json.Number, so no precision is
+// gained or lost in the shuffle.
+func permuteJSON(t *testing.T, raw []byte, rng *rand.Rand) []byte {
+	t.Helper()
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	writePermuted(t, &buf, v, rng)
+	return buf.Bytes()
+}
+
+func writePermuted(t *testing.T, buf *bytes.Buffer, v any, rng *rand.Rand) {
+	t.Helper()
+	switch x := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys) // deterministic base order, then shuffle
+		rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+		buf.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			if rng.Intn(2) == 0 {
+				buf.WriteString("\n  ")
+			}
+			kb, err := json.Marshal(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf.Write(kb)
+			buf.WriteString(": ")
+			writePermuted(t, buf, x[k], rng)
+		}
+		buf.WriteByte('}')
+	case []any:
+		buf.WriteByte('[')
+		for i, e := range x {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			writePermuted(t, buf, e, rng)
+		}
+		buf.WriteByte(']')
+	case json.Number:
+		buf.WriteString(x.String())
+	default:
+		b, err := json.Marshal(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(b)
+	}
+}
+
+// TestCanonicalHashIgnoresEncodingOrder is the cache-key soundness
+// property: shuffling every object's key order (and whitespace) in the
+// serialized state and re-decoding it must produce the identical hash,
+// across many shuffle seeds. A hash that depended on source field order
+// or map iteration would split one logical model across cache entries.
+func TestCanonicalHashIgnoresEncodingOrder(t *testing.T) {
+	s := testState(t)
+	want, err := CanonicalHash(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pretty bytes.Buffer
+	if err := WriteState(&pretty, s); err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		shuffled := permuteJSON(t, pretty.Bytes(), rng)
+		got, err := ReadState(bytes.NewReader(shuffled))
+		if err != nil {
+			t.Fatalf("seed %d: shuffled state no longer decodes: %v\n%s", seed, err, shuffled)
+		}
+		h, err := CanonicalHash(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h != want {
+			t.Fatalf("seed %d: hash %s after key shuffle, want %s", seed, h, want)
+		}
+	}
+}
+
+// TestCanonicalHashSeesEveryField mutates the state one field at a time
+// and requires a different key each time — a hash blind to any of these
+// would serve a stale plan for a genuinely different model.
+func TestCanonicalHashSeesEveryField(t *testing.T) {
+	base, err := CanonicalHash(testState(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]string{"": base}
+	for _, mut := range []struct {
+		name string
+		fn   func(*AsIsState)
+	}{
+		{"name", func(s *AsIsState) { s.Name = "other" }},
+		{"group servers", func(s *AsIsState) { s.Groups[0].Servers++ }},
+		{"group data", func(s *AsIsState) { s.Groups[1].DataMbPerMonth *= 2 }},
+		{"group users", func(s *AsIsState) { s.Groups[0].UsersByLocation[0]++ }},
+		{"group pin", func(s *AsIsState) { s.Groups[2].PinnedDC = s.Target.DCs[0].ID }},
+		{"dc capacity", func(s *AsIsState) { s.Target.DCs[0].CapacityServers++ }},
+		{"dc power", func(s *AsIsState) { s.Target.DCs[1].PowerCostPerKWh += 0.01 }},
+		{"latency cell", func(s *AsIsState) { s.Target.LatencyMs[0][0]++ }},
+		{"params beta", func(s *AsIsState) { s.Params.ServersPerAdmin++ }},
+	} {
+		s := testState(t)
+		mut.fn(s)
+		h, err := CanonicalHash(s)
+		if err != nil {
+			t.Fatalf("%s: %v", mut.name, err)
+		}
+		if prev, dup := seen[h]; dup {
+			t.Errorf("mutation %q collides with %q (hash %s)", mut.name, prev, h)
+		}
+		seen[h] = mut.name
+	}
+}
+
+// TestCanonicalBytesCompact pins the canonical form itself: compact
+// (no newlines or indent), so hashes computed by different callers agree
+// byte for byte, and stable across two encodings of the same state.
+func TestCanonicalBytesCompact(t *testing.T) {
+	s := testState(t)
+	a, err := CanonicalBytes(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CanonicalBytes(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two canonical encodings of one state differ")
+	}
+	if bytes.ContainsAny(a, "\n\t") || bytes.Contains(a, []byte(": ")) {
+		t.Fatalf("canonical bytes are not compact: %.120s", a)
+	}
+	h, err := CanonicalHash(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := regexp.MatchString(`^[0-9a-f]{16}$`, h); !ok {
+		t.Fatalf("hash %q is not 16 lowercase hex digits", h)
+	}
+}

@@ -91,6 +91,20 @@ const (
 	MetricRobustCandidatesRejected = "robust.candidates_rejected"
 	MetricRobustDecisionsFlipped   = "robust.decisions_flipped"
 
+	// Planning daemon (internal/serve): job lifecycle counts (submitted
+	// = done + degraded + failed + still in flight; rejected jobs never
+	// enter the queue and are counted separately), the solve cache's
+	// hit/miss split, warm-seeded re-plans, and the live queue depth.
+	MetricServeJobsSubmitted = "serve.jobs_submitted"
+	MetricServeJobsDone      = "serve.jobs_done"
+	MetricServeJobsDegraded  = "serve.jobs_degraded"
+	MetricServeJobsFailed    = "serve.jobs_failed"
+	MetricServeJobsRejected  = "serve.jobs_rejected"
+	MetricServeCacheHits     = "serve.cache_hits"
+	MetricServeCacheMisses   = "serve.cache_misses"
+	MetricServeWarmSeeded    = "serve.warm_seeded"
+	MetricServeQueueDepth    = "serve.queue_depth" // gauge
+
 	// Histograms.
 	MetricHistPivotsPerSolve = "simplex.pivots_per_solve"
 	// MetricHistRobustFlips observes, per application group, the number

@@ -12,7 +12,7 @@ import (
 
 func TestNilTracerAndMetricsAreNoOps(t *testing.T) {
 	var tr *Tracer
-	tr.Emit(Event{Kind: KindIncumbent, Value: 1}) // must not panic
+	tr.Emit(Event{Kind: KindIncumbent, Value: Float64(1)}) // must not panic
 
 	var m *Metrics
 	m.Add("x", 1)
@@ -34,7 +34,7 @@ func TestTracerSequencesAndStamps(t *testing.T) {
 	sink := &MemorySink{}
 	tr := New(sink)
 	tr.Emit(Event{Kind: KindSolveStart, Name: "m"})
-	tr.Emit(Event{Kind: KindIncumbent, Value: 12.5})
+	tr.Emit(Event{Kind: KindIncumbent, Value: Float64(12.5)})
 	tr.Emit(Event{Kind: KindSolveEnd, Status: "optimal"})
 	evs := sink.Events()
 	if len(evs) != 3 {
@@ -86,9 +86,9 @@ func TestJSONLRoundTripAndReplay(t *testing.T) {
 	sink := NewJSONLSink(&buf)
 	tr := NewDeterministic(sink)
 	tr.Emit(Event{Kind: KindSolveStart, Name: "knap", Detail: "rows=3 cols=5"})
-	tr.Emit(Event{Kind: KindIncumbent, Value: -41, Worker: 1, Nodes: 2})
-	tr.Emit(Event{Kind: KindIncumbent, Value: -44, Worker: 1, Nodes: 7})
-	tr.Emit(Event{Kind: KindSolveEnd, Status: "optimal", Value: -44, Nodes: 9})
+	tr.Emit(Event{Kind: KindIncumbent, Value: Float64(-41), Worker: 1, Nodes: Int(2)})
+	tr.Emit(Event{Kind: KindIncumbent, Value: Float64(-44), Worker: 1, Nodes: Int(7)})
+	tr.Emit(Event{Kind: KindSolveEnd, Status: "optimal", Value: Float64(-44), Nodes: Int(9), Gap: Float64(0)})
 	if err := sink.Err(); err != nil {
 		t.Fatalf("sink error: %v", err)
 	}
@@ -109,6 +109,56 @@ func TestJSONLRoundTripAndReplay(t *testing.T) {
 	got := Incumbents(evs)
 	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
 		t.Fatalf("incumbent sequence %v, want %v", got, want)
+	}
+}
+
+// TestZeroValuesSurviveEncoding pins the bugfix for legitimate zero
+// payloads: an incumbent with objective exactly 0, a solve_end with an
+// exactly-zero certified gap, and a root-closed solve (0 nodes) must
+// all encode their fields explicitly — a stream consumer must be able
+// to tell "gap proven 0" apart from "gap not reported".
+func TestZeroValuesSurviveEncoding(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	tr := NewDeterministic(sink)
+	tr.Emit(Event{Kind: KindIncumbent, Value: Float64(0), Worker: 1, Nodes: Int(0)})
+	tr.Emit(Event{Kind: KindSolveEnd, Status: "optimal", Value: Float64(0), Nodes: Int(0), Gap: Float64(0)})
+	if err := sink.Err(); err != nil {
+		t.Fatalf("sink error: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	for _, want := range []string{`"value":0`, `"nodes":0`} {
+		if !strings.Contains(lines[0], want) {
+			t.Errorf("incumbent line %s misses %s", lines[0], want)
+		}
+	}
+	for _, want := range []string{`"value":0`, `"nodes":0`, `"gap":0`} {
+		if !strings.Contains(lines[1], want) {
+			t.Errorf("solve_end line %s misses %s", lines[1], want)
+		}
+	}
+
+	// And absence stays absence: a solve_end that carries no feasible
+	// point must not fabricate a zero objective.
+	buf.Reset()
+	sink2 := NewJSONLSink(&buf)
+	NewDeterministic(sink2).Emit(Event{Kind: KindSolveEnd, Status: "error"})
+	if strings.Contains(buf.String(), `"value"`) || strings.Contains(buf.String(), `"gap"`) {
+		t.Fatalf("valueless solve_end fabricated a payload: %s", buf.String())
+	}
+
+	evs, err := Replay(strings.NewReader(strings.Join(lines, "\n") + "\n"))
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if got := Incumbents(evs); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Incumbents = %v, want [0]", got)
+	}
+	if evs[1].Gap == nil || *evs[1].Gap != 0 || evs[1].Nodes == nil || *evs[1].Nodes != 0 {
+		t.Fatalf("zero gap/nodes lost in replay: %+v", evs[1])
 	}
 }
 

@@ -1,0 +1,90 @@
+package obs
+
+import "sync"
+
+// TailSink is a Sink that lets late readers stream a trace while the
+// solve is still running: events accumulate in order, and any number of
+// tailers read from an offset of their choosing, blocking on a
+// broadcast channel until more arrive or the stream closes. It backs
+// the planning daemon's per-job event feed (GET /v1/plans/{id}/events),
+// where an HTTP client attaches mid-solve and follows the trace to the
+// terminal solve_end.
+//
+// The zero value is NOT ready; use NewTailSink.
+type TailSink struct {
+	mu     sync.Mutex
+	events []Event // guarded by mu, append-only
+	closed bool    // guarded by mu
+	change chan struct{}
+}
+
+// NewTailSink returns an open, empty sink.
+func NewTailSink() *TailSink {
+	return &TailSink{change: make(chan struct{})}
+}
+
+// Emit implements Sink. Emissions after Close are dropped: the producer
+// has already announced the stream's end, and a tailer that observed
+// done=true must never miss trailing events.
+func (s *TailSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.events = append(s.events, e)
+	s.broadcast()
+}
+
+// Close marks the stream complete, waking every blocked tailer.
+// Idempotent.
+func (s *TailSink) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.broadcast()
+}
+
+// broadcast wakes current waiters by closing the change channel and
+// installing a fresh one. Callers hold mu.
+func (s *TailSink) broadcast() {
+	close(s.change)
+	s.change = make(chan struct{})
+}
+
+// Since returns a copy of the events at positions ≥ from (0-based),
+// whether the stream is complete, and a channel that is closed on the
+// next change — so a tailer loops: consume, and if not done and nothing
+// new, block on changed (or its own client-gone signal):
+//
+//	for {
+//		evs, done, changed := sink.Since(from)
+//		… write evs …
+//		from += len(evs)
+//		if done { return }
+//		select { case <-changed: case <-ctx.Done(): return }
+//	}
+//
+// A from beyond the current length yields no events and the same
+// channel; a negative from is treated as 0.
+func (s *TailSink) Since(from int) (events []Event, done bool, changed <-chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from < len(s.events) {
+		events = append([]Event(nil), s.events[from:]...)
+	}
+	return events, s.closed, s.change
+}
+
+// Len returns the number of events emitted so far.
+func (s *TailSink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}

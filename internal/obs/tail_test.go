@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestTailSinkFollow drives the documented tail loop against a
+// concurrent emitter: a reader starting from 0 must see every event
+// exactly once, in order, and observe done only after Close.
+func TestTailSinkFollow(t *testing.T) {
+	const n = 500
+	s := NewTailSink()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= n; i++ {
+			s.Emit(Event{Seq: int64(i), Kind: KindBound})
+		}
+		s.Close()
+	}()
+
+	var got []Event
+	from := 0
+	for {
+		evs, done, changed := s.Since(from)
+		got = append(got, evs...)
+		from += len(evs)
+		if done {
+			// Drain anything that raced between the last read and Close.
+			evs, _, _ := s.Since(from)
+			got = append(got, evs...)
+			break
+		}
+		if len(evs) == 0 {
+			<-changed
+		}
+	}
+	wg.Wait()
+	if len(got) != n {
+		t.Fatalf("tailed %d events, want %d", len(got), n)
+	}
+	for i, e := range got {
+		if e.Seq != int64(i+1) {
+			t.Fatalf("event %d has seq %d, want %d", i, e.Seq, i+1)
+		}
+	}
+}
+
+// TestTailSinkMultipleReaders: two tailers at different offsets see
+// consistent suffixes, and emissions after Close are dropped.
+func TestTailSinkMultipleReaders(t *testing.T) {
+	s := NewTailSink()
+	for i := 1; i <= 10; i++ {
+		s.Emit(Event{Seq: int64(i)})
+	}
+	all, done, _ := s.Since(0)
+	if len(all) != 10 || done {
+		t.Fatalf("Since(0) = %d events, done=%v", len(all), done)
+	}
+	tail, _, _ := s.Since(7)
+	if len(tail) != 3 || tail[0].Seq != 8 {
+		t.Fatalf("Since(7) = %+v", tail)
+	}
+	if evs, _, _ := s.Since(99); len(evs) != 0 {
+		t.Fatalf("Since(beyond) = %d events", len(evs))
+	}
+	if evs, _, _ := s.Since(-5); len(evs) != 10 {
+		t.Fatalf("Since(-5) = %d events, want all 10", len(evs))
+	}
+	s.Close()
+	s.Close() // idempotent
+	s.Emit(Event{Seq: 11})
+	if got := s.Len(); got != 10 {
+		t.Fatalf("emit after close leaked: len = %d", got)
+	}
+	if _, done, _ := s.Since(10); !done {
+		t.Fatal("closed sink not reported done")
+	}
+}
+
+// TestTailSinkWakesOnClose: a tailer blocked on the change channel with
+// no pending events is released by Close alone.
+func TestTailSinkWakesOnClose(t *testing.T) {
+	s := NewTailSink()
+	_, done, changed := s.Since(0)
+	if done {
+		t.Fatal("fresh sink already done")
+	}
+	go s.Close()
+	<-changed // must not hang
+	if _, done, _ := s.Since(0); !done {
+		t.Fatal("sink not done after Close")
+	}
+}

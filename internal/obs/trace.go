@@ -43,9 +43,16 @@ const (
 )
 
 // Event is one structured, timestamped solve event. Fields other than
-// Seq and Kind are populated per kind; zero-valued fields are omitted
-// from the JSONL encoding so streams stay compact and — at Workers=1
-// with a deterministic tracer — byte-stable across runs.
+// Seq and Kind are populated per kind; absent fields are omitted from
+// the JSONL encoding so streams stay compact and — at Workers=1 with a
+// deterministic tracer — byte-stable across runs.
+//
+// Value, Nodes and Gap are pointers because zero is a legitimate
+// payload for each of them: an incumbent with objective exactly 0, a
+// solve closed at the root (0 nodes), and a proven exactly-zero gap all
+// must survive encoding distinguishably from "field not defined for
+// this kind". Emitters set them with the Float64/Int helpers; nil means
+// the kind (or this particular event) does not carry the quantity.
 type Event struct {
 	// Seq is the 1-based position in the tracer's total order.
 	Seq int64 `json:"seq"`
@@ -65,19 +72,29 @@ type Event struct {
 	// (fault events).
 	Attempt int `json:"attempt,omitempty"`
 	// Value is the kind's principal quantity: incumbent or terminal
-	// objective, or improved bound.
-	Value float64 `json:"value,omitempty"`
+	// objective, or improved bound. nil when the event carries none
+	// (e.g. a solve_end with no feasible point).
+	Value *float64 `json:"value,omitempty"`
 	// Nodes and Iterations snapshot the search counters at emit time.
-	Nodes      int `json:"nodes,omitempty"`
-	Iterations int `json:"iterations,omitempty"`
+	Nodes      *int `json:"nodes,omitempty"`
+	Iterations int  `json:"iterations,omitempty"`
 	// Status and Limit mirror lp.Solution terminology on end events.
 	Status string `json:"status,omitempty"`
 	Limit  string `json:"limit,omitempty"`
-	// Gap is the relative optimality gap on solve_end events.
-	Gap float64 `json:"gap,omitempty"`
+	// Gap is the relative optimality gap on solve_end events (-1 when
+	// no bound is known, mirroring the plan encoding); nil on kinds
+	// that do not define it.
+	Gap *float64 `json:"gap,omitempty"`
 	// Detail is free-form context (dimensions, error text, fault class).
 	Detail string `json:"detail,omitempty"`
 }
+
+// Float64 returns a pointer to v, for populating Event.Value and
+// Event.Gap — the presence-aware fields where 0 is a real payload.
+func Float64(v float64) *float64 { return &v }
+
+// Int returns a pointer to v, for populating Event.Nodes.
+func Int(v int) *int { return &v }
 
 // Sink receives completed events from a Tracer. Implementations must
 // tolerate concurrent Emit calls only if used by several tracers; a
@@ -211,8 +228,8 @@ func Replay(r io.Reader) ([]Event, error) {
 func Incumbents(events []Event) []float64 {
 	var seq []float64
 	for _, e := range events {
-		if e.Kind == KindIncumbent {
-			seq = append(seq, e.Value)
+		if e.Kind == KindIncumbent && e.Value != nil {
+			seq = append(seq, *e.Value)
 		}
 	}
 	return seq

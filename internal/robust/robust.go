@@ -142,7 +142,7 @@ func Run(ctx context.Context, state *model.AsIsState, spec *model.UncertaintySpe
 	// scheduling order can never reach the report.
 	n := opts.Samples
 	outcomes := make([]sampleOutcome, n)
-	err = experiments.ForEach(n, opts.Workers, func(i int) error {
+	err = experiments.ForEachContext(ctx, n, opts.Workers, func(i int) error {
 		if cerr := ctx.Err(); cerr != nil {
 			return cerr
 		}
@@ -217,7 +217,7 @@ func Run(ctx context.Context, state *model.AsIsState, spec *model.UncertaintySpe
 	// regenerating the sampled states from their seeds — replay instead
 	// of retention, so a 10k-sample batch never holds 10k estates.
 	rows := make([][]float64, n)
-	err = experiments.ForEach(n, opts.Workers, func(i int) error {
+	err = experiments.ForEachContext(ctx, n, opts.Workers, func(i int) error {
 		if outcomes[i].excluded {
 			return nil
 		}

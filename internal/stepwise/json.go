@@ -61,11 +61,18 @@ func (c *Curve) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
-// MarshalJSON implements json.Marshaler.
+// MarshalJSON implements json.Marshaler. A zero-value function encodes
+// as "steps": [] — not null — so that encode∘decode is idempotent
+// (UnmarshalJSON always rebuilds a non-nil slice) and content hashes of
+// a state don't depend on whether it passed through JSON before.
 func (p LatencyPenalty) MarshalJSON() ([]byte, error) {
+	steps := p.steps
+	if steps == nil {
+		steps = []PenaltyStep{}
+	}
 	return json.Marshal(struct {
 		Steps []PenaltyStep `json:"steps"`
-	}{p.steps})
+	}{steps})
 }
 
 // UnmarshalJSON implements json.Unmarshaler.

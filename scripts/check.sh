@@ -40,6 +40,12 @@
 #                  -workers 1 and 4 must produce the identical plan cost
 #                  block (cuts and the kernel run in the sequential root
 #                  phase, so worker count must not leak into the answer)
+#  14. etserve smoke: boot the planning daemon on a random port, submit
+#                  the smoke state over HTTP, poll to done, fetch the
+#                  plan and compare it to the etransform CLI's plan for
+#                  the same state — byte-equal after dropping the two
+#                  wall-clock fields — then resubmit the same state and
+#                  require a cache hit (serve.cache_hits counter)
 #
 # Run from anywhere; it operates on the repo root. Exits non-zero on the
 # first failing stage.
@@ -176,5 +182,70 @@ if ! cmp -s "$SMOKE_DIR/cost_w1.json" "$SMOKE_DIR/cost_w4.json"; then
     exit 1
 fi
 echo "    cuts+kernel plan cost identical at -workers 1 vs 4"
+
+echo "==> etserve service smoke (submit -> poll -> plan parity + cache hit)"
+go build -o "$SMOKE_DIR/etserve" ./cmd/etserve
+# Random port; -workers 1 for a deterministic solve matching the CLI run.
+"$SMOKE_DIR/etserve" -addr 127.0.0.1:0 -workers 1 \
+    > "$SMOKE_DIR/etserve.log" 2>&1 &
+ETSERVE_PID=$!
+trap 'kill "$ETSERVE_PID" 2>/dev/null || true; rm -rf "$SMOKE_DIR"' EXIT
+base=""
+for _ in $(seq 1 100); do
+    base=$(sed -n 's#^etserve listening on ##p' "$SMOKE_DIR/etserve.log")
+    [ -n "$base" ] && break
+    if ! kill -0 "$ETSERVE_PID" 2>/dev/null; then
+        echo "etserve exited before listening:" >&2
+        cat "$SMOKE_DIR/etserve.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$base" ]; then
+    echo "etserve never printed its listen address" >&2
+    cat "$SMOKE_DIR/etserve.log" >&2
+    exit 1
+fi
+job=$(curl -sf -X POST --data-binary @"$SMOKE_DIR/asis.json" "$base/v1/plans" \
+    | jq -r .id)
+state=""
+for _ in $(seq 1 600); do
+    state=$(curl -sf "$base/v1/plans/$job" | jq -r .state)
+    case $state in done|degraded|failed) break ;; esac
+    sleep 0.2
+done
+if [ "$state" != "done" ]; then
+    echo "etserve job $job ended in state \"$state\", want done" >&2
+    curl -s "$base/v1/plans/$job" >&2 || true
+    exit 1
+fi
+curl -sf "$base/v1/plans/$job/plan" > "$SMOKE_DIR/serve_plan.json"
+"$SMOKE_DIR/etransform" -state "$SMOKE_DIR/asis.json" -report=false \
+    -workers 1 -plan "$SMOKE_DIR/cli_plan.json" > /dev/null
+# The two wall-clock stats are the only machine-dependent bytes.
+norm='del(.stats.wall_millis, .stats.work_millis)'
+jq "$norm" "$SMOKE_DIR/serve_plan.json" > "$SMOKE_DIR/serve_plan.norm.json"
+jq "$norm" "$SMOKE_DIR/cli_plan.json" > "$SMOKE_DIR/cli_plan.norm.json"
+if ! cmp -s "$SMOKE_DIR/serve_plan.norm.json" "$SMOKE_DIR/cli_plan.norm.json"; then
+    echo "etserve plan differs from the etransform CLI plan:" >&2
+    diff "$SMOKE_DIR/serve_plan.norm.json" "$SMOKE_DIR/cli_plan.norm.json" >&2 || true
+    exit 1
+fi
+echo "    serve plan byte-identical to CLI plan (modulo wall-clock stats)"
+# An identical resubmission must be answered from the content-hash cache.
+if ! curl -sf -X POST --data-binary @"$SMOKE_DIR/asis.json" "$base/v1/plans" \
+    | jq -e '.cached == true and .state == "done"' > /dev/null; then
+    echo "identical resubmission was not served from the cache" >&2
+    exit 1
+fi
+hits=$(curl -sf "$base/v1/metrics" | jq '.counters["serve.cache_hits"] // 0')
+if [ "$hits" -lt 1 ]; then
+    echo "serve.cache_hits is $hits after a cache-hit resubmission, want >= 1" >&2
+    exit 1
+fi
+echo "    cache hit on resubmission (serve.cache_hits=$hits)"
+kill "$ETSERVE_PID" 2>/dev/null || true
+wait "$ETSERVE_PID" 2>/dev/null || true
+trap 'rm -rf "$SMOKE_DIR"' EXIT
 
 echo "==> all checks passed"
